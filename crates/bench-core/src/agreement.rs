@@ -1,0 +1,223 @@
+//! Seed-set agreement analysis.
+//!
+//! §4.3 observes that atypical instances admit *many* seed sets with
+//! nearly identical influence; this module quantifies that: pairwise
+//! Jaccard overlap between solvers' seed sets, and the quality spread
+//! among them. High quality-agreement with low set-overlap is the
+//! signature of the paper's "numerous solution sets with very similar
+//! influence spread".
+
+use mcpb_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One solver's answer to a common query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolverAnswer {
+    /// Solver name.
+    pub method: String,
+    /// Selected seeds.
+    pub seeds: Vec<NodeId>,
+    /// Objective under the common scorer.
+    pub quality: f64,
+}
+
+/// Pairwise agreement between two answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Agreement {
+    /// First method.
+    pub a: String,
+    /// Second method.
+    pub b: String,
+    /// Jaccard overlap of the seed sets in `[0, 1]`.
+    pub jaccard: f64,
+    /// Relative quality difference `|qa - qb| / max(qa, qb)`.
+    pub quality_gap: f64,
+}
+
+/// Jaccard similarity of two seed sets.
+pub fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: HashSet<NodeId> = a.iter().copied().collect();
+    let sb: HashSet<NodeId> = b.iter().copied().collect();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union.max(1.0)
+}
+
+/// All pairwise agreements among the answers.
+pub fn pairwise_agreements(answers: &[SolverAnswer]) -> Vec<Agreement> {
+    let mut out = Vec::new();
+    for i in 0..answers.len() {
+        for j in (i + 1)..answers.len() {
+            let (x, y) = (&answers[i], &answers[j]);
+            let max_q = x.quality.max(y.quality).max(1e-12);
+            out.push(Agreement {
+                a: x.method.clone(),
+                b: y.method.clone(),
+                jaccard: jaccard(&x.seeds, &y.seeds),
+                quality_gap: (x.quality - y.quality).abs() / max_q,
+            });
+        }
+    }
+    out
+}
+
+/// Summary statistics of an agreement matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgreementSummary {
+    /// Mean Jaccard overlap across pairs.
+    pub mean_jaccard: f64,
+    /// Mean relative quality gap across pairs.
+    pub mean_quality_gap: f64,
+    /// True when the instance looks "atypical" in the paper's sense:
+    /// solvers agree on quality (< 5% gap) while disagreeing on the
+    /// actual seeds (< 50% overlap).
+    pub atypical: bool,
+}
+
+/// Summarizes pairwise agreements.
+pub fn summarize(agreements: &[Agreement]) -> AgreementSummary {
+    if agreements.is_empty() {
+        return AgreementSummary {
+            mean_jaccard: 1.0,
+            mean_quality_gap: 0.0,
+            atypical: false,
+        };
+    }
+    let n = agreements.len() as f64;
+    let mean_jaccard = agreements.iter().map(|a| a.jaccard).sum::<f64>() / n;
+    let mean_quality_gap = agreements.iter().map(|a| a.quality_gap).sum::<f64>() / n;
+    AgreementSummary {
+        mean_jaccard,
+        mean_quality_gap,
+        atypical: mean_quality_gap < 0.05 && mean_jaccard < 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorer::ImScorer;
+    use mcpb_graph::weights::{assign_weights, WeightModel};
+    use mcpb_graph::{generators, WeightModel as WM};
+    use mcpb_im::prelude::*;
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        // Duplicates are set semantics.
+        assert_eq!(jaccard(&[1, 1, 2], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn pairwise_covers_all_pairs() {
+        let answers = vec![
+            SolverAnswer { method: "A".into(), seeds: vec![1, 2], quality: 10.0 },
+            SolverAnswer { method: "B".into(), seeds: vec![2, 3], quality: 9.5 },
+            SolverAnswer { method: "C".into(), seeds: vec![9, 8], quality: 4.0 },
+        ];
+        let pairs = pairwise_agreements(&answers);
+        assert_eq!(pairs.len(), 3);
+        let ab = &pairs[0];
+        assert!((ab.jaccard - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ab.quality_gap - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_flags_atypical_instances() {
+        // Same quality, disjoint seeds -> atypical.
+        let agreements = vec![Agreement {
+            a: "X".into(),
+            b: "Y".into(),
+            jaccard: 0.1,
+            quality_gap: 0.01,
+        }];
+        assert!(summarize(&agreements).atypical);
+        // Same seeds -> not atypical.
+        let agreements = vec![Agreement {
+            a: "X".into(),
+            b: "Y".into(),
+            jaccard: 0.9,
+            quality_gap: 0.01,
+        }];
+        assert!(!summarize(&agreements).atypical);
+        assert!(!summarize(&[]).atypical);
+    }
+
+    #[test]
+    fn hub_dominated_instance_is_detected_as_atypical() {
+        // A graph whose spread is controlled by a handful of hubs under a
+        // low uniform probability: many near-equivalent solutions.
+        let g = assign_weights(
+            &generators::hub_graph(400, 4, 0.4, 3),
+            WM::Constant,
+            0,
+        );
+        let k = 8;
+        let scorer = ImScorer::new(&g, 5_000, 1);
+        let mut answers = Vec::new();
+        let (imm, _) = Imm::paper_default(1).run(&g, k);
+        answers.push(SolverAnswer {
+            method: "IMM".into(),
+            quality: scorer.spread(&imm.seeds),
+            seeds: imm.seeds,
+        });
+        let dd = DegreeDiscount::run(&g, k);
+        answers.push(SolverAnswer {
+            method: "DD".into(),
+            quality: scorer.spread(&dd.seeds),
+            seeds: dd.seeds,
+        });
+        let sa = SimulatedAnnealing::with_seed(4).run(&g, k);
+        answers.push(SolverAnswer {
+            method: "SA".into(),
+            quality: scorer.spread(&sa.seeds),
+            seeds: sa.seeds,
+        });
+        let summary = summarize(&pairwise_agreements(&answers));
+        // Qualities agree tightly even if the seed sets differ: the §4.3
+        // "atypical case" signature.
+        assert!(
+            summary.mean_quality_gap < 0.1,
+            "quality gap {}",
+            summary.mean_quality_gap
+        );
+    }
+
+    #[test]
+    fn weighted_cascade_instances_have_distinct_quality() {
+        let g = assign_weights(
+            &generators::barabasi_albert(300, 3, 5),
+            WeightModel::WeightedCascade,
+            0,
+        );
+        let k = 10;
+        let scorer = ImScorer::new(&g, 5_000, 2);
+        let (imm, _) = Imm::paper_default(2).run(&g, k);
+        let rnd = mcpb_mcp::baselines::RandomSeeds::run(&g, k, 3);
+        let answers = vec![
+            SolverAnswer {
+                method: "IMM".into(),
+                quality: scorer.spread(&imm.seeds),
+                seeds: imm.seeds,
+            },
+            SolverAnswer {
+                method: "Random".into(),
+                quality: scorer.spread(&rnd.seeds),
+                seeds: rnd.seeds,
+            },
+        ];
+        let summary = summarize(&pairwise_agreements(&answers));
+        assert!(
+            summary.mean_quality_gap > 0.1,
+            "WC instances should separate solvers, gap {}",
+            summary.mean_quality_gap
+        );
+    }
+}

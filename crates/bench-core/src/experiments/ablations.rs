@@ -1,0 +1,219 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * RL4IM's two tricks (§3.2): state abstraction and reward shaping,
+//!   toggled independently.
+//! * GCOMB's noise predictor (Appendix B): quality/runtime with and
+//!   without candidate pruning.
+//! * S2V-DQN's message-passing depth: embedding rounds 1/2/3.
+//! * LeNSE's navigation budget: 0 (random subgraph) vs trained navigation.
+
+use super::ExpConfig;
+use crate::instrument::run_measured;
+use crate::results::{fmt_f, fmt_secs, Table};
+use crate::scorer::ImScorer;
+use mcpb_drl::prelude::*;
+use mcpb_graph::weights::{assign_weights, WeightModel};
+use mcpb_im::solver::ImSolver;
+use mcpb_mcp::solver::McpSolver;
+
+/// One ablation observation.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Study name.
+    pub study: String,
+    /// Variant label.
+    pub variant: String,
+    /// Achieved (normalized or absolute) objective.
+    pub score: f64,
+    /// Inference seconds for one query.
+    pub runtime: f64,
+}
+
+/// RL4IM trick ablation: all four combinations of state abstraction and
+/// reward shaping, validated on a held-out synthetic graph.
+pub fn ablate_rl4im(cfg: &ExpConfig) -> Vec<AblationRow> {
+    let wm = WeightModel::WeightedCascade;
+    let pool = synthetic_training_pool(8, 60, wm, cfg.seed);
+    let test = assign_weights(
+        &mcpb_graph::generators::barabasi_albert(120, 2, cfg.seed ^ 7),
+        wm,
+        cfg.seed,
+    );
+    let scorer = ImScorer::new(&test, 3_000, cfg.seed);
+    let episodes = if cfg.is_quick() { 25 } else { 80 };
+    let mut rows = Vec::new();
+    for (abstraction, shaping) in [(true, true), (true, false), (false, true), (false, false)] {
+        let mut model = Rl4Im::new(Rl4ImConfig {
+            episodes,
+            train_budget: 5,
+            batch_size: 8,
+            state_abstraction: abstraction,
+            reward_shaping: shaping,
+            task: Task::Im { rr_sets: 400 },
+            seed: cfg.seed,
+            ..Rl4ImConfig::default()
+        });
+        model.train(&pool);
+        let (sol, m) = run_measured(|| ImSolver::solve(&mut model, &test, 5));
+        rows.push(AblationRow {
+            study: "RL4IM tricks".into(),
+            variant: format!(
+                "abstraction={} shaping={}",
+                abstraction as u8, shaping as u8
+            ),
+            score: scorer.spread(&sol.seeds),
+            runtime: m.seconds,
+        });
+    }
+    rows
+}
+
+/// GCOMB noise-predictor ablation: pruned vs full candidate set.
+pub fn ablate_gcomb_pruning(cfg: &ExpConfig) -> Vec<AblationRow> {
+    let train = cfg.mcp_train_graph();
+    let test = mcpb_graph::generators::barabasi_albert(
+        if cfg.is_quick() { 800 } else { 4_000 },
+        3,
+        cfg.seed ^ 3,
+    );
+    let k = if cfg.is_quick() { 10 } else { 50 };
+    let mut rows = Vec::new();
+    for use_np in [true, false] {
+        let mut model = Gcomb::new(GcombConfig {
+            use_noise_predictor: use_np,
+            seed: cfg.seed,
+            ..GcombConfig::default()
+        });
+        model.train(&train);
+        let (sol, m) = run_measured(|| McpSolver::solve(&mut model, &test, k));
+        rows.push(AblationRow {
+            study: "GCOMB pruning".into(),
+            variant: if use_np { "with noise predictor" } else { "full candidate set" }
+                .into(),
+            score: sol.covered as f64,
+            runtime: m.seconds,
+        });
+    }
+    rows
+}
+
+/// S2V-DQN embedding-depth ablation: message-passing rounds 1/2/3.
+pub fn ablate_s2v_rounds(cfg: &ExpConfig) -> Vec<AblationRow> {
+    let train = cfg.mcp_train_graph();
+    let test = mcpb_graph::generators::barabasi_albert(600, 3, cfg.seed ^ 11);
+    let episodes = if cfg.is_quick() { 20 } else { 60 };
+    let mut rows = Vec::new();
+    for rounds in [1usize, 2, 3] {
+        let mut model = S2vDqn::new(S2vDqnConfig {
+            rounds,
+            episodes,
+            seed: cfg.seed,
+            ..S2vDqnConfig::default()
+        });
+        model.train(&train);
+        let (sol, m) = run_measured(|| McpSolver::solve(&mut model, &test, 10));
+        rows.push(AblationRow {
+            study: "S2V rounds".into(),
+            variant: format!("T={rounds}"),
+            score: sol.covered as f64,
+            runtime: m.seconds,
+        });
+    }
+    rows
+}
+
+/// LeNSE navigation ablation: 0 swaps (random subgraph + heuristic) vs the
+/// trained navigation policy.
+pub fn ablate_lense_navigation(cfg: &ExpConfig) -> Vec<AblationRow> {
+    let train = cfg.mcp_train_graph();
+    let test = mcpb_graph::generators::barabasi_albert(800, 3, cfg.seed ^ 13);
+    let mut rows = Vec::new();
+    for nav_steps in [0usize, 8] {
+        let mut model = Lense::new(LenseConfig {
+            nav_steps,
+            nav_episodes: if nav_steps == 0 { 1 } else { 8 },
+            seed: cfg.seed,
+            ..LenseConfig::default()
+        });
+        model.train(&train);
+        let (sol, m) = run_measured(|| McpSolver::solve(&mut model, &test, 10));
+        rows.push(AblationRow {
+            study: "LeNSE navigation".into(),
+            variant: if nav_steps == 0 { "random subgraph" } else { "trained navigation" }
+                .into(),
+            score: sol.covered as f64,
+            runtime: m.seconds,
+        });
+    }
+    rows
+}
+
+/// Runs every ablation study.
+pub fn all_ablations(cfg: &ExpConfig) -> Vec<AblationRow> {
+    let mut rows = ablate_rl4im(cfg);
+    rows.extend(ablate_gcomb_pruning(cfg));
+    rows.extend(ablate_s2v_rounds(cfg));
+    rows.extend(ablate_lense_navigation(cfg));
+    rows
+}
+
+/// Renders the ablation rows.
+pub fn render(rows: &[AblationRow]) -> Table {
+    let mut t = Table::new(
+        "Ablations",
+        "Design-choice ablations for the Deep-RL methods",
+        &["Study", "Variant", "Score", "Runtime"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.study.clone(),
+            r.variant.clone(),
+            fmt_f(r.score),
+            fmt_secs(r.runtime),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rl4im_ablation_covers_all_combos() {
+        let rows = ablate_rl4im(&ExpConfig::quick());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.score > 0.0, "{}", r.variant);
+        }
+        let variants: std::collections::HashSet<&str> =
+            rows.iter().map(|r| r.variant.as_str()).collect();
+        assert_eq!(variants.len(), 4);
+    }
+
+    #[test]
+    fn gcomb_pruning_changes_runtime() {
+        let rows = ablate_gcomb_pruning(&ExpConfig::quick());
+        assert_eq!(rows.len(), 2);
+        let with = &rows[0];
+        let without = &rows[1];
+        // Pruning restricts the candidate set, so the full set can't be
+        // faster by much (usually far slower).
+        assert!(
+            without.runtime >= with.runtime * 0.5,
+            "with {}s vs without {}s",
+            with.runtime,
+            without.runtime
+        );
+    }
+
+    #[test]
+    fn s2v_rounds_and_lense_nav_render() {
+        let mut rows = ablate_s2v_rounds(&ExpConfig::quick());
+        rows.extend(ablate_lense_navigation(&ExpConfig::quick()));
+        assert_eq!(rows.len(), 5);
+        let t = render(&rows);
+        assert!(t.render().contains("T=2"));
+        assert!(t.render().contains("random subgraph"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Experiment drivers: one per table and figure of the paper.
+//!
+//! Every driver takes an [`ExpConfig`] (quick = test-sized, full = bench
+//! harness), returns a typed result, and can render itself as the same
+//! rows/series the paper reports via [`crate::results::Table`].
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Table 1 (dataset statistics)            | [`datasets::tab1_datasets`] |
+//! | Figure 1 (overview scatter)             | [`overview::fig1_overview`] |
+//! | Table 2 (training time vs queries)      | [`training::tab2_training_time`] |
+//! | Table 3 (memory usage)                  | [`memory::tab3_memory`] |
+//! | Figure 4 (MCP curves)                   | [`curves::fig4_mcp_curves`] |
+//! | Figures 5/6 (IM influence/runtime)      | [`curves::fig56_im_curves`] |
+//! | Figure 7 (small-scale RL4IM/G-QN)       | [`small_scale::fig7_small_scale`] |
+//! | Table 4 (metric/gap correlation)        | [`distribution::tab4_correlation`] |
+//! | Table 5 (edge-weight transfer)          | [`distribution::tab5_weight_transfer`] |
+//! | Table 6 (similarity metric cost)        | [`distribution::tab6_similarity_cost`] |
+//! | Figure 8 (training duration)            | [`training::fig8_training_duration`] |
+//! | Figure 9 (training-set size)            | [`training::fig9_training_size`] |
+//! | Table 7 (rating scale)                  | [`overview::tab7_rating`] |
+//! | Table 8 (noise-predictor training time) | `noise::noise_predictor_study` (Tab. 8 view) |
+//! | Table 9 (good-node proportion)          | `noise::noise_predictor_study` (Tab. 9 view) |
+//! | Figures 10–17 (appendix curves)         | [`curves::appendix_curves`] |
+//! | Design-choice ablations (extension)     | [`ablations::all_ablations`] |
+//! | Robustness/variance study (extension)   | [`robustness::robustness_study`] |
+
+pub mod ablations;
+pub mod curves;
+pub mod datasets;
+pub mod distribution;
+pub mod memory;
+pub mod noise;
+pub mod overview;
+pub mod robustness;
+pub mod small_scale;
+pub mod training;
+
+use crate::registry::Scale;
+use mcpb_graph::catalog::Dataset;
+use mcpb_graph::Graph;
+
+/// Configuration shared by all experiment drivers.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Compute scale.
+    pub scale: Scale,
+    /// RNG seed for everything downstream.
+    pub seed: u64,
+}
+
+impl ExpConfig {
+    /// Test-sized configuration (seconds per driver).
+    pub fn quick() -> Self {
+        Self {
+            scale: Scale::Quick,
+            seed: 42,
+        }
+    }
+
+    /// Bench-harness configuration (minutes per driver).
+    pub fn full() -> Self {
+        Self {
+            scale: Scale::Full,
+            seed: 42,
+        }
+    }
+
+    /// Whether this is the quick scale.
+    pub fn is_quick(&self) -> bool {
+        self.scale == Scale::Quick
+    }
+
+    /// Shrinks a catalog dataset for quick runs so drivers stay test-sized.
+    pub fn scaled(&self, mut ds: Dataset) -> Dataset {
+        if self.is_quick() {
+            ds.nodes = ds.nodes.min(700);
+        }
+        ds
+    }
+
+    /// The budget grid for coverage/influence curves.
+    pub fn budgets(&self) -> Vec<usize> {
+        if self.is_quick() {
+            vec![5, 20]
+        } else {
+            vec![10, 50, 100, 200]
+        }
+    }
+
+    /// The MCP training graph (the paper trains on BrightKite).
+    pub fn mcp_train_graph(&self) -> Graph {
+        let ds = self.scaled(
+            mcpb_graph::catalog::by_name("BrightKite").expect("BrightKite in catalog"),
+        );
+        ds.load()
+    }
+
+    /// The IM training graph: a 15%-edge subgraph of Youtube, as in §4.
+    pub fn im_train_graph(&self) -> Graph {
+        let ds =
+            self.scaled(mcpb_graph::catalog::by_name("Youtube").expect("Youtube in catalog"));
+        let g = ds.load();
+        subsample_edges(&g, 0.15, self.seed)
+    }
+
+    /// Picks the first `quick_n` (quick) or `full_n` (full) entries.
+    pub fn take<T: Clone>(&self, items: &[T], quick_n: usize, full_n: usize) -> Vec<T> {
+        let n = if self.is_quick() { quick_n } else { full_n };
+        items.iter().take(n).cloned().collect()
+    }
+}
+
+/// Keeps each edge independently with probability `fraction` (the paper's
+/// "15% of edges selected at random" training-graph construction).
+pub fn subsample_edges(g: &Graph, fraction: f64, seed: u64) -> Graph {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let edges: Vec<mcpb_graph::Edge> = g
+        .edges()
+        .filter(|_| rng.gen::<f64>() < fraction)
+        .collect();
+    Graph::from_edges(g.num_nodes(), &edges).expect("subsampled edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_shrinks_datasets() {
+        let cfg = ExpConfig::quick();
+        let ds = cfg.scaled(mcpb_graph::catalog::by_name("Friendster").unwrap());
+        assert!(ds.nodes <= 700);
+        let full = ExpConfig::full().scaled(mcpb_graph::catalog::by_name("Friendster").unwrap());
+        assert_eq!(full.nodes, 20_000);
+    }
+
+    #[test]
+    fn subsample_keeps_roughly_the_fraction() {
+        let g = mcpb_graph::generators::barabasi_albert(500, 4, 1);
+        let sub = subsample_edges(&g, 0.15, 7);
+        let frac = sub.num_edges() as f64 / g.num_edges() as f64;
+        assert!((frac - 0.15).abs() < 0.05, "kept {frac}");
+        assert_eq!(sub.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn train_graphs_load() {
+        let cfg = ExpConfig::quick();
+        assert!(cfg.mcp_train_graph().num_nodes() > 0);
+        let im = cfg.im_train_graph();
+        assert!(im.num_edges() > 0);
+    }
+
+    #[test]
+    fn take_respects_scale() {
+        let cfg = ExpConfig::quick();
+        let items = vec![1, 2, 3, 4, 5];
+        assert_eq!(cfg.take(&items, 2, 5), vec![1, 2]);
+        assert_eq!(ExpConfig::full().take(&items, 2, 5), items);
+    }
+}

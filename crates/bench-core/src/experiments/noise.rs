@@ -1,0 +1,141 @@
+//! Appendix B: Table 8 (per-budget noise-predictor training time vs Lazy
+//! Greedy) and Table 9 (proportion of non-noisy nodes per budget).
+//!
+//! The paper found the noise predictor must be retrained per budget, at a
+//! cost thousands of times a Lazy Greedy solve, and that the good-node
+//! proportion is non-monotone in the budget — the root cause of GCOMB's
+//! erratic runtimes.
+
+use super::ExpConfig;
+use crate::instrument::run_measured;
+use crate::results::{fmt_f, fmt_secs, Table};
+use mcpb_drl::gcomb::{Gcomb, GcombConfig};
+use mcpb_drl::Task;
+use mcpb_graph::catalog;
+use mcpb_mcp::greedy::LazyGreedy;
+
+/// One Table 8/9 cell.
+#[derive(Debug, Clone)]
+pub struct NoiseCell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Budget the predictor was trained for.
+    pub budget: usize,
+    /// Seconds to train the per-budget predictor (full GCOMB stage 1+2).
+    pub train_seconds: f64,
+    /// Seconds for one Lazy Greedy query at the same budget.
+    pub lazy_seconds: f64,
+    /// Predicted good-node proportion at this budget, in percent.
+    pub good_pct: f64,
+}
+
+/// Runs the per-budget noise-predictor study (feeds both Tables 8 and 9).
+pub fn noise_predictor_study(cfg: &ExpConfig) -> Vec<NoiseCell> {
+    let names = ["DBLP", "Youtube", "LiveJournal"];
+    let datasets: Vec<_> = names
+        .iter()
+        .filter_map(|n| catalog::by_name(n))
+        .map(|d| cfg.scaled(d))
+        .collect();
+    let datasets = cfg.take(&datasets, 1, datasets.len());
+    let budgets: Vec<usize> = if cfg.is_quick() {
+        vec![5, 10, 20]
+    } else {
+        vec![20, 50, 100, 150, 200]
+    };
+    let mut cells = Vec::new();
+    for ds in &datasets {
+        let graph = ds.load();
+        for &b in &budgets {
+            // A distinct predictor per budget, as Appendix B found necessary.
+            let (model, m) = run_measured(|| {
+                let mut model = Gcomb::new(GcombConfig {
+                    supervised_epochs: if cfg.is_quick() { 15 } else { 40 },
+                    prob_greedy_runs: 4,
+                    train_subgraph_nodes: if cfg.is_quick() { 80 } else { 800 },
+                    noise_budgets: vec![b.max(2) / 2, b],
+                    rl_episodes: 0,
+                    train_budget: b,
+                    task: Task::Mcp,
+                    // A fresh seed per budget: each predictor is trained
+                    // independently, which is what makes the good-node
+                    // fraction non-monotone across budgets (Tab. 9).
+                    seed: cfg.seed + b as u64,
+                    ..GcombConfig::default()
+                });
+                model.train(&graph);
+                model
+            });
+            let (_, lazy_m) = run_measured(|| LazyGreedy::run(&graph, b));
+            cells.push(NoiseCell {
+                dataset: ds.name.to_string(),
+                budget: b,
+                train_seconds: m.seconds,
+                lazy_seconds: lazy_m.seconds.max(1e-9),
+                good_pct: model.noise.good_fraction(b) * 100.0,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders Table 8 (training time per budget).
+pub fn render_tab8(cells: &[NoiseCell]) -> Table {
+    let mut t = Table::new(
+        "Table 8",
+        "Noise-predictor training time per budget (vs one Lazy Greedy query)",
+        &["Dataset", "Budget", "Train", "LazyGreedy", "Ratio"],
+    );
+    for c in cells {
+        t.push_row(vec![
+            c.dataset.clone(),
+            c.budget.to_string(),
+            fmt_secs(c.train_seconds),
+            fmt_secs(c.lazy_seconds),
+            fmt_f(c.train_seconds / c.lazy_seconds),
+        ]);
+    }
+    t
+}
+
+/// Renders Table 9 (good-node proportion per budget).
+pub fn render_tab9(cells: &[NoiseCell]) -> Table {
+    let mut t = Table::new(
+        "Table 9",
+        "Proportion of non-noisy (good) nodes per budget",
+        &["Dataset", "Budget", "Good nodes (%)"],
+    );
+    for c in cells {
+        t.push_row(vec![
+            c.dataset.clone(),
+            c.budget.to_string(),
+            fmt_f(c.good_pct),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_produces_cells_per_budget() {
+        let cells = noise_predictor_study(&ExpConfig::quick());
+        assert_eq!(cells.len(), 3);
+        for c in &cells {
+            assert!(c.train_seconds > 0.0);
+            assert!(c.good_pct > 0.0, "{} k={}", c.dataset, c.budget);
+            // Training a predictor costs more than one lazy-greedy query —
+            // the Appendix B finding.
+            assert!(
+                c.train_seconds > c.lazy_seconds,
+                "predictor {}s vs lazy {}s",
+                c.train_seconds,
+                c.lazy_seconds
+            );
+        }
+        assert!(render_tab8(&cells).render().contains("Ratio"));
+        assert!(render_tab9(&cells).render().contains("Good nodes"));
+    }
+}

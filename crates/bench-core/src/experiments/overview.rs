@@ -1,0 +1,197 @@
+//! Figure 1 (normalized coverage vs runtime overview with standard
+//! deviations) and Table 7 (the §6 rating scale) — both aggregate views
+//! over the Fig. 4 / Fig. 5-6 sweeps.
+
+use super::curves::{fig4_mcp_curves, fig56_im_curves};
+use super::ExpConfig;
+use crate::instrument::{mean, std_dev};
+use crate::rating::{rating_scale, Observation, RatingRow};
+use crate::results::{fmt_f, Table};
+use crate::sweep::SweepRecord;
+use mcpb_graph::weights::WeightModel;
+
+/// One Fig. 1 point: a method's average normalized quality/runtime with
+/// standard deviations across datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverviewPoint {
+    /// Method name.
+    pub method: String,
+    /// Mean normalized quality (coverage or influence ratio to the best).
+    pub avg_quality: f64,
+    /// Std dev of the normalized quality.
+    pub quality_std: f64,
+    /// Mean normalized runtime (ratio to the fastest, log-friendly).
+    pub avg_runtime: f64,
+    /// Std dev of the normalized runtime.
+    pub runtime_std: f64,
+}
+
+/// Aggregates sweep records into Fig. 1 points: per (dataset, budget) cell
+/// quality is normalized by the best method, runtime by the fastest.
+pub fn overview_points(records: &[SweepRecord]) -> Vec<OverviewPoint> {
+    let mut methods: Vec<String> = records.iter().map(|r| r.method.clone()).collect();
+    methods.sort_unstable();
+    methods.dedup();
+
+    let mut cells: Vec<(String, Option<String>, usize)> = records
+        .iter()
+        .map(|r| (r.dataset.clone(), r.weight_model.clone(), r.budget))
+        .collect();
+    cells.sort();
+    cells.dedup();
+
+    let mut points = Vec::new();
+    for m in &methods {
+        let mut q_ratios = Vec::new();
+        let mut t_ratios = Vec::new();
+        for cell in &cells {
+            let in_cell: Vec<&SweepRecord> = records
+                .iter()
+                .filter(|r| (&r.dataset, &r.weight_model, r.budget) == (&cell.0, &cell.1, cell.2))
+                .collect();
+            let best_q = in_cell.iter().map(|r| r.quality).fold(0.0f64, f64::max);
+            let best_t = in_cell
+                .iter()
+                .map(|r| r.runtime.max(1e-9))
+                .fold(f64::INFINITY, f64::min);
+            if let Some(mine) = in_cell.iter().find(|r| &r.method == m) {
+                if best_q > 0.0 {
+                    q_ratios.push(mine.quality / best_q);
+                }
+                t_ratios.push(mine.runtime.max(1e-9) / best_t);
+            }
+        }
+        points.push(OverviewPoint {
+            method: m.clone(),
+            avg_quality: mean(&q_ratios),
+            quality_std: std_dev(&q_ratios),
+            avg_runtime: mean(&t_ratios),
+            runtime_std: std_dev(&t_ratios),
+        });
+    }
+    points
+}
+
+/// Figure 1: runs both sweeps and aggregates. Returns (MCP points, IM
+/// points).
+pub fn fig1_overview(cfg: &ExpConfig) -> (Vec<OverviewPoint>, Vec<OverviewPoint>) {
+    let mcp = fig4_mcp_curves(cfg);
+    let im = fig56_im_curves(
+        cfg,
+        &if cfg.is_quick() {
+            vec![WeightModel::WeightedCascade]
+        } else {
+            vec![
+                WeightModel::Constant,
+                WeightModel::TriValency,
+                WeightModel::WeightedCascade,
+            ]
+        },
+    );
+    (overview_points(&mcp), overview_points(&im))
+}
+
+/// Renders Fig. 1 points.
+pub fn render_overview(id: &str, title: &str, points: &[OverviewPoint]) -> Table {
+    let mut t = Table::new(
+        id,
+        title,
+        &["Method", "AvgQuality", "Quality(std)", "AvgRuntime(xFastest)", "Runtime(std)"],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.method.clone(),
+            fmt_f(p.avg_quality),
+            fmt_f(p.quality_std),
+            fmt_f(p.avg_runtime),
+            fmt_f(p.runtime_std),
+        ]);
+    }
+    t
+}
+
+/// Table 7: feeds the sweep records into the §6 rating scale. Returns
+/// (MCP rows, IM rows).
+pub fn tab7_rating(cfg: &ExpConfig) -> (Vec<RatingRow>, Vec<RatingRow>) {
+    let mcp = fig4_mcp_curves(cfg);
+    let im = fig56_im_curves(cfg, &[WeightModel::WeightedCascade]);
+    (rating_from_records(&mcp), rating_from_records(&im))
+}
+
+/// Converts sweep records into rating-scale observations (keyed by
+/// dataset+model+budget as the "dataset" unit, as §6 aggregates over all
+/// settings).
+pub fn rating_from_records(records: &[SweepRecord]) -> Vec<RatingRow> {
+    let observations: Vec<Observation> = records
+        .iter()
+        .map(|r| Observation {
+            method: r.method.clone(),
+            dataset: format!(
+                "{}/{}/k{}",
+                r.dataset,
+                r.weight_model.clone().unwrap_or_else(|| "-".into()),
+                r.budget
+            ),
+            quality: r.quality,
+            runtime: r.runtime,
+            memory: (r.peak_bytes.max(1)) as f64,
+        })
+        .collect();
+    rating_scale(&observations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(method: &str, dataset: &str, k: usize, q: f64, t: f64) -> SweepRecord {
+        SweepRecord {
+            method: method.into(),
+            dataset: dataset.into(),
+            weight_model: None,
+            budget: k,
+            quality: q,
+            absolute: q * 100.0,
+            runtime: t,
+            peak_bytes: 1,
+        }
+    }
+
+    #[test]
+    fn overview_normalizes_per_cell() {
+        let records = vec![
+            record("fast", "d", 5, 0.5, 0.001),
+            record("slow", "d", 5, 1.0, 1.0),
+        ];
+        let points = overview_points(&records);
+        let fast = points.iter().find(|p| p.method == "fast").unwrap();
+        let slow = points.iter().find(|p| p.method == "slow").unwrap();
+        assert!((fast.avg_quality - 0.5).abs() < 1e-9);
+        assert!((slow.avg_quality - 1.0).abs() < 1e-9);
+        assert!((fast.avg_runtime - 1.0).abs() < 1e-9);
+        assert!(slow.avg_runtime > 100.0);
+    }
+
+    #[test]
+    fn rating_rows_from_records() {
+        let records = vec![
+            record("A", "d1", 5, 1.0, 0.1),
+            record("B", "d1", 5, 0.5, 0.2),
+        ];
+        let rows = rating_from_records(&records);
+        assert_eq!(rows.len(), 2);
+        let a = rows.iter().find(|r| r.method == "A").unwrap();
+        assert!((a.quality_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_has_all_methods() {
+        let points = overview_points(&[
+            record("X", "d", 5, 0.9, 0.2),
+            record("Y", "d", 5, 0.3, 0.1),
+        ]);
+        let t = render_overview("Figure 1", "overview", &points);
+        let s = t.render();
+        assert!(s.contains('X') && s.contains('Y'));
+    }
+}

@@ -1,0 +1,216 @@
+//! Figure 7: the small-scale comparisons — (a) RL4IM vs CHANGE vs IMM on
+//! synthetic power-law graphs of growing size, averaged over repeated
+//! queries; (b) Geometric-QN vs IMM on the small Damascus/Israel datasets,
+//! reported as a fraction of IMM's influence.
+
+use super::ExpConfig;
+use crate::results::{fmt_f, Table};
+use crate::scorer::ImScorer;
+use mcpb_drl::prelude::*;
+use mcpb_graph::catalog;
+use mcpb_graph::weights::{assign_weights, WeightModel};
+use mcpb_im::change::Change;
+use mcpb_im::imm::Imm;
+use mcpb_im::solver::ImSolver;
+
+/// One Fig. 7a point.
+#[derive(Debug, Clone)]
+pub struct SyntheticPoint {
+    /// Number of nodes in the synthetic test graphs.
+    pub nodes: usize,
+    /// Budget.
+    pub budget: usize,
+    /// Mean spread per method over the repeats: (RL4IM, CHANGE, IMM).
+    pub rl4im: f64,
+    /// CHANGE's mean spread.
+    pub change: f64,
+    /// IMM's mean spread.
+    pub imm: f64,
+}
+
+/// Figure 7a: RL4IM vs CHANGE vs IMM over synthetic graphs.
+pub fn fig7a_synthetic(cfg: &ExpConfig) -> Vec<SyntheticPoint> {
+    let sizes: Vec<usize> = if cfg.is_quick() {
+        vec![100, 300]
+    } else {
+        vec![200, 2_000, 20_000]
+    };
+    let repeats = if cfg.is_quick() { 3 } else { 10 };
+    let budget = 5;
+    let wm = WeightModel::Constant;
+
+    // Train RL4IM once on small synthetic graphs, per the paper.
+    let pool = synthetic_training_pool(if cfg.is_quick() { 6 } else { 12 }, 60, wm, cfg.seed);
+    let mut rl4im = Rl4Im::new(Rl4ImConfig {
+        episodes: if cfg.is_quick() { 30 } else { 120 },
+        train_budget: budget,
+        batch_size: 8,
+        task: Task::Im { rr_sets: 500 },
+        seed: cfg.seed,
+        ..Rl4ImConfig::default()
+    });
+    rl4im.train(&pool);
+
+    let mut points = Vec::new();
+    for &n in &sizes {
+        let mut sums = (0.0, 0.0, 0.0);
+        for rep in 0..repeats {
+            let g = assign_weights(
+                &mcpb_graph::generators::barabasi_albert(n, 2, cfg.seed + rep as u64 * 31 + n as u64),
+                wm,
+                cfg.seed + rep as u64,
+            );
+            let scorer = ImScorer::new(&g, if cfg.is_quick() { 1_000 } else { 5_000 }, cfg.seed);
+            let rl = ImSolver::solve(&mut rl4im, &g, budget);
+            let change = Change::new(cfg.seed + rep as u64);
+            let ch = change.run(&g, budget);
+            let (imm_sol, _) = Imm::paper_default(cfg.seed + rep as u64).run(&g, budget);
+            sums.0 += scorer.spread(&rl.seeds);
+            sums.1 += scorer.spread(&ch.seeds);
+            sums.2 += scorer.spread(&imm_sol.seeds);
+        }
+        let r = repeats as f64;
+        points.push(SyntheticPoint {
+            nodes: n,
+            budget,
+            rl4im: sums.0 / r,
+            change: sums.1 / r,
+            imm: sums.2 / r,
+        });
+    }
+    points
+}
+
+/// One Fig. 7b row.
+#[derive(Debug, Clone)]
+pub struct GqnPoint {
+    /// Dataset name (Damascus / Israel stand-ins).
+    pub dataset: String,
+    /// Budget.
+    pub budget: usize,
+    /// Geometric-QN's mean spread over repeats.
+    pub gqn: f64,
+    /// IMM's spread.
+    pub imm: f64,
+    /// `gqn / imm` ratio (the 27.5% / 66.1% numbers of §4.3).
+    pub ratio: f64,
+}
+
+/// Figure 7b: Geometric-QN vs IMM on the small datasets, averaged over
+/// repeated queries (the paper uses 20 repeats).
+pub fn fig7b_geometric_qn(cfg: &ExpConfig) -> Vec<GqnPoint> {
+    let repeats = if cfg.is_quick() { 5 } else { 20 };
+    let budget = if cfg.is_quick() { 3 } else { 10 };
+    let wm = WeightModel::WeightedCascade;
+    let small: Vec<_> = catalog::small_datasets()
+        .into_iter()
+        .map(|d| cfg.scaled(d))
+        .collect();
+    let graphs: Vec<(String, _)> = small
+        .iter()
+        .map(|d| (d.name.to_string(), assign_weights(&d.load(), wm, cfg.seed)))
+        .collect();
+    let train: Vec<_> = graphs.iter().map(|(_, g)| g.clone()).collect();
+    let mut model = GeometricQn::new(GeometricQnConfig {
+        episodes: if cfg.is_quick() { 8 } else { 30 },
+        train_budget: budget,
+        task: Task::Im { rr_sets: 300 },
+        seed: cfg.seed,
+        ..GeometricQnConfig::default()
+    });
+    model.train(&train);
+
+    let mut points = Vec::new();
+    for (name, g) in &graphs {
+        let scorer = ImScorer::new(g, if cfg.is_quick() { 1_000 } else { 5_000 }, cfg.seed);
+        let mut total = 0.0;
+        for seeds in model.infer_repeated(g, budget, repeats) {
+            total += scorer.spread(&seeds);
+        }
+        let gqn = total / repeats as f64;
+        let (imm_sol, _) = Imm::paper_default(cfg.seed).run(g, budget);
+        let imm = scorer.spread(&imm_sol.seeds).max(1e-9);
+        points.push(GqnPoint {
+            dataset: name.clone(),
+            budget,
+            gqn,
+            imm,
+            ratio: gqn / imm,
+        });
+    }
+    points
+}
+
+/// Runs both halves of Fig. 7.
+pub fn fig7_small_scale(cfg: &ExpConfig) -> (Vec<SyntheticPoint>, Vec<GqnPoint>) {
+    (fig7a_synthetic(cfg), fig7b_geometric_qn(cfg))
+}
+
+/// Renders Fig. 7a.
+pub fn render_fig7a(points: &[SyntheticPoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 7a",
+        "RL4IM vs CHANGE vs IMM on synthetic graphs (mean spread)",
+        &["Nodes", "k", "RL4IM", "CHANGE", "IMM"],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.nodes.to_string(),
+            p.budget.to_string(),
+            fmt_f(p.rl4im),
+            fmt_f(p.change),
+            fmt_f(p.imm),
+        ]);
+    }
+    t
+}
+
+/// Renders Fig. 7b.
+pub fn render_fig7b(points: &[GqnPoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 7b",
+        "Geometric-QN vs IMM on small datasets (mean of repeated queries)",
+        &["Dataset", "k", "G-QN", "IMM", "G-QN/IMM"],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.dataset.clone(),
+            p.budget.to_string(),
+            fmt_f(p.gqn),
+            fmt_f(p.imm),
+            fmt_f(p.ratio),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_imm_wins_change_loses() {
+        let points = fig7a_synthetic(&ExpConfig::quick());
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            // The paper's shape: IMM ends up on top, RL4IM and CHANGE below
+            // it. On tiny CONST graphs spreads are nearly flat in the
+            // budget (the paper's "atypical case"), so allow 10% estimator
+            // noise rather than demanding strict dominance.
+            assert!(p.imm >= p.rl4im * 0.9, "IMM {} vs RL4IM {}", p.imm, p.rl4im);
+            assert!(p.imm >= p.change * 0.9, "IMM {} vs CHANGE {}", p.imm, p.change);
+            assert!(p.rl4im > 0.0 && p.change > 0.0);
+        }
+        assert!(render_fig7a(&points).render().contains("CHANGE"));
+    }
+
+    #[test]
+    fn fig7b_gqn_clearly_lags_imm() {
+        let points = fig7b_geometric_qn(&ExpConfig::quick());
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.ratio > 0.0 && p.ratio <= 1.05, "{}: ratio {}", p.dataset, p.ratio);
+        }
+        assert!(render_fig7b(&points).render().contains("G-QN/IMM"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Wall-clock + memory instrumentation around solver runs.
+
+use crate::alloc::measure_peak;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One instrumented run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Measurement {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Peak additional heap bytes during the run (0 when the tracking
+    /// allocator is not installed).
+    pub peak_bytes: usize,
+}
+
+/// Runs `f`, measuring wall-clock time and allocator peak.
+pub fn run_measured<R>(f: impl FnOnce() -> R) -> (R, Measurement) {
+    let start = Instant::now();
+    let (out, peak_bytes) = measure_peak(f);
+    (
+        out,
+        Measurement {
+            seconds: start.elapsed().as_secs_f64(),
+            peak_bytes,
+        },
+    )
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a sample.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_time() {
+        let (v, m) = run_measured(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(v > 0);
+        assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0]);
+        assert!((sd - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,200 @@
+//! The §6 rating scale (Tab. 7): Quality, Memory, Efficiency, and
+//! Robustness percentages per solver, aggregated across datasets.
+
+use crate::instrument::{mean, std_dev};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One (method, dataset) observation feeding the rating scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Achieved objective (coverage or spread), higher is better.
+    pub quality: f64,
+    /// Wall-clock seconds, lower is better.
+    pub runtime: f64,
+    /// Peak memory bytes, lower is better.
+    pub memory: f64,
+}
+
+/// One row of Tab. 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatingRow {
+    /// Method name.
+    pub method: String,
+    /// Mean of `quality_d / max_quality_d` across datasets, in percent.
+    pub quality_pct: f64,
+    /// Mean of `min_memory_d / memory_d` across datasets, in percent.
+    pub memory_pct: f64,
+    /// Mean of `min_runtime_d / runtime_d` across datasets, in percent.
+    pub efficiency_pct: f64,
+    /// Normalized reciprocal standard deviation of quality, in percent.
+    pub robustness_pct: f64,
+}
+
+/// Computes Tab. 7 rows from raw observations. Methods missing a dataset
+/// simply skip it (the paper does the same for crashed runs).
+///
+/// Definitions follow §6:
+/// * Quality(f) = mean_d quality_d(f) / max_g quality_d(g)
+/// * Efficiency(f) = mean_d min_g runtime_d(g) / runtime_d(f)
+///   (equivalently `Max(t_d)/t_d` with "Max" meaning the best, i.e.
+///   fastest, per-dataset runtime normalizer)
+/// * Memory(f) analogous to efficiency with peak memory
+/// * Robustness(f) = (1 / std(quality ratios)) normalized so the most
+///   robust method scores 100.
+pub fn rating_scale(observations: &[Observation]) -> Vec<RatingRow> {
+    let mut per_dataset: BTreeMap<&str, Vec<&Observation>> = BTreeMap::new();
+    for o in observations {
+        per_dataset.entry(&o.dataset).or_default().push(o);
+    }
+
+    // Per-dataset normalizers.
+    let mut best_quality: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut best_runtime: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut best_memory: BTreeMap<&str, f64> = BTreeMap::new();
+    for (d, obs) in &per_dataset {
+        best_quality.insert(
+            d,
+            obs.iter().map(|o| o.quality).fold(f64::MIN_POSITIVE, f64::max),
+        );
+        best_runtime.insert(
+            d,
+            obs.iter()
+                .map(|o| o.runtime.max(1e-12))
+                .fold(f64::INFINITY, f64::min),
+        );
+        best_memory.insert(
+            d,
+            obs.iter()
+                .map(|o| o.memory.max(1.0))
+                .fold(f64::INFINITY, f64::min),
+        );
+    }
+
+    let mut methods: Vec<&str> = observations.iter().map(|o| o.method.as_str()).collect();
+    methods.sort_unstable();
+    methods.dedup();
+
+    let mut rows = Vec::new();
+    let mut raw_robustness = Vec::new();
+    for m in &methods {
+        let mine: Vec<&Observation> = observations
+            .iter()
+            .filter(|o| o.method.as_str() == *m)
+            .collect();
+        let ratios: Vec<f64> = mine
+            .iter()
+            .map(|o| o.quality / best_quality[o.dataset.as_str()])
+            .collect();
+        let eff: Vec<f64> = mine
+            .iter()
+            .map(|o| best_runtime[o.dataset.as_str()] / o.runtime.max(1e-12))
+            .collect();
+        let mem: Vec<f64> = mine
+            .iter()
+            .map(|o| best_memory[o.dataset.as_str()] / o.memory.max(1.0))
+            .collect();
+        let sd = std_dev(&ratios);
+        raw_robustness.push(1.0 / (sd + 1e-6));
+        rows.push(RatingRow {
+            method: m.to_string(),
+            quality_pct: mean(&ratios) * 100.0,
+            memory_pct: mean(&mem) * 100.0,
+            efficiency_pct: mean(&eff) * 100.0,
+            robustness_pct: 0.0, // filled below
+        });
+    }
+    let max_rob = raw_robustness.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    for (row, raw) in rows.iter_mut().zip(raw_robustness) {
+        row.robustness_pct = raw / max_rob * 100.0;
+    }
+    rows
+}
+
+/// Renders Tab. 7-style rows.
+pub fn format_rating_table(rows: &[RatingRow]) -> String {
+    let mut out = String::from(
+        "Method                  Quality(%)  Memory(%)  Efficiency(%)  Robustness(%)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22}  {:>9.2}  {:>9.2}  {:>12.2}  {:>12.2}\n",
+            r.method, r.quality_pct, r.memory_pct, r.efficiency_pct, r.robustness_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(method: &str, dataset: &str, q: f64, t: f64, m: f64) -> Observation {
+        Observation {
+            method: method.into(),
+            dataset: dataset.into(),
+            quality: q,
+            runtime: t,
+            memory: m,
+        }
+    }
+
+    #[test]
+    fn best_method_scores_100_quality() {
+        let rows = rating_scale(&[
+            obs("A", "d1", 10.0, 1.0, 100.0),
+            obs("B", "d1", 5.0, 2.0, 200.0),
+            obs("A", "d2", 8.0, 1.0, 100.0),
+            obs("B", "d2", 4.0, 2.0, 200.0),
+        ]);
+        let a = rows.iter().find(|r| r.method == "A").unwrap();
+        let b = rows.iter().find(|r| r.method == "B").unwrap();
+        assert!((a.quality_pct - 100.0).abs() < 1e-9);
+        assert!((b.quality_pct - 50.0).abs() < 1e-9);
+        assert!((a.efficiency_pct - 100.0).abs() < 1e-9);
+        assert!((b.efficiency_pct - 50.0).abs() < 1e-9);
+        assert!((a.memory_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_quality_is_most_robust() {
+        let rows = rating_scale(&[
+            obs("stable", "d1", 10.0, 1.0, 1.0),
+            obs("stable", "d2", 10.0, 1.0, 1.0),
+            obs("wild", "d1", 10.0, 1.0, 1.0),
+            obs("wild", "d2", 1.0, 1.0, 1.0),
+        ]);
+        let stable = rows.iter().find(|r| r.method == "stable").unwrap();
+        let wild = rows.iter().find(|r| r.method == "wild").unwrap();
+        assert!((stable.robustness_pct - 100.0).abs() < 1e-9);
+        assert!(wild.robustness_pct < 10.0);
+    }
+
+    #[test]
+    fn missing_datasets_are_skipped() {
+        let rows = rating_scale(&[
+            obs("A", "d1", 10.0, 1.0, 1.0),
+            obs("A", "d2", 10.0, 1.0, 1.0),
+            obs("crashy", "d1", 9.0, 1.0, 1.0),
+        ]);
+        let crashy = rows.iter().find(|r| r.method == "crashy").unwrap();
+        assert!((crashy.quality_pct - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_formats() {
+        let rows = rating_scale(&[obs("A", "d1", 1.0, 1.0, 1.0)]);
+        let s = format_rating_table(&rows);
+        assert!(s.contains("Quality"));
+        assert!(s.contains('A'));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(rating_scale(&[]).is_empty());
+    }
+}

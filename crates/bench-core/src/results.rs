@@ -1,0 +1,133 @@
+//! Result-table plumbing shared by all experiment drivers: a generic table
+//! that prints the same rows the paper reports and serializes to JSON for
+//! EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// A rendered experiment result table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Table {
+    /// Experiment id, e.g. "Table 2" or "Figure 4".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match header arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Fixed-width text rendering.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i] + 2))
+                .collect::<String>()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON rendering for machine consumption.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats seconds.
+pub fn fmt_secs(v: f64) -> String {
+    if v < 1e-3 {
+        format!("{:.1}us", v * 1e6)
+    } else if v < 1.0 {
+        format!("{:.1}ms", v * 1e3)
+    } else {
+        format!("{v:.2}s")
+    }
+}
+
+/// Formats bytes as MiB.
+pub fn fmt_mib(bytes: usize) -> String {
+    format!("{:.2}MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new("Table X", "demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("Table X"));
+        assert!(rendered.contains('1'));
+        let json = t.to_json();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("T", "t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1234.0), "1234");
+        assert_eq!(fmt_f(3.14159), "3.14");
+        assert_eq!(fmt_f(0.1234), "0.1234");
+        assert!(fmt_secs(0.0000005).ends_with("us"));
+        assert!(fmt_secs(0.5).ends_with("ms"));
+        assert!(fmt_secs(2.0).ends_with('s'));
+        assert_eq!(fmt_mib(1024 * 1024), "1.00MiB");
+    }
+}

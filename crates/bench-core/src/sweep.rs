@@ -1,0 +1,179 @@
+//! Shared sweep runner: executes (method x dataset x budget) grids with
+//! uniform scoring and instrumentation. Figures 1/4/5/6, Tables 3/7 and the
+//! appendix curves are all views over these records.
+
+use crate::instrument::{run_measured, Measurement};
+use crate::registry::{
+    prepare_im, prepare_mcp, ImMethodKind, McpMethodKind, PreparedImSolver, PreparedMcpSolver,
+    Scale,
+};
+use crate::scorer::{ImScorer, McpScorer};
+use mcpb_graph::catalog::Dataset;
+use mcpb_graph::weights::{assign_weights, WeightModel};
+use mcpb_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// One sweep cell: a method answering one query on one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Edge-weight model (IM only).
+    pub weight_model: Option<String>,
+    /// Budget `k`.
+    pub budget: usize,
+    /// Normalized objective in `[0, 1]` under the common scorer.
+    pub quality: f64,
+    /// Absolute objective (covered nodes / estimated spread).
+    pub absolute: f64,
+    /// Query wall-clock seconds (inference only, matching the paper's
+    /// deliberately DRL-favourable protocol).
+    pub runtime: f64,
+    /// Peak additional heap bytes during the query.
+    pub peak_bytes: usize,
+}
+
+/// The MCP sweep: trains each Deep-RL method once on `train_graph`
+/// (BrightKite in the paper), then answers every (dataset, budget) query.
+pub fn run_mcp_sweep(
+    methods: &[McpMethodKind],
+    datasets: &[Dataset],
+    budgets: &[usize],
+    train_graph: &Graph,
+    scale: Scale,
+    seed: u64,
+) -> Vec<SweepRecord> {
+    let mut records = Vec::new();
+    let scorer = McpScorer;
+    let mut prepared: Vec<PreparedMcpSolver> = methods
+        .iter()
+        .map(|&m| prepare_mcp(m, train_graph, scale, seed))
+        .collect();
+    for ds in datasets {
+        let graph = ds.load();
+        for &k in budgets {
+            for solver in prepared.iter_mut() {
+                let (sol, m): (_, Measurement) = run_measured(|| solver.solve(&graph, k));
+                records.push(SweepRecord {
+                    method: solver.name().to_string(),
+                    dataset: ds.name.to_string(),
+                    weight_model: None,
+                    budget: k,
+                    quality: scorer.score(&graph, &sol.seeds),
+                    absolute: scorer.score_absolute(&graph, &sol.seeds) as f64,
+                    runtime: m.seconds,
+                    peak_bytes: m.peak_bytes,
+                });
+            }
+        }
+    }
+    records
+}
+
+/// The IM sweep: per weight model, trains Deep-RL methods on the weighted
+/// training graph, scores every solution with a shared [`ImScorer`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_im_sweep(
+    methods: &[ImMethodKind],
+    datasets: &[Dataset],
+    weight_models: &[WeightModel],
+    budgets: &[usize],
+    train_graph: &Graph,
+    scorer_rr_sets: usize,
+    scale: Scale,
+    seed: u64,
+) -> Vec<SweepRecord> {
+    let mut records = Vec::new();
+    for &wm in weight_models {
+        let weighted_train = assign_weights(train_graph, wm, seed);
+        let mut prepared: Vec<PreparedImSolver> = methods
+            .iter()
+            .map(|&m| prepare_im(m, &weighted_train, wm, scale, seed))
+            .collect();
+        for ds in datasets {
+            let graph = assign_weights(&ds.load(), wm, seed ^ ds.seed);
+            let scorer = ImScorer::new(&graph, scorer_rr_sets, seed ^ 0x5c0e);
+            for &k in budgets {
+                for solver in prepared.iter_mut() {
+                    let (sol, m) = run_measured(|| solver.solve(&graph, k));
+                    records.push(SweepRecord {
+                        method: solver.name().to_string(),
+                        dataset: ds.name.to_string(),
+                        weight_model: Some(wm.abbrev().to_string()),
+                        budget: k,
+                        quality: scorer.normalized(&sol.seeds),
+                        absolute: scorer.spread(&sol.seeds),
+                        runtime: m.seconds,
+                        peak_bytes: m.peak_bytes,
+                    });
+                }
+            }
+        }
+    }
+    records
+}
+
+/// Filters records by method.
+pub fn by_method<'a>(records: &'a [SweepRecord], method: &str) -> Vec<&'a SweepRecord> {
+    records.iter().filter(|r| r.method == method).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpb_graph::catalog;
+
+    fn tiny_dataset() -> Dataset {
+        let mut d = catalog::by_name("Damascus").expect("catalog entry");
+        d.nodes = 300;
+        d
+    }
+
+    #[test]
+    fn mcp_sweep_produces_full_grid() {
+        let ds = [tiny_dataset()];
+        let train = mcpb_graph::generators::barabasi_albert(150, 3, 0);
+        let methods = [McpMethodKind::LazyGreedy, McpMethodKind::TopDegree];
+        let records = run_mcp_sweep(&methods, &ds, &[3, 6], &train, Scale::Quick, 1);
+        assert_eq!(records.len(), 4);
+        for r in &records {
+            assert!(r.quality > 0.0 && r.quality <= 1.0);
+            assert!(r.runtime >= 0.0);
+            assert!(r.weight_model.is_none());
+        }
+        // Lazy greedy never loses to top-degree.
+        let lg: f64 = by_method(&records, "LazyGreedy")
+            .iter()
+            .map(|r| r.quality)
+            .sum();
+        let td: f64 = by_method(&records, "TopDegree")
+            .iter()
+            .map(|r| r.quality)
+            .sum();
+        assert!(lg >= td);
+    }
+
+    #[test]
+    fn im_sweep_scores_with_common_estimator() {
+        let ds = [tiny_dataset()];
+        let train = mcpb_graph::generators::barabasi_albert(150, 3, 0);
+        let methods = [ImMethodKind::DDiscount, ImMethodKind::Imm];
+        let records = run_im_sweep(
+            &methods,
+            &ds,
+            &[WeightModel::Constant],
+            &[3],
+            &train,
+            2_000,
+            Scale::Quick,
+            1,
+        );
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(r.weight_model.as_deref(), Some("CONST"));
+            assert!(r.absolute >= 3.0, "spread at least the seed count");
+        }
+    }
+}

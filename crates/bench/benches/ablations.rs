@@ -1,0 +1,19 @@
+//! Design-choice ablations: RL4IM tricks, GCOMB pruning, S2V depth, LeNSE
+//! navigation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{ablations, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let rows = ablations::all_ablations(&cfg);
+    println!("{}", ablations::render(&rows).render());
+
+    c.bench_function("ablations/render", |b| b.iter(|| ablations::render(&rows)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

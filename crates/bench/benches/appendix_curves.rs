@@ -1,0 +1,22 @@
+//! Appendix Figures 10-17: remaining-dataset MCP/IM curves.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{curves, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let (mcp, im) = curves::appendix_curves(&cfg);
+    println!("{}", curves::render_quality("Figures 10-11", "Appendix MCP", &mcp).render());
+    println!("{}", curves::render_quality("Figures 12-17", "Appendix IM", &im).render());
+    println!("{}", curves::render_runtime("Figures 11/13/15/17", "Appendix runtimes", &im).render());
+
+    c.bench_function("appendix/render", |b| {
+        b.iter(|| curves::render_quality("x", "y", &mcp))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

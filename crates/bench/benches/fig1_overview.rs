@@ -1,0 +1,21 @@
+//! Figure 1: normalized coverage vs runtime overview for MCP and IM.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{overview, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let (mcp, im) = overview::fig1_overview(&cfg);
+    println!("{}", overview::render_overview("Figure 1a", "MCP overview", &mcp).render());
+    println!("{}", overview::render_overview("Figure 1b", "IM overview", &im).render());
+
+    c.bench_function("fig1/aggregate_points", |b| {
+        b.iter(|| overview::overview_points(&[]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 5: IM influence curves under CONST/TV/WC.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{curves, ExpConfig};
+use mcpb_graph::WeightModel;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let records = curves::fig56_im_curves(
+        &cfg,
+        &[WeightModel::Constant, WeightModel::WeightedCascade],
+    );
+    println!("{}", curves::render_quality("Figure 5", "IM influence", &records).render());
+
+    c.bench_function("fig5/render", |b| {
+        b.iter(|| curves::render_quality("Figure 5", "IM influence", &records))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

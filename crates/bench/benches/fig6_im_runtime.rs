@@ -1,0 +1,32 @@
+//! Figure 6: IM runtime curves under the weight models.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{curves, ExpConfig};
+use mcpb_graph::weights::{assign_weights, WeightModel};
+use mcpb_graph::catalog;
+use mcpb_im::imm::Imm;
+use mcpb_im::discount::DegreeDiscount;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let records = curves::fig56_im_curves(&cfg, &[WeightModel::TriValency]);
+    println!("{}", curves::render_runtime("Figure 6", "IM runtime", &records).render());
+
+    let g = assign_weights(
+        &catalog::by_name("BrightKite").map(|d| cfg.scaled(d)).unwrap().load(),
+        WeightModel::WeightedCascade,
+        0,
+    );
+    c.bench_function("fig6/imm_query_k10", |b| {
+        b.iter(|| Imm::paper_default(0).run(&g, 10))
+    });
+    c.bench_function("fig6/ddiscount_query_k10", |b| {
+        b.iter(|| DegreeDiscount::run(&g, 10))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 7: RL4IM vs CHANGE vs IMM on synthetic graphs; Geometric-QN vs
+//! IMM on small datasets.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{small_scale, ExpConfig};
+use mcpb_graph::weights::{assign_weights, WeightModel};
+use mcpb_im::change::Change;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let (a, b_points) = small_scale::fig7_small_scale(&cfg);
+    println!("{}", small_scale::render_fig7a(&a).render());
+    println!("{}", small_scale::render_fig7b(&b_points).render());
+
+    let g = assign_weights(
+        &mcpb_graph::generators::barabasi_albert(300, 2, 1),
+        WeightModel::Constant,
+        0,
+    );
+    c.bench_function("fig7/change_query_k5", |b| {
+        b.iter(|| Change::new(1).run(&g, 5))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 8: validation performance vs training duration per method.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{training, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let curves = training::fig8_training_duration(&cfg);
+    println!("{}", training::render_fig8(&curves).render());
+
+    c.bench_function("fig8/render", |b| b.iter(|| training::render_fig8(&curves)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 9: validation performance vs training-set size.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{training, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let points = training::fig9_training_size(&cfg);
+    println!("{}", training::render_fig9(&points).render());
+
+    c.bench_function("fig9/render", |b| b.iter(|| training::render_fig9(&points)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 1: dataset statistics. Prints the table, then measures the
+//! statistics kernel on one catalog graph.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{datasets, ExpConfig};
+use mcpb_graph::{catalog, stats};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let rows = datasets::tab1_datasets(&cfg);
+    println!("{}", datasets::render(&rows).render());
+
+    let g = catalog::by_name("BrightKite").unwrap().load();
+    c.bench_function("tab1/graph_stats_brightkite", |b| {
+        b.iter(|| stats::graph_stats(&g, 8, 0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

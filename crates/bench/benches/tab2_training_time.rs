@@ -1,0 +1,24 @@
+//! Table 2: Deep-RL training time vs #queries traditional solvers answer
+//! in the same window.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{training, ExpConfig};
+use mcpb_graph::catalog;
+use mcpb_mcp::greedy::LazyGreedy;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let rows = training::tab2_training_time(&cfg);
+    println!("{}", training::render_tab2(&rows).render());
+
+    let g = catalog::by_name("Pokec").map(|d| cfg.scaled(d)).unwrap().load();
+    c.bench_function("tab2/lazy_greedy_query_k20", |b| {
+        b.iter(|| LazyGreedy::run(&g, 20))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

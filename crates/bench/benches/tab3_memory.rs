@@ -1,0 +1,25 @@
+//! Table 3: peak memory per solver (tracking allocator installed).
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::alloc::TrackingAllocator;
+use mcpb_bench::experiments::{memory, ExpConfig};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let (mcp, im) = memory::tab3_memory(&cfg);
+    println!("{}", memory::render("Table 3 (MCP)", "peak memory", &mcp).render());
+    println!("{}", memory::render("Table 3 (IM)", "peak memory", &im).render());
+
+    c.bench_function("tab3/measure_peak_overhead", |b| {
+        b.iter(|| mcpb_bench::alloc::measure_peak(|| vec![0u8; 4096].len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 4: Spearman correlation of graph metrics with coverage gap.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{distribution, ExpConfig};
+use mcpb_graph::spearman::spearman;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let cols = distribution::tab4_correlation(&cfg);
+    println!("{}", distribution::render_tab4(&cols).render());
+
+    let xs: Vec<f64> = (0..200).map(|i| (i as f64).sin()).collect();
+    let ys: Vec<f64> = (0..200).map(|i| (i as f64).cos()).collect();
+    c.bench_function("tab4/spearman_200", |b| b.iter(|| spearman(&xs, &ys)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table 5: edge-weight-model transfer (% change CONST-trained vs matched).
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{distribution, ExpConfig};
+use mcpb_graph::weights::{assign_weights, WeightModel};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let cells = distribution::tab5_weight_transfer(&cfg);
+    println!("{}", distribution::render_tab5(&cells).render());
+
+    let g = mcpb_graph::generators::barabasi_albert(500, 3, 0);
+    c.bench_function("tab5/assign_weights_wc", |b| {
+        b.iter(|| assign_weights(&g, WeightModel::WeightedCascade, 0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

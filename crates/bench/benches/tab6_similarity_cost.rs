@@ -1,0 +1,26 @@
+//! Table 6: similarity-metric cost relative to an OPIM query.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{distribution, ExpConfig};
+use mcpb_graph::louvain::louvain;
+use mcpb_graph::pagerank::{pagerank, PageRankOptions};
+use mcpb_graph::wl::wl_features;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let cells = distribution::tab6_similarity_cost(&cfg);
+    println!("{}", distribution::render_tab6(&cells).render());
+
+    let g = mcpb_graph::generators::barabasi_albert(800, 3, 0);
+    c.bench_function("tab6/louvain", |b| b.iter(|| louvain(&g, 3)));
+    c.bench_function("tab6/wl_features", |b| b.iter(|| wl_features(&g, 3)));
+    c.bench_function("tab6/pagerank", |b| {
+        b.iter(|| pagerank(&g, PageRankOptions::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

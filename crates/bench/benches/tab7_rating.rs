@@ -1,0 +1,20 @@
+//! Table 7: the rating scale (quality/memory/efficiency/robustness).
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{overview, ExpConfig};
+use mcpb_bench::rating::format_rating_table;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let (mcp, im) = overview::tab7_rating(&cfg);
+    println!("== Table 7 (MCP) ==\n{}", format_rating_table(&mcp));
+    println!("== Table 7 (IM) ==\n{}", format_rating_table(&im));
+
+    c.bench_function("tab7/format", |b| b.iter(|| format_rating_table(&mcp)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 8: per-budget noise-predictor training cost.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{noise, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let cells = noise::noise_predictor_study(&cfg);
+    println!("{}", noise::render_tab8(&cells).render());
+
+    c.bench_function("tab8/render", |b| b.iter(|| noise::render_tab8(&cells)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 9: proportion of non-noisy nodes per budget.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcpb_bench::experiments::{noise, ExpConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    let cells = noise::noise_predictor_study(&cfg);
+    println!("{}", noise::render_tab9(&cells).render());
+
+    c.bench_function("tab9/render", |b| b.iter(|| noise::render_tab9(&cells)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

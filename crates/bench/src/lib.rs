@@ -1,0 +1,6 @@
+//! # mcpb-criterion
+//!
+//! Criterion bench targets regenerating every table and figure of the
+//! paper (see `benches/`). Each bench prints the experiment's table before
+//! measuring a representative kernel, so `cargo bench` both reproduces the
+//! paper's rows and records timing baselines.

@@ -1,0 +1,336 @@
+//! Shared machinery for the five Deep-RL methods: the task/objective
+//! abstraction (MCP coverage vs IM influence), the reward oracle both RL
+//! environments query, and training reports for the §5.2/§5.3 experiments.
+
+use mcpb_graph::{Graph, NodeId};
+use mcpb_im::rrset::{sample_collection, RrCollection};
+use mcpb_mcp::coverage::CoverageOracle;
+
+/// Which coverage problem a model is being trained/applied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Maximum Coverage Problem: reward = newly covered nodes.
+    Mcp,
+    /// Influence Maximization: reward = marginal RIS spread estimate.
+    Im {
+        /// RR sets backing the reward estimator.
+        rr_sets: usize,
+    },
+}
+
+impl Task {
+    /// IM task with the default reward-estimator resolution.
+    pub fn im_default() -> Task {
+        Task::Im { rr_sets: 2_000 }
+    }
+}
+
+/// Incremental objective oracle: tracks a growing seed set and returns
+/// *normalized* marginal gains in `[0, 1]` (fraction of |V| newly covered /
+/// influenced), the reward signal every method's RL environment uses.
+pub enum RewardOracle<'g> {
+    /// MCP: exact incremental coverage.
+    Coverage(CoverageOracle<'g>),
+    /// IM: RR-set coverage (seeds tracked inside).
+    Influence {
+        /// Shared RR-set collection.
+        rr: RrCollection,
+        /// RR sets already hit by the selected seeds.
+        hit: Vec<bool>,
+        /// Count of hit RR sets.
+        hits: usize,
+        /// Selected seeds.
+        seeds: Vec<NodeId>,
+        /// Node count of the underlying graph.
+        n: usize,
+    },
+}
+
+impl<'g> RewardOracle<'g> {
+    /// Builds the oracle appropriate for `task` on `graph`.
+    pub fn new(graph: &'g Graph, task: Task, seed: u64) -> Self {
+        match task {
+            Task::Mcp => RewardOracle::Coverage(CoverageOracle::new(graph)),
+            Task::Im { rr_sets } => {
+                let rr = sample_collection(graph, rr_sets, seed);
+                let m = rr.len();
+                RewardOracle::Influence {
+                    rr,
+                    hit: vec![false; m],
+                    hits: 0,
+                    seeds: Vec::new(),
+                    n: graph.num_nodes(),
+                }
+            }
+        }
+    }
+
+    /// Normalized marginal gain of adding `v` (no mutation).
+    pub fn marginal_gain(&self, v: NodeId) -> f64 {
+        match self {
+            RewardOracle::Coverage(o) => {
+                let n = o.graph().num_nodes().max(1);
+                o.marginal_gain(v) as f64 / n as f64
+            }
+            RewardOracle::Influence { rr, hit, .. } => {
+                if rr.is_empty() {
+                    return 0.0;
+                }
+                let fresh = rr
+                    .sets_containing(v)
+                    .iter()
+                    .filter(|&&id| !hit[id as usize])
+                    .count();
+                fresh as f64 / rr.len() as f64
+            }
+        }
+    }
+
+    /// Adds `v` as a seed; returns its realized normalized gain.
+    pub fn add_seed(&mut self, v: NodeId) -> f64 {
+        match self {
+            RewardOracle::Coverage(o) => {
+                let n = o.graph().num_nodes().max(1);
+                o.add_seed(v) as f64 / n as f64
+            }
+            RewardOracle::Influence {
+                rr,
+                hit,
+                hits,
+                seeds,
+                ..
+            } => {
+                let mut fresh = 0usize;
+                for &id in rr.sets_containing(v) {
+                    if !hit[id as usize] {
+                        hit[id as usize] = true;
+                        fresh += 1;
+                    }
+                }
+                *hits += fresh;
+                seeds.push(v);
+                if rr.is_empty() {
+                    0.0
+                } else {
+                    fresh as f64 / rr.len() as f64
+                }
+            }
+        }
+    }
+
+    /// Seeds chosen so far.
+    pub fn seeds(&self) -> &[NodeId] {
+        match self {
+            RewardOracle::Coverage(o) => o.seeds(),
+            RewardOracle::Influence { seeds, .. } => seeds,
+        }
+    }
+
+    /// Total normalized objective value of the current seed set.
+    pub fn total(&self) -> f64 {
+        match self {
+            RewardOracle::Coverage(o) => o.coverage(),
+            RewardOracle::Influence { rr, hits, .. } => {
+                if rr.is_empty() {
+                    0.0
+                } else {
+                    *hits as f64 / rr.len() as f64
+                }
+            }
+        }
+    }
+
+    /// Denormalized objective (covered nodes / estimated spread).
+    pub fn total_absolute(&self) -> f64 {
+        match self {
+            RewardOracle::Coverage(o) => o.covered_count() as f64,
+            RewardOracle::Influence { rr, hits, n, .. } => {
+                if rr.is_empty() {
+                    0.0
+                } else {
+                    *n as f64 * *hits as f64 / rr.len() as f64
+                }
+            }
+        }
+    }
+}
+
+/// A validation checkpoint recorded during training (drives Fig. 8/9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// Epoch / episode index.
+    pub epoch: usize,
+    /// Validation objective (normalized) at this point.
+    pub validation_score: f64,
+    /// Mean TD / regression loss over the epoch.
+    pub loss: f64,
+}
+
+/// Training summary returned by every method's `train`.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Checkpoints in epoch order.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Wall-clock seconds spent training.
+    pub train_seconds: f64,
+}
+
+impl TrainReport {
+    /// The best validation score observed.
+    pub fn best_score(&self) -> f64 {
+        self.checkpoints
+            .iter()
+            .map(|c| c.validation_score)
+            .fold(0.0, f64::max)
+    }
+
+    /// Epoch of the best checkpoint (0 when empty).
+    pub fn best_epoch(&self) -> usize {
+        self.checkpoints
+            .iter()
+            .max_by(|a, b| {
+                a.validation_score
+                    .partial_cmp(&b.validation_score)
+                    .expect("scores are finite")
+            })
+            .map_or(0, |c| c.epoch)
+    }
+}
+
+/// Samples a connected-ish training subgraph of about `target_nodes` nodes
+/// by BFS from a random non-isolated start, mirroring how S2V-DQN/GCOMB
+/// subsample training instances.
+pub fn sample_training_subgraph(
+    graph: &Graph,
+    target_nodes: usize,
+    seed: u64,
+) -> (Graph, Vec<NodeId>) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let candidates: Vec<NodeId> = graph
+        .nodes()
+        .filter(|&v| graph.out_degree(v) + graph.in_degree(v) > 0)
+        .collect();
+    if candidates.is_empty() {
+        return graph.induced_subgraph(&[]);
+    }
+    let mut picked: Vec<NodeId> = Vec::with_capacity(target_nodes);
+    let mut seen = vec![false; graph.num_nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    while picked.len() < target_nodes.min(graph.num_nodes()) {
+        if queue.is_empty() {
+            // (Re)start BFS from a fresh random node.
+            let start = *candidates.choose(&mut rng).expect("non-empty candidates");
+            if !seen[start as usize] {
+                seen[start as usize] = true;
+                queue.push_back(start);
+            } else if picked.len() + 1 >= candidates.len() {
+                break;
+            } else {
+                continue;
+            }
+        }
+        let Some(v) = queue.pop_front() else { continue };
+        picked.push(v);
+        let mut nbrs: Vec<NodeId> = graph
+            .out_neighbors(v)
+            .iter()
+            .chain(graph.in_neighbors(v))
+            .copied()
+            .collect();
+        nbrs.shuffle(&mut rng);
+        for u in nbrs {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    graph.induced_subgraph(&picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpb_graph::weights::{assign_weights, WeightModel};
+    use mcpb_graph::{generators, Edge};
+
+    #[test]
+    fn coverage_oracle_gains() {
+        let g = Graph::from_edges(
+            4,
+            &[Edge::unweighted(0, 1), Edge::unweighted(0, 2)],
+        )
+        .unwrap();
+        let mut o = RewardOracle::new(&g, Task::Mcp, 0);
+        assert!((o.marginal_gain(0) - 0.75).abs() < 1e-12);
+        let gain = o.add_seed(0);
+        assert!((gain - 0.75).abs() < 1e-12);
+        assert!((o.total() - 0.75).abs() < 1e-12);
+        assert_eq!(o.total_absolute(), 3.0);
+        assert_eq!(o.seeds(), &[0]);
+    }
+
+    #[test]
+    fn influence_oracle_gains_match_coverage_of_rr() {
+        let g = assign_weights(
+            &generators::barabasi_albert(60, 2, 1),
+            WeightModel::Constant,
+            0,
+        );
+        let mut o = RewardOracle::new(&g, Task::Im { rr_sets: 500 }, 7);
+        let pred = o.marginal_gain(0);
+        let got = o.add_seed(0);
+        assert!((pred - got).abs() < 1e-12);
+        // Second add of the same node gains nothing.
+        assert_eq!(o.add_seed(0), 0.0);
+        assert!(o.total() > 0.0);
+        assert!(o.total_absolute() > 0.0);
+    }
+
+    #[test]
+    fn influence_gains_are_submodular_along_path() {
+        let g = assign_weights(
+            &generators::barabasi_albert(80, 3, 2),
+            WeightModel::Constant,
+            0,
+        );
+        let mut o = RewardOracle::new(&g, Task::Im { rr_sets: 800 }, 3);
+        let before = o.marginal_gain(5);
+        o.add_seed(0);
+        o.add_seed(1);
+        let after = o.marginal_gain(5);
+        assert!(after <= before + 1e-12);
+    }
+
+    #[test]
+    fn train_report_best() {
+        let r = TrainReport {
+            checkpoints: vec![
+                Checkpoint { epoch: 0, validation_score: 0.1, loss: 1.0 },
+                Checkpoint { epoch: 5, validation_score: 0.4, loss: 0.5 },
+                Checkpoint { epoch: 9, validation_score: 0.3, loss: 0.4 },
+            ],
+            train_seconds: 1.0,
+        };
+        assert_eq!(r.best_epoch(), 5);
+        assert!((r.best_score() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subgraph_sampling_respects_size() {
+        let g = generators::barabasi_albert(300, 3, 4);
+        let (sub, order) = sample_training_subgraph(&g, 50, 9);
+        assert_eq!(sub.num_nodes(), 50);
+        assert_eq!(order.len(), 50);
+        assert!(sub.num_edges() > 0, "BFS subgraph should be connected-ish");
+    }
+
+    #[test]
+    fn subgraph_sampling_handles_small_graphs() {
+        let g = generators::erdos_renyi(10, 20, 1);
+        let (sub, _) = sample_training_subgraph(&g, 100, 2);
+        assert!(sub.num_nodes() <= 10);
+    }
+}

@@ -1,0 +1,419 @@
+//! Geometric-QN (Kamarthi et al., AAMAS 2020): influence maximization in
+//! *unknown* networks via learned graph exploration (§3.2).
+//!
+//! The agent starts from a random node, sees only the subgraph discovered
+//! so far, and repeatedly picks a discovered node to random-walk from,
+//! revealing more of the graph. Node features come from DeepWalk on the
+//! *discovered* subgraph, encoded by a GCN; a DQN scores which node to
+//! expand. After the exploration budget, seeds are selected from the
+//! discovered subgraph with a degree-discount heuristic. Exploration
+//! starts randomly, which is exactly why the paper observes high variance
+//! (§4.3 repeats each query 20 times).
+
+use crate::common::{Checkpoint, RewardOracle, Task, TrainReport};
+use mcpb_gnn::adjacency::gcn_normalized;
+use mcpb_gnn::deepwalk::{deepwalk_features, DeepWalkConfig};
+use mcpb_gnn::gcn::GcnEncoder;
+use mcpb_graph::{Graph, NodeId};
+use mcpb_im::discount::DegreeDiscount;
+use mcpb_im::solver::{ImSolution, ImSolver};
+use mcpb_mcp::solver::{McpSolution, McpSolver};
+use mcpb_nn::prelude::*;
+use mcpb_rl::dqn::{DqnAgent, DqnConfig, Transition};
+use mcpb_rl::replay::ReplayBuffer;
+use mcpb_rl::schedule::EpsilonSchedule;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Geometric-QN hyper-parameters, CPU-scaled.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricQnConfig {
+    /// DeepWalk feature dimension on the discovered subgraph.
+    pub feat_dim: usize,
+    /// GCN embedding dimension.
+    pub embed_dim: usize,
+    /// Random-walk length per expansion.
+    pub walk_length: usize,
+    /// Exploration steps (node expansions) per query.
+    pub explore_steps: usize,
+    /// Training episodes.
+    pub episodes: usize,
+    /// Budget used during training episodes.
+    pub train_budget: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Epsilon decay horizon.
+    pub eps_decay_steps: usize,
+    /// Validate every this many episodes.
+    pub validate_every: usize,
+    /// Task.
+    pub task: Task,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeometricQnConfig {
+    fn default() -> Self {
+        Self {
+            feat_dim: 8,
+            embed_dim: 8,
+            walk_length: 8,
+            explore_steps: 10,
+            episodes: 20,
+            train_budget: 3,
+            lr: 3e-3,
+            eps_decay_steps: 80,
+            validate_every: 5,
+            task: Task::Im { rr_sets: 300 },
+            seed: 0,
+        }
+    }
+}
+
+/// The trained Geometric-QN model.
+pub struct GeometricQn {
+    cfg: GeometricQnConfig,
+    store: ParamStore,
+    encoder: GcnEncoder,
+    agent: DqnAgent,
+    rng: ChaCha8Rng,
+}
+
+const STATE_DIM: usize = 3;
+
+impl GeometricQn {
+    /// Creates an untrained model.
+    pub fn new(cfg: GeometricQnConfig) -> Self {
+        let mut store = ParamStore::new(cfg.seed);
+        let encoder = GcnEncoder::new(&mut store, "gqn", &[cfg.feat_dim, cfg.embed_dim]);
+        let agent = DqnAgent::new(DqnConfig {
+            state_dim: STATE_DIM,
+            action_dim: cfg.embed_dim + 2,
+            hidden: 24,
+            gamma: 0.95,
+            lr: cfg.lr,
+            replay_capacity: 2_000,
+            batch_size: 8,
+            target_sync: 40,
+            seed: cfg.seed ^ 0x60e0,
+            double_dqn: false,
+        });
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x06e0),
+            store,
+            encoder,
+            agent,
+            cfg,
+        }
+    }
+
+    /// Config in effect.
+    pub fn config(&self) -> &GeometricQnConfig {
+        &self.cfg
+    }
+
+    /// Encodes the discovered subgraph; returns per-node embeddings.
+    fn encode(&self, sub: &Graph) -> Tensor {
+        let feats = deepwalk_features(
+            sub,
+            &DeepWalkConfig {
+                dim: self.cfg.feat_dim,
+                walks_per_node: 3,
+                walk_length: 10,
+                window: 2,
+                power_iters: 4,
+                seed: self.cfg.seed,
+            },
+        );
+        let adj = Rc::new(gcn_normalized(sub));
+        let mut tape = Tape::new();
+        let x = tape.input(feats);
+        let h = self.encoder.forward(&mut tape, &self.store, adj, x);
+        tape.value(h).clone()
+    }
+
+    /// One exploration rollout on `graph`; returns the discovered node set
+    /// and the per-step (state, action-features, chosen index, candidates)
+    /// trace for training.
+    #[allow(clippy::type_complexity)]
+    fn explore(
+        &mut self,
+        graph: &Graph,
+        epsilon_for_step: impl Fn(usize) -> f64,
+        step_base: usize,
+    ) -> (Vec<NodeId>, Vec<(Vec<f32>, Vec<Vec<f32>>, usize)>) {
+        let n = graph.num_nodes();
+        let candidates: Vec<NodeId> = graph
+            .nodes()
+            .filter(|&v| graph.out_degree(v) + graph.in_degree(v) > 0)
+            .collect();
+        let start = candidates
+            .choose(&mut self.rng)
+            .copied()
+            .unwrap_or(0);
+        let mut discovered: Vec<NodeId> = vec![start];
+        let mut in_set = vec![false; n];
+        in_set[start as usize] = true;
+        let mut trace = Vec::new();
+
+        for step in 0..self.cfg.explore_steps {
+            let (sub, order) = graph.induced_subgraph(&discovered);
+            let emb = self.encode(&sub);
+            let state = vec![
+                discovered.len() as f32 / n.max(1) as f32,
+                sub.num_edges() as f32 / (discovered.len().max(1) * 4) as f32,
+                step as f32 / self.cfg.explore_steps.max(1) as f32,
+            ];
+            // Actions: expand from any discovered node (cap for tractability).
+            let mut expandable: Vec<usize> = (0..order.len()).collect();
+            expandable.sort_by_key(|&li| std::cmp::Reverse(graph.degree(order[li])));
+            expandable.truncate(20);
+            let actions: Vec<Vec<f32>> = expandable
+                .iter()
+                .map(|&li| {
+                    let mut f = emb.row_slice(li).to_vec();
+                    f.push(graph.degree(order[li]) as f32 / n.max(1) as f32);
+                    f.push(sub.degree(li as NodeId) as f32 / discovered.len().max(1) as f32);
+                    f
+                })
+                .collect();
+            let eps = epsilon_for_step(step_base + step);
+            let idx = self.agent.select_action(&state, &actions, eps);
+            trace.push((state, actions.clone(), idx));
+            let from = order[expandable[idx]];
+            // Random walk from the chosen node reveals new territory.
+            let mut cur = from;
+            for _ in 0..self.cfg.walk_length {
+                let outs = graph.out_neighbors(cur);
+                let ins = graph.in_neighbors(cur);
+                let total = outs.len() + ins.len();
+                if total == 0 {
+                    break;
+                }
+                let pick = self.rng.gen_range(0..total);
+                cur = if pick < outs.len() {
+                    outs[pick]
+                } else {
+                    ins[pick - outs.len()]
+                };
+                if !in_set[cur as usize] {
+                    in_set[cur as usize] = true;
+                    discovered.push(cur);
+                }
+            }
+        }
+        (discovered, trace)
+    }
+
+    /// Picks `k` seeds from the discovered subgraph with degree discount.
+    fn select_from_discovered(graph: &Graph, discovered: &[NodeId], k: usize) -> Vec<NodeId> {
+        let (sub, order) = graph.induced_subgraph(discovered);
+        let local = DegreeDiscount::run(&sub, k);
+        local.seeds.iter().map(|&l| order[l as usize]).collect()
+    }
+
+    /// Trains on `graphs` (the small datasets of Fig. 7b), validating on
+    /// the last.
+    pub fn train(&mut self, graphs: &[Graph]) -> TrainReport {
+        let started = Instant::now();
+        let mut report = TrainReport::default();
+        if graphs.is_empty() {
+            return report;
+        }
+        let val_graph = &graphs[graphs.len() - 1];
+        let schedule = EpsilonSchedule::standard(self.cfg.eps_decay_steps);
+        let mut replay: ReplayBuffer<Transition> = ReplayBuffer::new(2_000);
+        let mut step_base = 0usize;
+        let mut epoch_losses = Vec::new();
+
+        for ep in 0..self.cfg.episodes {
+            let g = &graphs[ep % graphs.len()];
+            if g.num_nodes() < 4 {
+                continue;
+            }
+            let (discovered, trace) =
+                self.explore(g, |s| schedule.value(s), step_base);
+            step_base += trace.len();
+            // Terminal reward: normalized objective of the seeds found in
+            // the discovered region (high-variance sparse signal, as in the
+            // original).
+            let seeds =
+                Self::select_from_discovered(g, &discovered, self.cfg.train_budget);
+            let mut oracle =
+                RewardOracle::new(g, self.cfg.task, self.cfg.seed.wrapping_add(ep as u64));
+            for &s in &seeds {
+                oracle.add_seed(s);
+            }
+            let final_reward = oracle.total() as f32;
+            for (i, (state, actions, idx)) in trace.iter().enumerate() {
+                let done = i + 1 == trace.len();
+                let (next_state, next_actions) = if done {
+                    (state.clone(), Vec::new())
+                } else {
+                    (trace[i + 1].0.clone(), trace[i + 1].1.clone())
+                };
+                replay.push(Transition {
+                    state: state.clone(),
+                    action: actions[*idx].clone(),
+                    reward: if done { final_reward } else { 0.0 },
+                    next_state,
+                    next_actions,
+                    done,
+                });
+            }
+            if replay.len() >= 8 {
+                let batch = replay.sample(8, &mut self.rng);
+                epoch_losses.push(self.agent.train_batch(&batch));
+            }
+            if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.episodes {
+                let score = self.evaluate(val_graph, self.cfg.train_budget);
+                let loss = if epoch_losses.is_empty() {
+                    0.0
+                } else {
+                    epoch_losses.iter().sum::<f32>() as f64 / epoch_losses.len() as f64
+                };
+                epoch_losses.clear();
+                report.checkpoints.push(Checkpoint {
+                    epoch: ep + 1,
+                    validation_score: score,
+                    loss,
+                });
+            }
+        }
+        report.train_seconds = started.elapsed().as_secs_f64();
+        report
+    }
+
+    /// Normalized objective of one greedy query on `graph`.
+    pub fn evaluate(&mut self, graph: &Graph, k: usize) -> f64 {
+        let seeds = self.infer(graph, k);
+        let mut oracle = RewardOracle::new(graph, self.cfg.task, self.cfg.seed ^ 0xe7a1);
+        for s in seeds {
+            oracle.add_seed(s);
+        }
+        oracle.total()
+    }
+
+    /// One query: explore greedily (epsilon 0), then select seeds from the
+    /// discovered region. Stochastic across calls (random start node), as
+    /// in the original.
+    pub fn infer(&mut self, graph: &Graph, k: usize) -> Vec<NodeId> {
+        if graph.num_nodes() == 0 || k == 0 {
+            return Vec::new();
+        }
+        let (discovered, _) = self.explore(graph, |_| 0.0, usize::MAX / 2);
+        Self::select_from_discovered(graph, &discovered, k)
+    }
+
+    /// The paper's protocol: average objective over `repeats` queries
+    /// (Geometric-QN's variance demands it; §4.3 uses 20).
+    pub fn infer_repeated(&mut self, graph: &Graph, k: usize, repeats: usize) -> Vec<Vec<NodeId>> {
+        (0..repeats.max(1)).map(|_| self.infer(graph, k)).collect()
+    }
+}
+
+impl ImSolver for GeometricQn {
+    fn name(&self) -> &str {
+        "Geometric-QN"
+    }
+
+    fn solve(&mut self, graph: &Graph, k: usize) -> ImSolution {
+        ImSolution::seeds_only(self.infer(graph, k))
+    }
+}
+
+impl McpSolver for GeometricQn {
+    fn name(&self) -> &str {
+        "Geometric-QN"
+    }
+
+    fn solve(&mut self, graph: &Graph, k: usize) -> McpSolution {
+        let seeds = self.infer(graph, k);
+        McpSolution::evaluate(graph, seeds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpb_graph::weights::assign_weights;
+    use mcpb_graph::generators;
+    use mcpb_graph::WeightModel as WM;
+
+    fn tiny_cfg() -> GeometricQnConfig {
+        GeometricQnConfig {
+            episodes: 10,
+            explore_steps: 6,
+            train_budget: 3,
+            validate_every: 5,
+            seed: 3,
+            task: Task::Im { rr_sets: 200 },
+            ..GeometricQnConfig::default()
+        }
+    }
+
+    fn small_graph(seed: u64) -> Graph {
+        assign_weights(
+            &generators::barabasi_albert(80, 2, seed),
+            WM::WeightedCascade,
+            0,
+        )
+    }
+
+    #[test]
+    fn trains_and_infers() {
+        let graphs: Vec<Graph> = (0..3).map(small_graph).collect();
+        let mut model = GeometricQn::new(tiny_cfg());
+        let report = model.train(&graphs);
+        assert!(!report.checkpoints.is_empty());
+        let seeds = model.infer(&graphs[0], 3);
+        assert!(!seeds.is_empty() && seeds.len() <= 3);
+    }
+
+    #[test]
+    fn discovers_only_real_nodes() {
+        let g = small_graph(9);
+        let mut model = GeometricQn::new(tiny_cfg());
+        let seeds = model.infer(&g, 4);
+        for &s in &seeds {
+            assert!((s as usize) < g.num_nodes());
+        }
+        let mut sorted = seeds.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len());
+    }
+
+    #[test]
+    fn repeated_queries_vary() {
+        // The high-variance behaviour the paper highlights: different
+        // queries explore different regions.
+        let g = small_graph(4);
+        let mut model = GeometricQn::new(tiny_cfg());
+        let runs = model.infer_repeated(&g, 3, 6);
+        assert_eq!(runs.len(), 6);
+        let distinct: std::collections::HashSet<Vec<u32>> = runs.into_iter().collect();
+        assert!(distinct.len() > 1, "exploration should vary across queries");
+    }
+
+    #[test]
+    fn handles_empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let mut model = GeometricQn::new(tiny_cfg());
+        assert!(model.infer(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn works_for_mcp_task_too() {
+        let g = generators::barabasi_albert(60, 2, 6);
+        let mut cfg = tiny_cfg();
+        cfg.task = Task::Mcp;
+        let mut model = GeometricQn::new(cfg);
+        model.train(std::slice::from_ref(&g));
+        let sol = McpSolver::solve(&mut model, &g, 3);
+        assert!(sol.covered > 0);
+    }
+}

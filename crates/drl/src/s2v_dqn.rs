@@ -1,0 +1,536 @@
+//! S2V-DQN (Khalil et al., NeurIPS 2017): structure2vec node embeddings
+//! feeding a Q-network trained with Q-learning to build a seed set node by
+//! node (§3.2).
+//!
+//! `Q(S, v) = theta5^T relu([theta6 * sum_u mu_u , theta7 * mu_v])`, where
+//! the `mu` embeddings are computed with the solution-membership indicator
+//! as the node tag. Training runs episodes on BFS-sampled subgraphs of the
+//! training graph (the paper trains on BrightKite for MCP); inference runs
+//! the greedy policy on the full test graph.
+
+use crate::common::{sample_training_subgraph, Checkpoint, RewardOracle, Task, TrainReport};
+use mcpb_gnn::s2v::{S2v, S2vGraph};
+use mcpb_graph::{Graph, NodeId};
+use mcpb_im::solver::{ImSolution, ImSolver};
+use mcpb_mcp::solver::{McpSolution, McpSolver};
+use mcpb_nn::optim::merge_grads;
+use mcpb_nn::prelude::*;
+use mcpb_rl::replay::ReplayBuffer;
+use mcpb_rl::schedule::EpsilonSchedule;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// The S2V + Q-head network shared by S2V-DQN and RL4IM. Parameter ids are
+/// valid in both the online and target stores (identical registration
+/// order).
+#[derive(Debug, Clone, Copy)]
+pub struct S2vQNet {
+    /// The embedding network.
+    pub s2v: S2v,
+    theta5: ParamId,
+    theta6: ParamId,
+    theta7: ParamId,
+}
+
+impl S2vQNet {
+    /// Registers the network in `store`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, rounds: usize) -> Self {
+        let s2v = S2v::new(store, &format!("{name}.s2v"), dim, rounds);
+        Self {
+            s2v,
+            theta5: store.register_xavier(&format!("{name}.theta5"), 2 * dim, 1),
+            theta6: store.register_xavier(&format!("{name}.theta6"), dim, dim),
+            theta7: store.register_xavier(&format!("{name}.theta7"), dim, dim),
+        }
+    }
+
+    /// Q values for `candidates` given solution tags. Returns the tape (for
+    /// backward) and the `c x 1` Q output variable.
+    pub fn q_values(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        sg: &S2vGraph,
+        tags: &[f32],
+        candidates: &[NodeId],
+    ) -> Var {
+        let x = tape.input(Tensor::column(tags));
+        let mu = self.s2v.embed(tape, store, sg, x);
+        let t5 = tape.param(store, self.theta5);
+        let t6 = tape.param(store, self.theta6);
+        let t7 = tape.param(store, self.theta7);
+        // Mean pooling (sum / n) keeps the state-feature scale comparable
+        // between small training subgraphs and large test graphs; the
+        // original sum pooling is what makes size transfer brittle.
+        let pooled_sum = tape.sum_rows(mu);
+        let pooled = tape.scale(pooled_sum, 1.0 / sg.n.max(1) as f32);
+        let pooled6 = tape.matmul(pooled, t6);
+        let rows: Vec<usize> = candidates.iter().map(|&v| v as usize).collect();
+        let n_cand = rows.len();
+        let cand = tape.gather_rows(mu, rows);
+        let cand7 = tape.matmul(cand, t7);
+        let rep = tape.repeat_row(pooled6, n_cand);
+        let cat = tape.concat_cols(rep, cand7);
+        let act = tape.relu(cat);
+        tape.matmul(act, t5)
+    }
+
+    /// Q values as plain numbers (no gradient kept).
+    pub fn q_numbers(
+        &self,
+        store: &ParamStore,
+        sg: &S2vGraph,
+        tags: &[f32],
+        candidates: &[NodeId],
+    ) -> Vec<f32> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let mut tape = Tape::new();
+        let q = self.q_values(&mut tape, store, sg, tags, candidates);
+        tape.value(q).data.clone()
+    }
+}
+
+/// S2V-DQN hyper-parameters, CPU-scaled from the paper's setup.
+#[derive(Debug, Clone, Copy)]
+pub struct S2vDqnConfig {
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Message-passing rounds.
+    pub rounds: usize,
+    /// Nodes per BFS-sampled training subgraph.
+    pub train_subgraph_nodes: usize,
+    /// Training episodes.
+    pub episodes: usize,
+    /// Seeds selected per training episode.
+    pub train_budget: usize,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Replay minibatch size (each sample costs one full forward/backward).
+    pub batch_size: usize,
+    /// Gradient steps between target syncs.
+    pub target_sync: usize,
+    /// Replay capacity.
+    pub replay_capacity: usize,
+    /// Epsilon decay horizon in environment steps.
+    pub eps_decay_steps: usize,
+    /// n-step returns (the original uses n-step Q-learning; 1 = plain TD).
+    pub n_step: usize,
+    /// Validate (and checkpoint) every this many episodes.
+    pub validate_every: usize,
+    /// Task (MCP or IM).
+    pub task: Task,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for S2vDqnConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 16,
+            rounds: 2,
+            train_subgraph_nodes: 40,
+            episodes: 40,
+            train_budget: 5,
+            gamma: 0.99,
+            lr: 5e-3,
+            batch_size: 4,
+            target_sync: 40,
+            replay_capacity: 2_000,
+            eps_decay_steps: 120,
+            n_step: 2,
+            validate_every: 10,
+            task: Task::Mcp,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct EpisodeGraph {
+    graph: Graph,
+    sg: S2vGraph,
+}
+
+#[derive(Clone)]
+struct S2vTransition {
+    graph_idx: usize,
+    tags: Vec<f32>,
+    action: NodeId,
+    reward: f32,
+    next_tags: Vec<f32>,
+    done: bool,
+}
+
+/// The trained S2V-DQN model.
+pub struct S2vDqn {
+    cfg: S2vDqnConfig,
+    online: ParamStore,
+    target: ParamStore,
+    net: S2vQNet,
+    optimizer: Adam,
+    rng: ChaCha8Rng,
+}
+
+impl S2vDqn {
+    /// Creates an untrained model.
+    pub fn new(cfg: S2vDqnConfig) -> Self {
+        let mut online = ParamStore::new(cfg.seed);
+        let net = S2vQNet::new(&mut online, "s2vdqn", cfg.embed_dim, cfg.rounds);
+        let mut target = ParamStore::new(cfg.seed ^ 0xbeef);
+        let _ = S2vQNet::new(&mut target, "s2vdqn", cfg.embed_dim, cfg.rounds);
+        target.copy_values_from(&online);
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x51f7),
+            optimizer: Adam::new(cfg.lr),
+            online,
+            target,
+            net,
+            cfg,
+        }
+    }
+
+    /// Config in effect.
+    pub fn config(&self) -> &S2vDqnConfig {
+        &self.cfg
+    }
+
+    /// Trains on subgraphs of `train_graph`, validating on a held-out
+    /// subgraph. Keeps the best-validation checkpoint (the paper's
+    /// protocol, §4.1).
+    pub fn train(&mut self, train_graph: &Graph) -> TrainReport {
+        let started = Instant::now();
+        let mut report = TrainReport::default();
+        let (val_graph, _) = sample_training_subgraph(
+            train_graph,
+            self.cfg.train_subgraph_nodes * 2,
+            self.cfg.seed ^ 0x7a11,
+        );
+        let mut replay: ReplayBuffer<S2vTransition> =
+            ReplayBuffer::new(self.cfg.replay_capacity);
+        let schedule = EpsilonSchedule::standard(self.cfg.eps_decay_steps);
+        let mut graphs: Vec<EpisodeGraph> = Vec::new();
+        let mut best_snapshot = self.online.snapshot();
+        let mut best_score = f64::NEG_INFINITY;
+        let mut global_step = 0usize;
+        let mut epoch_losses: Vec<f32> = Vec::new();
+
+        for ep in 0..self.cfg.episodes {
+            // Fresh training subgraph per episode (recycled into the pool).
+            let (g, _) = sample_training_subgraph(
+                train_graph,
+                self.cfg.train_subgraph_nodes,
+                self.cfg.seed.wrapping_add(ep as u64 * 131),
+            );
+            if g.num_nodes() < 2 {
+                continue;
+            }
+            let sg = S2vGraph::new(&g);
+            graphs.push(EpisodeGraph { graph: g, sg });
+            let gi = graphs.len() - 1;
+
+            let n = graphs[gi].graph.num_nodes();
+            let mut oracle = RewardOracle::new(
+                &graphs[gi].graph,
+                self.cfg.task,
+                self.cfg.seed.wrapping_add(ep as u64),
+            );
+            let mut tags = vec![0f32; n];
+            let budget = self.cfg.train_budget.min(n);
+            // Episode trace for n-step return construction.
+            let mut trace: Vec<(Vec<f32>, NodeId, f32)> = Vec::with_capacity(budget);
+
+            for step in 0..budget {
+                let candidates: Vec<NodeId> = (0..n as NodeId)
+                    .filter(|&v| tags[v as usize] == 0.0)
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let eps = schedule.value(global_step);
+                let action = if self.rng.gen::<f64>() < eps {
+                    *candidates.choose(&mut self.rng).expect("non-empty")
+                } else {
+                    let q =
+                        self.net
+                            .q_numbers(&self.online, &graphs[gi].sg, &tags, &candidates);
+                    candidates[mcpb_rl::dqn::argmax(&q)]
+                };
+                let reward = oracle.add_seed(action) as f32;
+                trace.push((tags.clone(), action, reward));
+                let mut next_tags = tags.clone();
+                next_tags[action as usize] = 1.0;
+                tags = next_tags;
+                global_step += 1;
+                let _ = step;
+            }
+
+            // Build n-step transitions: R = sum_{j<h} gamma^j r_{i+j}, with
+            // the bootstrap state h steps ahead (the original's n-step
+            // Q-learning; n_step = 1 recovers plain TD).
+            let nstep = self.cfg.n_step.max(1);
+            let len = trace.len();
+            for i in 0..len {
+                let horizon = (i + nstep).min(len);
+                let mut ret = 0f32;
+                for (j, item) in trace[i..horizon].iter().enumerate() {
+                    ret += self.cfg.gamma.powi(j as i32) * item.2;
+                }
+                // Tags after `horizon` actions: start state i plus the
+                // actions taken in between.
+                let mut boot_tags = trace[i].0.clone();
+                for item in trace[i..horizon].iter() {
+                    boot_tags[item.1 as usize] = 1.0;
+                }
+                replay.push(S2vTransition {
+                    graph_idx: gi,
+                    tags: trace[i].0.clone(),
+                    action: trace[i].1,
+                    reward: ret,
+                    next_tags: boot_tags,
+                    done: horizon == len,
+                });
+                if replay.len() >= self.cfg.batch_size {
+                    let loss = self.update(&replay, &graphs);
+                    epoch_losses.push(loss);
+                }
+            }
+
+            if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.episodes {
+                let score = self.evaluate(&val_graph, self.cfg.train_budget);
+                let loss = if epoch_losses.is_empty() {
+                    0.0
+                } else {
+                    epoch_losses.iter().sum::<f32>() as f64 / epoch_losses.len() as f64
+                };
+                epoch_losses.clear();
+                report.checkpoints.push(Checkpoint {
+                    epoch: ep + 1,
+                    validation_score: score,
+                    loss,
+                });
+                if score > best_score {
+                    best_score = score;
+                    best_snapshot = self.online.snapshot();
+                }
+            }
+        }
+        self.online.load_snapshot(&best_snapshot);
+        self.target.copy_values_from(&self.online);
+        report.train_seconds = started.elapsed().as_secs_f64();
+        report
+    }
+
+    fn update(&mut self, replay: &ReplayBuffer<S2vTransition>, graphs: &[EpisodeGraph]) -> f32 {
+        let batch = replay.sample(self.cfg.batch_size, &mut self.rng);
+        let mut all_grads = Vec::new();
+        let mut total_loss = 0.0f32;
+        for t in &batch {
+            let eg = &graphs[t.graph_idx];
+            // Target: r + gamma * max_a' Q_target(s', a').
+            // Bootstrap discounted by gamma^n (the transition's reward is
+            // already the n-step return).
+            let boot_gamma = self.cfg.gamma.powi(self.cfg.n_step.max(1) as i32);
+            let target_val = if t.done {
+                t.reward
+            } else {
+                let candidates: Vec<NodeId> = (0..eg.graph.num_nodes() as NodeId)
+                    .filter(|&v| t.next_tags[v as usize] == 0.0)
+                    .collect();
+                if candidates.is_empty() {
+                    t.reward
+                } else {
+                    let q = self
+                        .net
+                        .q_numbers(&self.target, &eg.sg, &t.next_tags, &candidates);
+                    t.reward
+                        + boot_gamma * q.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+                }
+            };
+            let mut tape = Tape::new();
+            let q = self
+                .net
+                .q_values(&mut tape, &self.online, &eg.sg, &t.tags, &[t.action]);
+            let loss = tape.huber_loss(q, Tensor::scalar(target_val), 1.0);
+            tape.backward(loss);
+            total_loss += tape.value(loss).item();
+            all_grads.extend(tape.param_grads());
+        }
+        let merged = merge_grads(all_grads);
+        self.optimizer.step(&mut self.online, &merged);
+        if self.optimizer.t % self.cfg.target_sync as u64 == 0 {
+            self.target.copy_values_from(&self.online);
+        }
+        total_loss / batch.len().max(1) as f32
+    }
+
+    /// Greedy rollout value on `graph` with budget `k` (normalized
+    /// objective).
+    pub fn evaluate(&self, graph: &Graph, k: usize) -> f64 {
+        let seeds = self.infer(graph, k);
+        let mut oracle = RewardOracle::new(graph, self.cfg.task, self.cfg.seed ^ 0xe7a1);
+        for s in seeds {
+            oracle.add_seed(s);
+        }
+        oracle.total()
+    }
+
+    /// Greedy policy rollout: k sequential argmax-Q selections.
+    pub fn infer(&self, graph: &Graph, k: usize) -> Vec<NodeId> {
+        let n = graph.num_nodes();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let sg = S2vGraph::new(graph);
+        let mut tags = vec![0f32; n];
+        let mut seeds = Vec::with_capacity(k.min(n));
+        for _ in 0..k.min(n) {
+            let candidates: Vec<NodeId> = (0..n as NodeId)
+                .filter(|&v| tags[v as usize] == 0.0)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let q = self.net.q_numbers(&self.online, &sg, &tags, &candidates);
+            let pick = candidates[mcpb_rl::dqn::argmax(&q)];
+            tags[pick as usize] = 1.0;
+            seeds.push(pick);
+        }
+        seeds
+    }
+}
+
+impl McpSolver for S2vDqn {
+    fn name(&self) -> &str {
+        "S2V-DQN"
+    }
+
+    fn solve(&mut self, graph: &Graph, k: usize) -> McpSolution {
+        McpSolution::evaluate(graph, self.infer(graph, k))
+    }
+}
+
+impl ImSolver for S2vDqn {
+    fn name(&self) -> &str {
+        "S2V-DQN"
+    }
+
+    fn solve(&mut self, graph: &Graph, k: usize) -> ImSolution {
+        ImSolution::seeds_only(self.infer(graph, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcpb_graph::generators;
+    use mcpb_mcp::greedy::LazyGreedy;
+
+    fn tiny_cfg() -> S2vDqnConfig {
+        S2vDqnConfig {
+            embed_dim: 8,
+            rounds: 2,
+            train_subgraph_nodes: 40,
+            episodes: 30,
+            train_budget: 4,
+            validate_every: 10,
+            eps_decay_steps: 60,
+            seed: 7,
+            ..S2vDqnConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_and_infers_on_mcp() {
+        let g = generators::barabasi_albert(200, 3, 1);
+        let mut model = S2vDqn::new(tiny_cfg());
+        let report = model.train(&g);
+        assert!(!report.checkpoints.is_empty());
+        assert!(report.train_seconds > 0.0);
+        let seeds = model.infer(&g, 5);
+        assert_eq!(seeds.len(), 5);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "seeds must be distinct");
+    }
+
+    #[test]
+    fn trained_model_beats_random_on_coverage() {
+        let g = generators::barabasi_albert(300, 3, 2);
+        let mut model = S2vDqn::new(tiny_cfg());
+        model.train(&g);
+        let sol = McpSolver::solve(&mut model, &g, 8);
+        let mut rnd_total = 0.0;
+        for s in 0..5u64 {
+            rnd_total += mcpb_mcp::baselines::RandomSeeds::run(&g, 8, s).coverage;
+        }
+        let rnd = rnd_total / 5.0;
+        assert!(
+            sol.coverage > rnd,
+            "s2v-dqn {} vs random {rnd}",
+            sol.coverage
+        );
+    }
+
+    #[test]
+    fn lazy_greedy_dominates_s2v_dqn() {
+        // The paper's headline MCP finding.
+        let g = generators::barabasi_albert(300, 3, 3);
+        let mut model = S2vDqn::new(tiny_cfg());
+        model.train(&g);
+        let drl = McpSolver::solve(&mut model, &g, 10);
+        let greedy = LazyGreedy::run(&g, 10);
+        assert!(
+            greedy.covered >= drl.covered,
+            "greedy {} < s2v-dqn {}",
+            greedy.covered,
+            drl.covered
+        );
+    }
+
+    #[test]
+    fn im_task_variant_runs() {
+        use mcpb_graph::weights::{assign_weights, WeightModel};
+        let g = assign_weights(
+            &generators::barabasi_albert(120, 2, 4),
+            WeightModel::Constant,
+            0,
+        );
+        let mut cfg = tiny_cfg();
+        cfg.task = Task::Im { rr_sets: 300 };
+        cfg.episodes = 6;
+        let mut model = S2vDqn::new(cfg);
+        let report = model.train(&g);
+        assert!(report.best_score() >= 0.0);
+        let sol = ImSolver::solve(&mut model, &g, 4);
+        assert_eq!(sol.seeds.len(), 4);
+    }
+
+    #[test]
+    fn n_step_variants_all_train() {
+        let g = generators::barabasi_albert(150, 3, 9);
+        for n_step in [1usize, 3] {
+            let mut cfg = tiny_cfg();
+            cfg.n_step = n_step;
+            cfg.episodes = 10;
+            let mut model = S2vDqn::new(cfg);
+            let report = model.train(&g);
+            assert!(!report.checkpoints.is_empty(), "n_step={n_step}");
+            assert_eq!(model.infer(&g, 3).len(), 3);
+        }
+    }
+
+    #[test]
+    fn zero_budget_inference() {
+        let g = generators::barabasi_albert(30, 2, 5);
+        let model = S2vDqn::new(tiny_cfg());
+        assert!(model.infer(&g, 0).is_empty());
+    }
+}

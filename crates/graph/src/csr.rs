@@ -1,0 +1,525 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! All solvers in the workspace operate on [`Graph`], a directed weighted
+//! graph stored in CSR form with both forward (out-edge) and reverse
+//! (in-edge) adjacency built at construction. Node identifiers are dense
+//! `u32` indices in `0..n`.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense node identifier. Graphs are limited to `u32::MAX` nodes, which is
+/// ample for the benchmark catalog and keeps adjacency arrays compact.
+pub type NodeId = u32;
+
+/// A directed edge with an influence probability / weight attached.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Edge weight; for IM this is the influence probability in `[0, 1]`.
+    pub weight: f32,
+}
+
+impl Edge {
+    /// Creates an edge with the given endpoints and weight.
+    pub fn new(src: NodeId, dst: NodeId, weight: f32) -> Self {
+        Self { src, dst, weight }
+    }
+
+    /// Creates an unweighted edge (weight `1.0`).
+    pub fn unweighted(src: NodeId, dst: NodeId) -> Self {
+        Self::new(src, dst, 1.0)
+    }
+}
+
+/// Immutable directed graph in CSR form.
+///
+/// Both out- and in-adjacency are materialized: the forward direction drives
+/// coverage and cascade simulation, while the reverse direction drives
+/// reverse-reachable (RR) set sampling and the Weighted Cascade edge-weight
+/// model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<f32>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+    in_weights: Vec<f32>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge list. Edges referencing
+    /// nodes `>= n` are rejected.
+    ///
+    /// Duplicate edges are kept as parallel edges; callers that need simple
+    /// graphs should deduplicate via [`GraphBuilder`].
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Result<Self, GraphError> {
+        for e in edges {
+            if (e.src as usize) >= n || (e.dst as usize) >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: e.src.max(e.dst),
+                    n,
+                });
+            }
+            if !e.weight.is_finite() {
+                return Err(GraphError::NonFiniteWeight {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+        }
+
+        let mut out_degree = vec![0usize; n];
+        let mut in_degree = vec![0usize; n];
+        for e in edges {
+            out_degree[e.src as usize] += 1;
+            in_degree[e.dst as usize] += 1;
+        }
+
+        let out_offsets = prefix_sum(&out_degree);
+        let in_offsets = prefix_sum(&in_degree);
+        let m = edges.len();
+
+        let mut out_targets = vec![0 as NodeId; m];
+        let mut out_weights = vec![0f32; m];
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut in_weights = vec![0f32; m];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+
+        for e in edges {
+            let oc = &mut out_cursor[e.src as usize];
+            out_targets[*oc] = e.dst;
+            out_weights[*oc] = e.weight;
+            *oc += 1;
+            let ic = &mut in_cursor[e.dst as usize];
+            in_sources[*ic] = e.src;
+            in_weights[*ic] = e.weight;
+            *ic += 1;
+        }
+
+        Ok(Self {
+            n,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges (arcs).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Total degree (in + out) of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Out-neighbors of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Weights aligned with [`Self::out_neighbors`].
+    #[inline]
+    pub fn out_weights(&self, v: NodeId) -> &[f32] {
+        let v = v as usize;
+        &self.out_weights[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// In-neighbors of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Weights aligned with [`Self::in_neighbors`] (the weight of edge
+    /// `(u, v)` for each in-neighbor `u`).
+    #[inline]
+    pub fn in_weights(&self, v: NodeId) -> &[f32] {
+        let v = v as usize;
+        &self.in_weights[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n as NodeId).into_iter()
+    }
+
+    /// Iterator over all edges in source order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.n).flat_map(move |u| {
+            let s = self.out_offsets[u];
+            let e = self.out_offsets[u + 1];
+            (s..e).map(move |i| Edge {
+                src: u as NodeId,
+                dst: self.out_targets[i],
+                weight: self.out_weights[i],
+            })
+        })
+    }
+
+    /// Returns a new graph with every edge weight replaced by the output of
+    /// `f(src, dst, old_weight)`. Topology is shared semantics-wise but the
+    /// CSR arrays are copied.
+    pub fn reweighted(&self, mut f: impl FnMut(NodeId, NodeId, f32) -> f32) -> Graph {
+        let mut g = self.clone();
+        for u in 0..g.n {
+            let (s, e) = (g.out_offsets[u], g.out_offsets[u + 1]);
+            for i in s..e {
+                g.out_weights[i] = f(u as NodeId, g.out_targets[i], g.out_weights[i]);
+            }
+        }
+        // Rebuild in-weights to stay consistent with out-weights.
+        let mut in_cursor = g.in_offsets.clone();
+        for u in 0..g.n {
+            let (s, e) = (g.out_offsets[u], g.out_offsets[u + 1]);
+            for i in s..e {
+                let v = g.out_targets[i] as usize;
+                let ic = &mut in_cursor[v];
+                debug_assert!(*ic < g.in_offsets[v + 1]);
+                g.in_sources[*ic] = u as NodeId;
+                g.in_weights[*ic] = g.out_weights[i];
+                *ic += 1;
+            }
+        }
+        g
+    }
+
+    /// Extracts the subgraph induced by `nodes`. Returns the subgraph and
+    /// the mapping `local id -> original id`.
+    ///
+    /// Nodes may be listed in any order; duplicates are ignored.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut local = vec![u32::MAX; self.n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        for &v in nodes {
+            if local[v as usize] == u32::MAX {
+                local[v as usize] = order.len() as u32;
+                order.push(v);
+            }
+        }
+        let mut edges = Vec::new();
+        for (li, &v) in order.iter().enumerate() {
+            let nbrs = self.out_neighbors(v);
+            let ws = self.out_weights(v);
+            for (&t, &w) in nbrs.iter().zip(ws) {
+                let lt = local[t as usize];
+                if lt != u32::MAX {
+                    edges.push(Edge::new(li as NodeId, lt, w));
+                }
+            }
+        }
+        let g = Graph::from_edges(order.len(), &edges)
+            .expect("induced subgraph edges are in range by construction");
+        (g, order)
+    }
+
+    /// Returns the transpose (all arcs reversed). In/out adjacency swap.
+    pub fn transpose(&self) -> Graph {
+        Graph {
+            n: self.n,
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            out_weights: self.in_weights.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+            in_weights: self.out_weights.clone(),
+        }
+    }
+
+    /// Approximate heap footprint of the CSR arrays in bytes. Used by the
+    /// benchmark harness for memory reporting.
+    pub fn memory_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.in_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_targets.len() * std::mem::size_of::<NodeId>()
+            + self.in_sources.len() * std::mem::size_of::<NodeId>()
+            + self.out_weights.len() * std::mem::size_of::<f32>()
+            + self.in_weights.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Errors raised while constructing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node id `>= n`.
+    NodeOutOfRange {
+        /// Offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// An edge weight was NaN or infinite.
+    NonFiniteWeight {
+        /// Edge source.
+        src: NodeId,
+        /// Edge destination.
+        dst: NodeId,
+    },
+    /// A text edge list could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge references node {node} but graph has {n} nodes")
+            }
+            GraphError::NonFiniteWeight { src, dst } => {
+                write!(f, "edge ({src}, {dst}) has a non-finite weight")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental builder that deduplicates edges and supports undirected
+/// insertion (adding both arcs).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+            dedup: true,
+        }
+    }
+
+    /// Disables deduplication, keeping parallel edges.
+    pub fn allow_parallel_edges(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Number of nodes the builder was created with.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of arcs currently buffered (before deduplication).
+    pub fn num_buffered_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed arc.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: f32) -> &mut Self {
+        self.edges.push(Edge::new(src, dst, weight));
+        self
+    }
+
+    /// Adds both arcs of an undirected edge.
+    pub fn add_undirected(&mut self, a: NodeId, b: NodeId, weight: f32) -> &mut Self {
+        self.edges.push(Edge::new(a, b, weight));
+        self.edges.push(Edge::new(b, a, weight));
+        self
+    }
+
+    /// Finalizes the builder into a [`Graph`]. With deduplication enabled
+    /// (the default), for duplicate `(src, dst)` pairs the *last* inserted
+    /// weight wins and self-loops are dropped.
+    pub fn build(mut self) -> Result<Graph, GraphError> {
+        if self.dedup {
+            self.edges.retain(|e| e.src != e.dst);
+            // Stable sort so the last-inserted duplicate wins after dedup.
+            self.edges
+                .sort_by_key(|e| (e.src, e.dst));
+            // Dedup keeps the first of each run; reverse the runs by doing a
+            // manual pass that overwrites earlier weights.
+            let mut out: Vec<Edge> = Vec::with_capacity(self.edges.len());
+            for e in self.edges.drain(..) {
+                match out.last_mut() {
+                    Some(last) if last.src == e.src && last.dst == e.dst => {
+                        last.weight = e.weight;
+                    }
+                    _ => out.push(e),
+                }
+            }
+            self.edges = out;
+        }
+        Graph::from_edges(self.n, &self.edges)
+    }
+}
+
+fn prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        // 0 -> 1 -> 2 -> 0
+        Graph::from_edges(
+            3,
+            &[
+                Edge::new(0, 1, 0.5),
+                Edge::new(1, 2, 0.25),
+                Edge::new(2, 0, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_basics() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.in_neighbors(0), &[2]);
+        assert_eq!(g.out_weights(1), &[0.25]);
+        assert_eq!(g.in_weights(2), &[0.25]);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Graph::from_edges(2, &[Edge::unweighted(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, n: 2 }));
+    }
+
+    #[test]
+    fn rejects_nan_weight() {
+        let err = Graph::from_edges(2, &[Edge::new(0, 1, f32::NAN)]).unwrap_err();
+        assert!(matches!(err, GraphError::NonFiniteWeight { src: 0, dst: 1 }));
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = triangle();
+        let edges: Vec<Edge> = g.edges().collect();
+        let g2 = Graph::from_edges(3, &edges).unwrap();
+        assert_eq!(g2.out_neighbors(2), g.out_neighbors(2));
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn transpose_swaps_directions() {
+        let g = triangle();
+        let t = g.transpose();
+        assert_eq!(t.out_neighbors(1), g.in_neighbors(1));
+        assert_eq!(t.in_neighbors(1), g.out_neighbors(1));
+        assert_eq!(t.out_weights(2), g.in_weights(2));
+    }
+
+    #[test]
+    fn builder_dedups_and_drops_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.1)
+            .add_edge(0, 1, 0.9) // duplicate: last weight wins
+            .add_edge(1, 1, 0.5) // self loop: dropped
+            .add_edge(1, 2, 0.3);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_weights(0), &[0.9]);
+    }
+
+    #[test]
+    fn builder_undirected_adds_both_arcs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected(0, 1, 0.7);
+        let g = b.build().unwrap();
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn reweighted_updates_both_directions() {
+        let g = triangle().reweighted(|_, _, w| w * 2.0);
+        assert_eq!(g.out_weights(0), &[1.0]);
+        assert_eq!(g.in_weights(1), &[1.0]);
+        assert_eq!(g.in_weights(0), &[2.0]);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let g = triangle();
+        let (sub, order) = g.induced_subgraph(&[2, 0]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(order, vec![2, 0]);
+        // Only edge among {2, 0} is 2 -> 0, i.e. local 0 -> 1.
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(sub.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_adjacency() {
+        let g = Graph::from_edges(4, &[Edge::unweighted(0, 1)]).unwrap();
+        assert!(g.out_neighbors(2).is_empty());
+        assert!(g.in_neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn memory_bytes_positive() {
+        assert!(triangle().memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Random graph generators used to synthesize the training corpora and the
+//! dataset catalog.
+//!
+//! The paper trains RL4IM on power-law synthetic graphs (Onnela et al.'s
+//! mobile-network model, approximated here by preferential attachment) and
+//! evaluates on 20 real networks; our catalog stand-ins are produced from the
+//! generators in this module (see [`crate::catalog`]).
+
+use crate::csr::{Graph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic RNG used by every generator, seeded per call.
+pub type GenRng = ChaCha8Rng;
+
+/// Creates the generator RNG for a seed.
+pub fn rng(seed: u64) -> GenRng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct undirected edges chosen
+/// uniformly at random (both arcs inserted).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = rng(seed);
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut builder = GraphBuilder::new(n);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut added = 0usize;
+    while added < m {
+        let a = rng.gen_range(0..n) as NodeId;
+        let b = rng.gen_range(0..n) as NodeId;
+        if a == b {
+            continue;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if seen.insert(key) {
+            builder.add_undirected(a, b, 1.0);
+            added += 1;
+        }
+    }
+    builder.build().expect("generated ids are in range")
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m_attach` nodes, then each new node attaches to `m_attach` existing
+/// nodes chosen proportionally to degree. Produces the heavy-tailed degree
+/// distributions ("power-law model") the paper's synthetic experiments use.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "attachment count must be >= 1");
+    let m0 = (m_attach + 1).min(n.max(1));
+    let mut rng = rng(seed);
+    let mut builder = GraphBuilder::new(n);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);
+
+    for a in 0..m0 {
+        for b in (a + 1)..m0 {
+            builder.add_undirected(a as NodeId, b as NodeId, 1.0);
+            endpoints.push(a as NodeId);
+            endpoints.push(b as NodeId);
+        }
+    }
+
+    for v in m0..n {
+        // Vec + linear membership check keeps insertion order deterministic
+        // (m_attach is small, so the scan is cheap).
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m_attach);
+        let mut guard = 0;
+        while targets.len() < m_attach.min(v) && guard < 50 * m_attach {
+            guard += 1;
+            let t = if endpoints.is_empty() {
+                rng.gen_range(0..v) as NodeId
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if (t as usize) < v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            builder.add_undirected(v as NodeId, t, 1.0);
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+    }
+    builder.build().expect("generated ids are in range")
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side, each edge rewired with probability `beta`. High clustering, short
+/// diameters — the regime of the collaboration networks in the catalog.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 1 && n > 2 * k, "need n > 2k for a ring lattice");
+    let mut rng = rng(seed);
+    let mut builder = GraphBuilder::new(n);
+    for v in 0..n {
+        for j in 1..=k {
+            let mut t = (v + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire to a uniform non-self target.
+                let mut guard = 0;
+                loop {
+                    let cand = rng.gen_range(0..n);
+                    guard += 1;
+                    if cand != v || guard > 20 {
+                        t = cand;
+                        break;
+                    }
+                }
+                if t == v {
+                    t = (v + j) % n;
+                }
+            }
+            builder.add_undirected(v as NodeId, t as NodeId, 1.0);
+        }
+    }
+    builder.build().expect("generated ids are in range")
+}
+
+/// Stochastic block model with `blocks` equally sized communities;
+/// within-community edges appear with probability `p_in`, cross-community
+/// with `p_out`. Used to synthesize graphs with pronounced community
+/// structure (the statistic Tab. 4 found most predictive).
+pub fn stochastic_block_model(
+    n: usize,
+    blocks: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Graph {
+    assert!(blocks >= 1);
+    let mut rng = rng(seed);
+    let mut builder = GraphBuilder::new(n);
+    let block_of = |v: usize| v * blocks / n.max(1);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = if block_of(a) == block_of(b) { p_in } else { p_out };
+            if rng.gen_bool(p) {
+                builder.add_undirected(a as NodeId, b as NodeId, 1.0);
+            }
+        }
+    }
+    builder.build().expect("generated ids are in range")
+}
+
+/// A directed scale-free graph: preferential attachment backbone plus a
+/// fraction `isolated_frac` of trailing isolated nodes, matching the large
+/// isolated-node fractions of several catalog datasets (e.g. Wiki-Talk at
+/// 93.8%).
+pub fn scale_free_with_isolated(
+    n: usize,
+    m_attach: usize,
+    isolated_frac: f64,
+    seed: u64,
+) -> Graph {
+    assert!((0.0..1.0).contains(&isolated_frac));
+    let active = ((n as f64) * (1.0 - isolated_frac)).round().max(2.0) as usize;
+    let core = barabasi_albert(active.min(n), m_attach, seed);
+    let mut builder = GraphBuilder::new(n);
+    for e in core.edges() {
+        builder.add_edge(e.src, e.dst, e.weight);
+    }
+    builder.build().expect("generated ids are in range")
+}
+
+/// A "hub and spokes" star-heavy graph: `hubs` nodes each connected to a
+/// random share of the rest. Produces extreme vertex-centralization (VCI),
+/// the regime where discount heuristics shine.
+pub fn hub_graph(n: usize, hubs: usize, spoke_prob: f64, seed: u64) -> Graph {
+    assert!(hubs >= 1 && hubs < n);
+    let mut rng = rng(seed);
+    let mut builder = GraphBuilder::new(n);
+    for h in 0..hubs {
+        for v in hubs..n {
+            if rng.gen_bool(spoke_prob) {
+                builder.add_undirected(h as NodeId, v as NodeId, 1.0);
+            }
+        }
+    }
+    // Sprinkle a thin random backbone so the graph is not strictly bipartite.
+    for _ in 0..n / 4 {
+        let a = rng.gen_range(0..n) as NodeId;
+        let b = rng.gen_range(0..n) as NodeId;
+        if a != b {
+            builder.add_undirected(a, b, 1.0);
+        }
+    }
+    builder.build().expect("generated ids are in range")
+}
+
+/// Random node permutation, used when sampling training subgraphs.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<NodeId> {
+    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+    ids.shuffle(&mut rng(seed));
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_has_requested_edges() {
+        let g = erdos_renyi(50, 100, 7);
+        assert_eq!(g.num_nodes(), 50);
+        // Undirected: both arcs stored.
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn erdos_renyi_caps_at_complete_graph() {
+        let g = erdos_renyi(5, 1000, 7);
+        assert_eq!(g.num_edges(), 5 * 4);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let a = erdos_renyi(30, 60, 42);
+        let b = erdos_renyi(30, 60, 42);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = erdos_renyi(30, 60, 43);
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn barabasi_albert_is_heavy_tailed() {
+        let g = barabasi_albert(400, 3, 1);
+        assert_eq!(g.num_nodes(), 400);
+        let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        let avg_deg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            max_deg as f64 > 4.0 * avg_deg,
+            "expected hub: max {max_deg}, avg {avg_deg}"
+        );
+    }
+
+    #[test]
+    fn barabasi_albert_every_late_node_connected() {
+        let g = barabasi_albert(100, 2, 9);
+        for v in 4..100u32 {
+            assert!(g.out_degree(v) >= 1, "node {v} should attach somewhere");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_ring() {
+        let g = watts_strogatz(20, 2, 0.0, 3);
+        for v in g.nodes() {
+            assert_eq!(g.out_degree(v), 4, "ring lattice degree");
+        }
+    }
+
+    #[test]
+    fn sbm_prefers_intra_block_edges() {
+        let g = stochastic_block_model(120, 3, 0.3, 0.01, 11);
+        let block_of = |v: u32| (v as usize) * 3 / 120;
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for e in g.edges() {
+            if block_of(e.src) == block_of(e.dst) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter * 3, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn isolated_fraction_respected() {
+        let g = scale_free_with_isolated(200, 2, 0.4, 5);
+        let isolated = g
+            .nodes()
+            .filter(|&v| g.out_degree(v) == 0 && g.in_degree(v) == 0)
+            .count();
+        assert!(
+            (isolated as f64 / 200.0 - 0.4).abs() < 0.05,
+            "isolated fraction {isolated}/200"
+        );
+    }
+
+    #[test]
+    fn hub_graph_concentrates_degree() {
+        let g = hub_graph(200, 3, 0.5, 13);
+        let hub_deg: usize = (0..3u32).map(|h| g.degree(h)).sum();
+        let total: usize = g.num_edges();
+        // Each arc contributes 2 to total degree; hubs holding more than
+        // half the degree mass means hub_deg > total arcs.
+        assert!(hub_deg > total / 2, "hubs hold {hub_deg} of {total} arcs");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = random_permutation(64, 2);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64u32).collect::<Vec<_>>());
+    }
+}

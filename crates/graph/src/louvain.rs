@@ -1,0 +1,351 @@
+//! Louvain community detection (Blondel et al. 2008) — the "community
+//! structure" similarity metric of §5.1 that Tab. 4 found most predictive of
+//! Deep-RL transfer under TV/CONST.
+//!
+//! Operates on the undirected weighted view of the graph (arc weights of
+//! both directions are summed).
+
+use crate::csr::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// A community assignment: `communities[v]` is the community id of node `v`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Community of each node, with ids compacted to `0..num_communities`.
+    pub communities: Vec<u32>,
+    /// Modularity of the partition on the input graph.
+    pub modularity: f64,
+}
+
+impl Partition {
+    /// Number of distinct communities.
+    pub fn num_communities(&self) -> usize {
+        self.communities.iter().copied().max().map_or(0, |m| m as usize + 1)
+    }
+
+    /// Community sizes sorted descending — the profile used when comparing
+    /// two graphs' community structure.
+    pub fn size_profile(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_communities()];
+        for &c in &self.communities {
+            counts[c as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    }
+}
+
+struct UndirectedView {
+    /// adjacency: node -> (neighbor, weight) with both directions merged
+    adj: Vec<Vec<(NodeId, f64)>>,
+    /// total edge weight 2m (sum over all adjacency entries)
+    two_m: f64,
+    /// weighted degree per node
+    degree: Vec<f64>,
+    /// self-loop weight per node (counted once in degree as 2w)
+    self_loops: Vec<f64>,
+}
+
+fn undirected_view(g: &Graph) -> UndirectedView {
+    let n = g.num_nodes();
+    let mut maps: Vec<HashMap<NodeId, f64>> = vec![HashMap::new(); n];
+    for e in g.edges() {
+        if e.src == e.dst {
+            *maps[e.src as usize].entry(e.dst).or_insert(0.0) += e.weight as f64;
+            continue;
+        }
+        *maps[e.src as usize].entry(e.dst).or_insert(0.0) += e.weight as f64;
+        *maps[e.dst as usize].entry(e.src).or_insert(0.0) += e.weight as f64;
+    }
+    let mut adj = Vec::with_capacity(n);
+    let mut degree = vec![0.0; n];
+    let mut self_loops = vec![0.0; n];
+    let mut two_m = 0.0;
+    for (v, map) in maps.into_iter().enumerate() {
+        let mut entries: Vec<(NodeId, f64)> = map.into_iter().collect();
+        entries.sort_unstable_by_key(|&(u, _)| u);
+        for &(u, w) in &entries {
+            if u as usize == v {
+                self_loops[v] = w;
+                degree[v] += 2.0 * w;
+                two_m += 2.0 * w;
+            } else {
+                degree[v] += w;
+                two_m += w;
+            }
+        }
+        adj.push(entries);
+    }
+    UndirectedView {
+        adj,
+        two_m,
+        degree,
+        self_loops,
+    }
+}
+
+/// Runs Louvain to (local) modularity optimum with up to `max_levels` of
+/// coarsening. Deterministic: nodes are scanned in id order.
+pub fn louvain(g: &Graph, max_levels: usize) -> Partition {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Partition {
+            communities: Vec::new(),
+            modularity: 0.0,
+        };
+    }
+    // node -> community in the ORIGINAL graph
+    let mut node_comm: Vec<u32> = (0..n as u32).collect();
+    let mut level_graph = undirected_view(g);
+
+    for _level in 0..max_levels {
+        let ln = level_graph.adj.len();
+        let (assignment, improved) = one_level(&level_graph);
+        // Map original nodes through this level's assignment.
+        for c in node_comm.iter_mut() {
+            *c = assignment[*c as usize];
+        }
+        if !improved {
+            break;
+        }
+        level_graph = aggregate(&level_graph, &assignment);
+        if level_graph.adj.len() == ln {
+            break;
+        }
+    }
+
+    compact(&mut node_comm);
+    let modularity = modularity_of(g, &node_comm);
+    Partition {
+        communities: node_comm,
+        modularity,
+    }
+}
+
+/// One pass of local moving. Returns (community per node compacted, whether
+/// any move improved modularity).
+fn one_level(view: &UndirectedView) -> (Vec<u32>, bool) {
+    let n = view.adj.len();
+    let two_m = view.two_m.max(f64::MIN_POSITIVE);
+    let mut comm: Vec<u32> = (0..n as u32).collect();
+    let mut comm_degree: Vec<f64> = view.degree.clone();
+    let mut improved_any = false;
+
+    let mut neigh_weight: HashMap<u32, f64> = HashMap::new();
+    for _pass in 0..16 {
+        let mut moved = false;
+        for v in 0..n {
+            let old = comm[v];
+            neigh_weight.clear();
+            for &(u, w) in &view.adj[v] {
+                if u as usize != v {
+                    *neigh_weight.entry(comm[u as usize]).or_insert(0.0) += w;
+                }
+            }
+            comm_degree[old as usize] -= view.degree[v];
+            let base = neigh_weight.get(&old).copied().unwrap_or(0.0);
+            let mut best = old;
+            let mut best_gain =
+                base - comm_degree[old as usize] * view.degree[v] / two_m;
+            let mut cands: Vec<u32> = neigh_weight.keys().copied().collect();
+            cands.sort_unstable(); // deterministic tie handling
+            for c in cands {
+                let w = neigh_weight[&c];
+                let gain = w - comm_degree[c as usize] * view.degree[v] / two_m;
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best = c;
+                }
+            }
+            comm[v] = best;
+            comm_degree[best as usize] += view.degree[v];
+            if best != old {
+                moved = true;
+                improved_any = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    compact(&mut comm);
+    (comm, improved_any)
+}
+
+/// Builds the coarsened graph where each community becomes one node.
+fn aggregate(view: &UndirectedView, assignment: &[u32]) -> UndirectedView {
+    let nc = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut maps: Vec<HashMap<NodeId, f64>> = vec![HashMap::new(); nc];
+    for v in 0..view.adj.len() {
+        let cv = assignment[v] as usize;
+        // self-loop contribution
+        if view.self_loops[v] > 0.0 {
+            *maps[cv].entry(cv as u32).or_insert(0.0) += view.self_loops[v];
+        }
+        for &(u, w) in &view.adj[v] {
+            if (u as usize) <= v {
+                continue; // count each undirected edge once
+            }
+            let cu = assignment[u as usize] as usize;
+            if cu == cv {
+                *maps[cv].entry(cv as u32).or_insert(0.0) += w;
+            } else {
+                *maps[cv].entry(cu as u32).or_insert(0.0) += w;
+                *maps[cu].entry(cv as u32).or_insert(0.0) += w;
+            }
+        }
+    }
+    let mut adj = Vec::with_capacity(nc);
+    let mut degree = vec![0.0; nc];
+    let mut self_loops = vec![0.0; nc];
+    let mut two_m = 0.0;
+    for (c, map) in maps.into_iter().enumerate() {
+        let mut entries: Vec<(NodeId, f64)> = map.into_iter().collect();
+        entries.sort_unstable_by_key(|&(u, _)| u);
+        for &(u, w) in &entries {
+            if u as usize == c {
+                self_loops[c] = w;
+                degree[c] += 2.0 * w;
+                two_m += 2.0 * w;
+            } else {
+                degree[c] += w;
+                two_m += w;
+            }
+        }
+        adj.push(entries);
+    }
+    UndirectedView {
+        adj,
+        two_m,
+        degree,
+        self_loops,
+    }
+}
+
+fn compact(comm: &mut [u32]) {
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    for c in comm.iter_mut() {
+        let next = remap.len() as u32;
+        let id = *remap.entry(*c).or_insert(next);
+        *c = id;
+    }
+}
+
+/// Newman modularity of `assignment` on the undirected view of `g`.
+pub fn modularity_of(g: &Graph, assignment: &[u32]) -> f64 {
+    let view = undirected_view(g);
+    let two_m = view.two_m;
+    if two_m <= 0.0 {
+        return 0.0;
+    }
+    let nc = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut internal = vec![0.0f64; nc]; // sum of internal edge weights * 2
+    let mut total_deg = vec![0.0f64; nc];
+    for v in 0..view.adj.len() {
+        let cv = assignment[v] as usize;
+        total_deg[cv] += view.degree[v];
+        internal[cv] += 2.0 * view.self_loops[v];
+        for &(u, w) in &view.adj[v] {
+            if u as usize != v && assignment[u as usize] as usize == cv {
+                internal[cv] += w; // each internal edge counted twice overall
+            }
+        }
+    }
+    (0..nc)
+        .map(|c| internal[c] / two_m - (total_deg[c] / two_m).powi(2))
+        .sum()
+}
+
+/// Distance between two graphs' community-structure profiles: L1 distance
+/// between their normalized community-size profiles, truncated/padded to
+/// `profile_len`. Zero means identical profiles.
+pub fn community_profile_distance(a: &Partition, b: &Partition, profile_len: usize) -> f64 {
+    let norm = |p: &Partition| -> Vec<f64> {
+        let sizes = p.size_profile();
+        let total: usize = sizes.iter().sum();
+        let total = total.max(1) as f64;
+        let mut out: Vec<f64> = sizes.iter().map(|&s| s as f64 / total).collect();
+        out.truncate(profile_len);
+        while out.len() < profile_len {
+            out.push(0.0);
+        }
+        out
+    };
+    norm(a)
+        .iter()
+        .zip(norm(b))
+        .map(|(x, y)| (x - y).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::stochastic_block_model;
+
+    #[test]
+    fn detects_planted_blocks() {
+        let g = stochastic_block_model(90, 3, 0.5, 0.01, 3);
+        let p = louvain(&g, 5);
+        assert!(p.modularity > 0.4, "modularity {}", p.modularity);
+        // The three planted blocks should dominate the size profile.
+        let profile = p.size_profile();
+        assert!(profile.len() >= 3);
+        assert!(profile[..3].iter().all(|&s| s >= 20), "profile {profile:?}");
+    }
+
+    #[test]
+    fn two_cliques_modularity() {
+        // Two 4-cliques joined by one edge -> two communities.
+        let mut b = crate::csr::GraphBuilder::new(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_undirected(base + i, base + j, 1.0);
+                }
+            }
+        }
+        b.add_undirected(0, 4, 1.0);
+        let g = b.build().unwrap();
+        let p = louvain(&g, 5);
+        assert_eq!(p.num_communities(), 2);
+        assert_eq!(p.communities[0], p.communities[1]);
+        assert_eq!(p.communities[4], p.communities[7]);
+        assert_ne!(p.communities[0], p.communities[4]);
+        assert!(p.modularity > 0.3);
+    }
+
+    #[test]
+    fn modularity_of_singletons_nonpositive() {
+        let g = stochastic_block_model(30, 2, 0.3, 0.1, 1);
+        let singletons: Vec<u32> = (0..30).collect();
+        assert!(modularity_of(&g, &singletons) <= 0.0);
+    }
+
+    #[test]
+    fn modularity_of_all_in_one_is_zero() {
+        let g = stochastic_block_model(30, 2, 0.3, 0.1, 1);
+        let ones = vec![0u32; 30];
+        assert!(modularity_of(&g, &ones).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_partition() {
+        let g = crate::csr::Graph::from_edges(0, &[]).unwrap();
+        let p = louvain(&g, 3);
+        assert_eq!(p.num_communities(), 0);
+    }
+
+    #[test]
+    fn profile_distance_identity_and_symmetry() {
+        let g1 = stochastic_block_model(60, 2, 0.4, 0.02, 5);
+        let g2 = stochastic_block_model(60, 6, 0.6, 0.02, 6);
+        let p1 = louvain(&g1, 5);
+        let p2 = louvain(&g2, 5);
+        assert_eq!(community_profile_distance(&p1, &p1, 8), 0.0);
+        let d12 = community_profile_distance(&p1, &p2, 8);
+        let d21 = community_profile_distance(&p2, &p1, 8);
+        assert!((d12 - d21).abs() < 1e-12);
+        assert!(d12 > 0.0);
+    }
+}

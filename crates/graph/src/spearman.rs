@@ -1,0 +1,116 @@
+//! Spearman rank correlation — the association measure of Tab. 4 between
+//! graph statistics and Deep-RL coverage gaps.
+
+/// Assigns fractional ranks (average rank for ties), 1-based.
+pub fn fractional_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("rank inputs must not be NaN")
+    });
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average of ranks i+1..=j+1.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Pearson correlation of two equal-length samples. Returns 0 for degenerate
+/// (zero-variance) inputs.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "correlation inputs must have equal length");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman's rank correlation coefficient, tie-aware (Pearson over
+/// fractional ranks). Result is in `[-1, 1]`.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "correlation inputs must have equal length");
+    let rx = fractional_ranks(x);
+    let ry = fractional_ranks(y);
+    pearson(&rx, &ry).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 100.0, 1000.0, 10000.0]; // nonlinear but monotone
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_is_minus_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        let r = fractional_ranks(&[5.0, 5.0, 1.0]);
+        assert_eq!(r, vec![2.5, 2.5, 1.0]);
+    }
+
+    #[test]
+    fn constant_input_gives_zero() {
+        let x = [3.0, 3.0, 3.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(spearman(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Classic example with one swapped pair out of 5: rho = 1 - 6*2/(5*24) = 0.9.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 2.0, 4.0, 3.0, 5.0];
+        assert!((spearman(&x, &y) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let x = [0.3, 0.9, 0.2, 0.7];
+        let y = [1.0, 0.5, 0.8, 0.1];
+        assert!((spearman(&x, &y) - spearman(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        spearman(&[1.0], &[1.0, 2.0]);
+    }
+}

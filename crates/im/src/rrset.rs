@@ -1,0 +1,297 @@
+//! Reverse-reachable (RR) set machinery of the polling/RIS method (§2.2).
+//!
+//! An RR set for a uniformly random target `v` contains every node that
+//! reaches `v` in a random graph realization where each edge `(u, v)`
+//! survives with probability `p_uv`. `n * D(S) / M` is an unbiased
+//! estimator of the spread `I(S)`, where `D(S)` counts RR sets hit by `S`.
+//! IMM, OPIM, and the benchmark's solution scorer are all built on this
+//! module.
+
+use mcpb_graph::{Graph, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// A collection of sampled RR sets plus the inverted index node -> sets.
+#[derive(Debug, Clone)]
+pub struct RrCollection {
+    n: usize,
+    sets: Vec<Vec<NodeId>>,
+    /// For each node, the indices of RR sets containing it.
+    index: Vec<Vec<u32>>,
+}
+
+impl RrCollection {
+    /// Creates an empty collection for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            sets: Vec::new(),
+            index: vec![Vec::new(); n],
+        }
+    }
+
+    /// Samples RR sets until the collection holds `target` of them.
+    /// Sampling is parallel and deterministic per `seed` and prior size.
+    pub fn extend_to(&mut self, graph: &Graph, target: usize, seed: u64) {
+        let start = self.sets.len();
+        if target <= start {
+            return;
+        }
+        let fresh: Vec<Vec<NodeId>> = (start..target)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                sample_rr_set(graph, &mut rng)
+            })
+            .collect();
+        for (offset, set) in fresh.into_iter().enumerate() {
+            let id = (start + offset) as u32;
+            for &v in &set {
+                self.index[v as usize].push(id);
+            }
+            self.sets.push(set);
+        }
+    }
+
+    /// Appends externally sampled RR sets (used by alternative diffusion
+    /// models, e.g. the LT sampler in `crate::lt`).
+    pub fn push_sets(&mut self, sets: Vec<Vec<NodeId>>) {
+        for set in sets {
+            let id = self.sets.len() as u32;
+            for &v in &set {
+                self.index[v as usize].push(id);
+            }
+            self.sets.push(set);
+        }
+    }
+
+    /// Number of RR sets held.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if no RR sets have been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The RR sets themselves.
+    pub fn sets(&self) -> &[Vec<NodeId>] {
+        &self.sets
+    }
+
+    /// RR-set indices containing node `v`.
+    pub fn sets_containing(&self, v: NodeId) -> &[u32] {
+        &self.index[v as usize]
+    }
+
+    /// `D(S)`: the number of RR sets containing at least one node of `seeds`.
+    pub fn coverage(&self, seeds: &[NodeId]) -> usize {
+        let mut hit = vec![false; self.sets.len()];
+        let mut count = 0usize;
+        for &s in seeds {
+            for &id in &self.index[s as usize] {
+                if !hit[id as usize] {
+                    hit[id as usize] = true;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Unbiased spread estimate `n * D(S) / M`.
+    pub fn estimate_spread(&self, seeds: &[NodeId]) -> f64 {
+        if self.sets.is_empty() {
+            return 0.0;
+        }
+        self.n as f64 * self.coverage(seeds) as f64 / self.sets.len() as f64
+    }
+
+    /// Greedy max-coverage over the RR sets (CELF-style lazy evaluation):
+    /// returns the `k` seeds and the number of RR sets they cover.
+    pub fn greedy_max_coverage(&self, k: usize) -> (Vec<NodeId>, usize) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut covered = vec![false; self.sets.len()];
+        let mut heap: BinaryHeap<(usize, Reverse<NodeId>, u32)> = (0..self.n as NodeId)
+            .filter(|&v| !self.index[v as usize].is_empty())
+            .map(|v| (self.index[v as usize].len(), Reverse(v), 0u32))
+            .collect();
+        let mut seeds = Vec::with_capacity(k);
+        let mut total = 0usize;
+        let mut round = 0u32;
+
+        while seeds.len() < k {
+            let Some((gain, Reverse(v), stamp)) = heap.pop() else { break };
+            if stamp == round {
+                if gain == 0 {
+                    break;
+                }
+                for &id in &self.index[v as usize] {
+                    if !covered[id as usize] {
+                        covered[id as usize] = true;
+                        total += 1;
+                    }
+                }
+                seeds.push(v);
+                round += 1;
+            } else {
+                let fresh = self.index[v as usize]
+                    .iter()
+                    .filter(|&&id| !covered[id as usize])
+                    .count();
+                heap.push((fresh, Reverse(v), round));
+            }
+        }
+        (seeds, total)
+    }
+}
+
+/// Samples one RR set: picks a uniform target and runs a reverse BFS where
+/// each in-edge is kept independently with its probability.
+pub fn sample_rr_set(graph: &Graph, rng: &mut impl Rng) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let target = rng.gen_range(0..n) as NodeId;
+    let mut in_set = vec![false; n];
+    in_set[target as usize] = true;
+    let mut queue = vec![target];
+    let mut head = 0usize;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        let srcs = graph.in_neighbors(v);
+        let ws = graph.in_weights(v);
+        for (&u, &p) in srcs.iter().zip(ws) {
+            if !in_set[u as usize] && rng.gen::<f32>() < p {
+                in_set[u as usize] = true;
+                queue.push(u);
+            }
+        }
+    }
+    queue
+}
+
+/// Convenience: sample a fresh collection of `m` RR sets.
+pub fn sample_collection(graph: &Graph, m: usize, seed: u64) -> RrCollection {
+    let mut c = RrCollection::new(graph.num_nodes());
+    c.extend_to(graph, m, seed);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cascade::influence_mc;
+    use mcpb_graph::weights::{assign_weights, WeightModel};
+    use mcpb_graph::{generators, Edge};
+
+    #[test]
+    fn rr_set_always_contains_target() {
+        let g = Graph::from_edges(5, &[Edge::new(0, 1, 0.5)]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            let set = sample_rr_set(&g, &mut rng);
+            assert!(!set.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_chain_rr_set() {
+        // 0 -> 1 -> 2 with probability 1: RR set of target 2 is {2, 1, 0}.
+        let g = Graph::from_edges(3, &[Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)]).unwrap();
+        let c = sample_collection(&g, 300, 5);
+        // Every RR set must be a suffix-closed reachability set.
+        for set in c.sets() {
+            if set.contains(&2) && set[0] == 2 {
+                assert!(set.contains(&1) && set.contains(&0));
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_is_close_to_mc_truth() {
+        let g = assign_weights(
+            &generators::barabasi_albert(120, 3, 7),
+            WeightModel::Constant,
+            0,
+        );
+        let seeds = [0u32, 1, 2];
+        let mc = influence_mc(&g, &seeds, 20_000, 11);
+        let rr = sample_collection(&g, 30_000, 13);
+        let est = rr.estimate_spread(&seeds);
+        let rel = (est - mc).abs() / mc.max(1.0);
+        assert!(rel < 0.08, "RIS {est} vs MC {mc} (rel {rel})");
+    }
+
+    #[test]
+    fn coverage_counts_distinct_sets() {
+        let g = Graph::from_edges(2, &[Edge::new(0, 1, 1.0)]).unwrap();
+        let c = sample_collection(&g, 100, 1);
+        // Node 0 reaches everything, so {0} covers every RR set.
+        assert_eq!(c.coverage(&[0]), 100);
+        assert_eq!(c.coverage(&[0, 1]), 100, "no double counting");
+        assert!((c.estimate_spread(&[0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_max_coverage_picks_influencer() {
+        let g = Graph::from_edges(
+            6,
+            &[
+                Edge::new(0, 1, 1.0),
+                Edge::new(0, 2, 1.0),
+                Edge::new(0, 3, 1.0),
+                Edge::new(4, 5, 1.0),
+            ],
+        )
+        .unwrap();
+        let c = sample_collection(&g, 600, 2);
+        let (seeds, covered) = c.greedy_max_coverage(2);
+        assert_eq!(seeds[0], 0, "node 0 hits the most RR sets");
+        assert_eq!(seeds[1], 4);
+        assert!(covered as f64 / c.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn extend_is_incremental_and_deterministic() {
+        let g = assign_weights(
+            &generators::barabasi_albert(40, 2, 1),
+            WeightModel::Constant,
+            0,
+        );
+        let mut a = RrCollection::new(40);
+        a.extend_to(&g, 50, 9);
+        a.extend_to(&g, 120, 9);
+        let b = sample_collection(&g, 120, 9);
+        assert_eq!(a.len(), 120);
+        assert_eq!(a.sets(), b.sets(), "incremental growth matches one-shot");
+    }
+
+    #[test]
+    fn greedy_stops_when_sets_exhausted() {
+        let g = Graph::from_edges(3, &[Edge::new(0, 1, 1.0)]).unwrap();
+        let c = sample_collection(&g, 50, 4);
+        let (seeds, covered) = c.greedy_max_coverage(10);
+        assert!(seeds.len() <= 3);
+        assert_eq!(covered, c.len());
+    }
+
+    #[test]
+    fn empty_collection_estimates_zero() {
+        let c = RrCollection::new(10);
+        assert_eq!(c.estimate_spread(&[0]), 0.0);
+        assert!(c.is_empty());
+    }
+}

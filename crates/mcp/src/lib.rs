@@ -1,0 +1,43 @@
+//! # mcpb-mcp
+//!
+//! Maximum Coverage Problem (Problem 1 of the paper) solvers: the coverage
+//! oracle, Normal Greedy, Lazy Greedy (CELF, Appendix A), and trivial
+//! baselines. Lazy Greedy is the strong baseline §3.5 faults the Deep-RL
+//! literature for omitting.
+//!
+//! ```
+//! use mcpb_graph::generators;
+//! use mcpb_mcp::prelude::*;
+//!
+//! let g = generators::barabasi_albert(100, 3, 0);
+//! let sol = LazyGreedy::run(&g, 5);
+//! assert!(sol.coverage > 0.2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod coverage;
+pub mod greedy;
+pub mod solver;
+pub mod variants;
+
+pub use baselines::{RandomSeeds, TopDegree};
+pub use coverage::{coverage, covered_count, CoverageOracle};
+pub use greedy::{LazyGreedy, NormalGreedy};
+pub use solver::{McpSolution, McpSolver};
+pub use variants::{
+    partial_coverage_greedy, stochastic_mcp_greedy, BudgetedMcp, GeneralizedMcp, WeightedMcp,
+};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::baselines::{RandomSeeds, TopDegree};
+    pub use crate::coverage::{coverage, covered_count, CoverageOracle};
+    pub use crate::greedy::{LazyGreedy, NormalGreedy};
+    pub use crate::solver::{McpSolution, McpSolver};
+    pub use crate::variants::{
+        partial_coverage_greedy, stochastic_mcp_greedy, BudgetedMcp, GeneralizedMcp,
+        WeightedMcp,
+    };
+}

@@ -1,0 +1,481 @@
+//! The MCP variants discussed in §9 and Appendix D: Weighted MCP, the
+//! Partial Coverage Problem, Budgeted MCP, Stochastic MCP, and the
+//! Generalized MCP. Each ships a greedy solver with the classical
+//! guarantee, so the benchmark's discussion section is executable.
+
+use crate::coverage::CoverageOracle;
+use mcpb_graph::{BitSet, Graph, NodeId};
+
+/// Weighted MCP (Nemhauser et al. 1978): every element `e` carries a
+/// weight `w(e)`; maximize the total weight covered by `k` seeds.
+#[derive(Debug, Clone)]
+pub struct WeightedMcp<'g> {
+    graph: &'g Graph,
+    weights: Vec<f64>,
+}
+
+/// A solution to a weighted / budgeted variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSolution {
+    /// Selected seeds in order.
+    pub seeds: Vec<NodeId>,
+    /// Total covered element weight.
+    pub covered_weight: f64,
+}
+
+impl<'g> WeightedMcp<'g> {
+    /// Creates the instance; `weights[v]` is node `v`'s element weight.
+    pub fn new(graph: &'g Graph, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), graph.num_nodes(), "one weight per node");
+        assert!(weights.iter().all(|w| *w >= 0.0), "weights are nonnegative");
+        Self { graph, weights }
+    }
+
+    fn gain(&self, covered: &BitSet, v: NodeId) -> f64 {
+        let mut gain = if covered.contains(v as usize) {
+            0.0
+        } else {
+            self.weights[v as usize]
+        };
+        let mut seen = vec![v];
+        for &u in self.graph.out_neighbors(v) {
+            if u != v && !covered.contains(u as usize) && !seen.contains(&u) {
+                seen.push(u);
+                gain += self.weights[u as usize];
+            }
+        }
+        gain
+    }
+
+    /// Greedy `(1 - 1/e)`-approximate selection of `k` seeds.
+    pub fn greedy(&self, k: usize) -> WeightedSolution {
+        let n = self.graph.num_nodes();
+        let mut covered = BitSet::new(n);
+        let mut picked = vec![false; n];
+        let mut seeds = Vec::new();
+        let mut total = 0.0;
+        for _ in 0..k.min(n) {
+            let mut best: Option<(f64, NodeId)> = None;
+            for v in 0..n as NodeId {
+                if picked[v as usize] {
+                    continue;
+                }
+                let g = self.gain(&covered, v);
+                if best.is_none_or(|(bg, bv)| g > bg || (g == bg && v < bv)) {
+                    best = Some((g, v));
+                }
+            }
+            let Some((g, v)) = best else { break };
+            if g <= 0.0 {
+                break;
+            }
+            picked[v as usize] = true;
+            covered.insert(v as usize);
+            for &u in self.graph.out_neighbors(v) {
+                covered.insert(u as usize);
+            }
+            total += g;
+            seeds.push(v);
+        }
+        WeightedSolution {
+            seeds,
+            covered_weight: total,
+        }
+    }
+}
+
+/// Partial Coverage Problem (Gandhi et al. 2004): reach a required covered
+/// count `target` with as few seeds as possible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialCoverageSolution {
+    /// Selected seeds.
+    pub seeds: Vec<NodeId>,
+    /// Nodes covered at termination.
+    pub covered: usize,
+    /// Whether the target was reached.
+    pub reached: bool,
+}
+
+/// Greedy for partial coverage: select highest-gain seeds until `target`
+/// nodes are covered (a `H(target)`-approximation to the minimum seed
+/// count, by the classical set-cover analysis).
+pub fn partial_coverage_greedy(graph: &Graph, target: usize) -> PartialCoverageSolution {
+    let n = graph.num_nodes();
+    let target = target.min(n);
+    let mut oracle = CoverageOracle::new(graph);
+    let mut picked = vec![false; n];
+    while oracle.covered_count() < target {
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in 0..n as NodeId {
+            if picked[v as usize] {
+                continue;
+            }
+            let g = oracle.marginal_gain(v);
+            if best.is_none_or(|(bg, bv)| g > bg || (g == bg && v < bv)) {
+                best = Some((g, v));
+            }
+        }
+        let Some((g, v)) = best else { break };
+        if g == 0 {
+            break; // nothing more coverable
+        }
+        picked[v as usize] = true;
+        oracle.add_seed(v);
+    }
+    PartialCoverageSolution {
+        covered: oracle.covered_count(),
+        reached: oracle.covered_count() >= target,
+        seeds: oracle.seeds().to_vec(),
+    }
+}
+
+/// Budgeted MCP (Khuller et al. / §7 refs [46-49]): each seed has a cost;
+/// maximize coverage subject to a total cost budget.
+#[derive(Debug, Clone)]
+pub struct BudgetedMcp<'g> {
+    graph: &'g Graph,
+    costs: Vec<f64>,
+}
+
+impl<'g> BudgetedMcp<'g> {
+    /// Creates the instance; `costs[v]` is node `v`'s selection cost.
+    pub fn new(graph: &'g Graph, costs: Vec<f64>) -> Self {
+        assert_eq!(costs.len(), graph.num_nodes(), "one cost per node");
+        assert!(costs.iter().all(|c| *c > 0.0), "costs are positive");
+        Self { graph, costs }
+    }
+
+    /// Cost-effective greedy: repeatedly take the affordable node with the
+    /// best gain/cost ratio, then return the better of (greedy run, best
+    /// affordable singleton) — the classical `(1 - 1/sqrt(e))` scheme.
+    pub fn greedy(&self, budget: f64) -> WeightedSolution {
+        let n = self.graph.num_nodes();
+        // Greedy by ratio.
+        let mut oracle = CoverageOracle::new(self.graph);
+        let mut picked = vec![false; n];
+        let mut spent = 0.0;
+        loop {
+            let mut best: Option<(f64, NodeId, usize)> = None;
+            for v in 0..n as NodeId {
+                let vi = v as usize;
+                if picked[vi] || spent + self.costs[vi] > budget {
+                    continue;
+                }
+                let g = oracle.marginal_gain(v);
+                let ratio = g as f64 / self.costs[vi];
+                if best.is_none_or(|(br, bv, _)| ratio > br || (ratio == br && v < bv)) {
+                    best = Some((ratio, v, g));
+                }
+            }
+            let Some((_, v, g)) = best else { break };
+            if g == 0 {
+                break;
+            }
+            picked[v as usize] = true;
+            spent += self.costs[v as usize];
+            oracle.add_seed(v);
+        }
+        let greedy_cover = oracle.covered_count();
+
+        // Best affordable singleton.
+        let mut single: Option<(usize, NodeId)> = None;
+        for v in 0..n as NodeId {
+            if self.costs[v as usize] > budget {
+                continue;
+            }
+            let c = crate::coverage::covered_count(self.graph, &[v]);
+            if single.is_none_or(|(bc, bv)| c > bc || (c == bc && v < bv)) {
+                single = Some((c, v));
+            }
+        }
+
+        match single {
+            Some((c, v)) if c > greedy_cover => WeightedSolution {
+                seeds: vec![v],
+                covered_weight: c as f64,
+            },
+            _ => WeightedSolution {
+                covered_weight: greedy_cover as f64,
+                seeds: oracle.seeds().to_vec(),
+            },
+        }
+    }
+}
+
+/// Stochastic MCP (Goemans & Vondrák 2006): seed `v` covers out-neighbor
+/// `u` only with the probability on the edge; maximize the *expected*
+/// number of covered elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticSolution {
+    /// Selected seeds.
+    pub seeds: Vec<NodeId>,
+    /// Expected covered element count.
+    pub expected_coverage: f64,
+}
+
+/// Greedy on the closed-form expectation
+/// `E[coverage] = sum_u (1 - prod_{v in S, (v,u) in E} (1 - p_vu))`,
+/// maintained incrementally via per-element "miss" probabilities. The
+/// objective is monotone submodular, so greedy keeps the `1 - 1/e` bound.
+pub fn stochastic_mcp_greedy(graph: &Graph, k: usize) -> StochasticSolution {
+    let n = graph.num_nodes();
+    // miss[u]: probability u is NOT covered by the current seed set
+    // (seeds cover themselves deterministically).
+    let mut miss = vec![1.0f64; n];
+    let mut picked = vec![false; n];
+    let mut seeds = Vec::new();
+    let mut expected = 0.0f64;
+
+    for _ in 0..k.min(n) {
+        let mut best: Option<(f64, NodeId)> = None;
+        for v in 0..n as NodeId {
+            let vi = v as usize;
+            if picked[vi] {
+                continue;
+            }
+            // Gain: v covers itself (+miss[v]) plus reduces each neighbor's
+            // miss probability by factor (1 - p).
+            let mut gain = miss[vi];
+            for (&u, &p) in graph.out_neighbors(v).iter().zip(graph.out_weights(v)) {
+                if u != v && !picked[u as usize] {
+                    gain += miss[u as usize] * p as f64;
+                } else if u != v {
+                    // Seeds are already deterministically covered.
+                }
+            }
+            if best.is_none_or(|(bg, bv)| gain > bg || (gain == bg && v < bv)) {
+                best = Some((gain, v));
+            }
+        }
+        let Some((gain, v)) = best else { break };
+        if gain <= 1e-15 {
+            break;
+        }
+        picked[v as usize] = true;
+        expected += miss[v as usize];
+        miss[v as usize] = 0.0;
+        for (&u, &p) in graph.out_neighbors(v).iter().zip(graph.out_weights(v)) {
+            if u != v {
+                let delta = miss[u as usize] * p as f64;
+                expected += delta;
+                miss[u as usize] -= delta;
+            }
+        }
+        seeds.push(v);
+    }
+    StochasticSolution {
+        seeds,
+        expected_coverage: expected,
+    }
+}
+
+/// Generalized MCP (Cohen & Katzir 2008): bins with opening costs,
+/// per-(bin, element) profits and weights, and a shared budget `L`.
+/// Here bins are nodes, elements are their covered neighbors, profit is
+/// the element weight, and assigning an element to a bin costs the edge's
+/// weight share.
+#[derive(Debug, Clone)]
+pub struct GeneralizedMcp<'g> {
+    graph: &'g Graph,
+    /// Cost of "opening" node `v` as a bin.
+    pub bin_costs: Vec<f64>,
+    /// Profit of each element.
+    pub profits: Vec<f64>,
+}
+
+impl<'g> GeneralizedMcp<'g> {
+    /// Creates the instance.
+    pub fn new(graph: &'g Graph, bin_costs: Vec<f64>, profits: Vec<f64>) -> Self {
+        assert_eq!(bin_costs.len(), graph.num_nodes());
+        assert_eq!(profits.len(), graph.num_nodes());
+        Self {
+            graph,
+            bin_costs,
+            profits,
+        }
+    }
+
+    /// Residual-profit greedy under budget `budget`: repeatedly open the
+    /// bin with the best (new profit) / (opening cost) ratio.
+    pub fn greedy(&self, budget: f64) -> WeightedSolution {
+        let n = self.graph.num_nodes();
+        let mut covered = BitSet::new(n);
+        let mut picked = vec![false; n];
+        let mut spent = 0.0;
+        let mut total = 0.0;
+        let mut seeds = Vec::new();
+        loop {
+            let mut best: Option<(f64, f64, NodeId)> = None;
+            for v in 0..n as NodeId {
+                let vi = v as usize;
+                if picked[vi] || spent + self.bin_costs[vi] > budget {
+                    continue;
+                }
+                let mut profit = if covered.contains(vi) { 0.0 } else { self.profits[vi] };
+                for &u in self.graph.out_neighbors(v) {
+                    if u != v && !covered.contains(u as usize) {
+                        profit += self.profits[u as usize];
+                    }
+                }
+                let ratio = profit / self.bin_costs[vi];
+                if best.is_none_or(|(br, _, bv)| ratio > br || (ratio == br && v < bv)) {
+                    best = Some((ratio, profit, v));
+                }
+            }
+            let Some((_, profit, v)) = best else { break };
+            if profit <= 0.0 {
+                break;
+            }
+            picked[v as usize] = true;
+            spent += self.bin_costs[v as usize];
+            covered.insert(v as usize);
+            for &u in self.graph.out_neighbors(v) {
+                covered.insert(u as usize);
+            }
+            total += profit;
+            seeds.push(v);
+        }
+        WeightedSolution {
+            seeds,
+            covered_weight: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::LazyGreedy;
+    use mcpb_graph::generators::barabasi_albert;
+    use mcpb_graph::{Edge, GraphBuilder};
+
+    fn star_with_tail() -> Graph {
+        // Hub 0 -> {1,2,3}; 4 -> 5.
+        let mut b = GraphBuilder::new(6);
+        for v in 1..4u32 {
+            b.add_edge(0, v, 1.0);
+        }
+        b.add_edge(4, 5, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn weighted_mcp_prefers_heavy_elements() {
+        let g = star_with_tail();
+        // Node 5 is extremely valuable: picking 4 (covers 4+5) wins over
+        // the hub despite lower cardinality.
+        let mut w = vec![1.0; 6];
+        w[5] = 100.0;
+        let sol = WeightedMcp::new(&g, w).greedy(1);
+        assert_eq!(sol.seeds, vec![4]);
+        assert!((sol.covered_weight - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_mcp_with_unit_weights_matches_plain_greedy() {
+        let g = barabasi_albert(120, 3, 1);
+        let unit = WeightedMcp::new(&g, vec![1.0; 120]).greedy(6);
+        let plain = LazyGreedy::run(&g, 6);
+        assert_eq!(unit.covered_weight as usize, plain.covered);
+    }
+
+    #[test]
+    fn partial_coverage_reaches_target_with_few_seeds() {
+        let g = star_with_tail();
+        let sol = partial_coverage_greedy(&g, 4);
+        assert!(sol.reached);
+        assert_eq!(sol.seeds, vec![0], "hub alone covers 4 nodes");
+        // Unreachable target stops gracefully.
+        let g2 = Graph::from_edges(3, &[Edge::unweighted(0, 1)]).unwrap();
+        let sol = partial_coverage_greedy(&g2, 3);
+        assert!(sol.reached, "all 3 coverable via 0 and 2");
+        assert!(sol.seeds.len() <= 2);
+    }
+
+    #[test]
+    fn partial_coverage_stops_when_stuck() {
+        let g = Graph::from_edges(4, &[]).unwrap();
+        let sol = partial_coverage_greedy(&g, 4);
+        assert!(sol.reached, "isolated nodes are each self-coverable");
+        assert_eq!(sol.seeds.len(), 4);
+    }
+
+    #[test]
+    fn budgeted_mcp_respects_budget() {
+        let g = star_with_tail();
+        let mut costs = vec![1.0; 6];
+        costs[0] = 10.0; // hub too expensive
+        let sol = BudgetedMcp::new(&g, costs).greedy(2.0);
+        assert!(sol.seeds.iter().all(|&v| v != 0));
+        assert!(sol.covered_weight >= 2.0);
+    }
+
+    #[test]
+    fn budgeted_mcp_singleton_fallback() {
+        // One expensive node covers everything; ratio greedy would prefer
+        // cheap low-coverage nodes, but the singleton check rescues it.
+        let mut b = GraphBuilder::new(8);
+        for v in 1..8u32 {
+            b.add_edge(0, v, 1.0);
+        }
+        let g = b.build().unwrap();
+        let mut costs = vec![0.5; 8];
+        costs[0] = 4.0;
+        let sol = BudgetedMcp::new(&g, costs).greedy(4.0);
+        assert_eq!(sol.seeds, vec![0], "singleton covering all 8 wins");
+        assert_eq!(sol.covered_weight, 8.0);
+    }
+
+    #[test]
+    fn stochastic_mcp_expectation_is_correct_on_small_case() {
+        // 0 -> 1 with p=0.5: E[cover {0}] = 1 + 0.5.
+        let g = Graph::from_edges(2, &[Edge::new(0, 1, 0.5)]).unwrap();
+        let sol = stochastic_mcp_greedy(&g, 1);
+        assert_eq!(sol.seeds, vec![0]);
+        assert!((sol.expected_coverage - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_mcp_is_monotone_in_k() {
+        let g = mcpb_graph::weights::assign_weights(
+            &barabasi_albert(80, 2, 3),
+            mcpb_graph::WeightModel::Constant,
+            0,
+        );
+        let mut last = 0.0;
+        for k in 1..6 {
+            let sol = stochastic_mcp_greedy(&g, k);
+            assert!(sol.expected_coverage >= last - 1e-9);
+            last = sol.expected_coverage;
+        }
+        assert!(last <= 80.0);
+    }
+
+    #[test]
+    fn stochastic_with_probability_one_matches_deterministic() {
+        let g = star_with_tail();
+        let sol = stochastic_mcp_greedy(&g, 2);
+        let det = LazyGreedy::run(&g, 2);
+        assert!((sol.expected_coverage - det.covered as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generalized_mcp_trades_profit_for_cost() {
+        let g = star_with_tail();
+        let bin_costs = vec![2.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let profits = vec![1.0; 6];
+        let sol = GeneralizedMcp::new(&g, bin_costs, profits).greedy(3.0);
+        assert!(!sol.seeds.is_empty());
+        assert!(sol.covered_weight > 0.0);
+        // Budget 3 admits the hub (cost 2, profit 4) plus node 4 (cost 1,
+        // profit 2).
+        assert!(sol.covered_weight >= 6.0, "{}", sol.covered_weight);
+    }
+
+    #[test]
+    fn generalized_mcp_zero_budget_selects_nothing() {
+        let g = star_with_tail();
+        let sol = GeneralizedMcp::new(&g, vec![1.0; 6], vec![1.0; 6]).greedy(0.5);
+        assert!(sol.seeds.is_empty());
+    }
+}

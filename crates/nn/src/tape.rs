@@ -1,0 +1,712 @@
+//! Define-by-run reverse-mode autodiff.
+//!
+//! A [`Tape`] records every operation eagerly; [`Tape::backward`] walks the
+//! recording in reverse, accumulating gradients. The op set is exactly what
+//! the paper's five Deep-RL architectures need: dense/sparse matrix
+//! products (GCN / Struc2Vec message passing), elementwise nonlinearities,
+//! row gather/concat/pool (Q-heads over node embeddings), and regression
+//! losses for TD targets.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::{SparseMatrix, Tensor};
+use std::rc::Rc;
+
+/// Handle to a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf { param: Option<ParamId> },
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    MatMul(Var, Var),
+    SpMM(Rc<SparseMatrix>, Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    AddBias(Var, Var),
+    GatherRows(Var, Rc<Vec<usize>>),
+    ConcatCols(Var, Var),
+    SumRows(Var),
+    RepeatRow(Var),
+    MeanAll(Var),
+    SumAll(Var),
+    Mse(Var, Rc<Tensor>),
+    Huber(Var, Rc<Tensor>, f32),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// The autodiff tape. Create one per forward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a constant input (no gradient flows out of it).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf { param: None })
+    }
+
+    /// Registers a trainable parameter from `store`; gradients accumulate
+    /// under its [`ParamId`] and are retrieved with [`Tape::param_grads`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Leaf { param: Some(id) })
+    }
+
+    /// The value computed at `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient accumulated at `v` (after [`Tape::backward`]).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!((ta.rows, ta.cols), (tb.rows, tb.cols), "add shape mismatch");
+        let mut out = ta.clone();
+        out.add_assign(tb);
+        self.push(out, Op::Add(a, b))
+    }
+
+    /// Elementwise difference (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!((ta.rows, ta.cols), (tb.rows, tb.cols), "sub shape mismatch");
+        let data: Vec<f32> = ta.data.iter().zip(&tb.data).map(|(&x, &y)| x - y).collect();
+        let out = Tensor::from_slice(ta.rows, ta.cols, &data);
+        self.push(out, Op::Sub(a, b))
+    }
+
+    /// Hadamard product (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!((ta.rows, ta.cols), (tb.rows, tb.cols), "mul shape mismatch");
+        let data: Vec<f32> = ta.data.iter().zip(&tb.data).map(|(&x, &y)| x * y).collect();
+        let out = Tensor::from_slice(ta.rows, ta.cols, &data);
+        self.push(out, Op::Mul(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let mut out = self.nodes[a.0].value.clone();
+        out.scale_assign(s);
+        self.push(out, Op::Scale(a, s))
+    }
+
+    /// Dense matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let out = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(out, Op::MatMul(a, b))
+    }
+
+    /// Sparse-dense product `adj * x`; only `x` receives gradients.
+    pub fn spmm(&mut self, adj: Rc<SparseMatrix>, x: Var) -> Var {
+        let out = adj.matmul_dense(&self.nodes[x.0].value);
+        self.push(out, Op::SpMM(adj, x))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let t = &self.nodes[a.0].value;
+        let data: Vec<f32> = t.data.iter().map(|&v| v.max(0.0)).collect();
+        let out = Tensor::from_slice(t.rows, t.cols, &data);
+        self.push(out, Op::Relu(a))
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let t = &self.nodes[a.0].value;
+        let data: Vec<f32> = t
+            .data
+            .iter()
+            .map(|&v| if v > 0.0 { v } else { alpha * v })
+            .collect();
+        let out = Tensor::from_slice(t.rows, t.cols, &data);
+        self.push(out, Op::LeakyRelu(a, alpha))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let t = &self.nodes[a.0].value;
+        let data: Vec<f32> = t.data.iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect();
+        let out = Tensor::from_slice(t.rows, t.cols, &data);
+        self.push(out, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let t = &self.nodes[a.0].value;
+        let data: Vec<f32> = t.data.iter().map(|&v| v.tanh()).collect();
+        let out = Tensor::from_slice(t.rows, t.cols, &data);
+        self.push(out, Op::Tanh(a))
+    }
+
+    /// Broadcast-add a `1 x d` bias to every row of an `n x d` matrix.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[bias.0].value);
+        assert_eq!(tb.rows, 1, "bias must be a row vector");
+        assert_eq!(ta.cols, tb.cols, "bias width mismatch");
+        let mut out = ta.clone();
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                out.data[r * out.cols + c] += tb.data[c];
+            }
+        }
+        self.push(out, Op::AddBias(a, bias))
+    }
+
+    /// Selects rows of `a` by index (duplicates allowed).
+    pub fn gather_rows(&mut self, a: Var, rows: Vec<usize>) -> Var {
+        let t = &self.nodes[a.0].value;
+        let mut out = Tensor::zeros(rows.len(), t.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r < t.rows, "gather row {r} out of range {}", t.rows);
+            out.data[i * t.cols..(i + 1) * t.cols].copy_from_slice(t.row_slice(r));
+        }
+        self.push(out, Op::GatherRows(a, Rc::new(rows)))
+    }
+
+    /// Horizontal concatenation `[a | b]` (same row count).
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.rows, tb.rows, "concat row mismatch");
+        let mut out = Tensor::zeros(ta.rows, ta.cols + tb.cols);
+        for r in 0..ta.rows {
+            let dst = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            dst[..ta.cols].copy_from_slice(ta.row_slice(r));
+            dst[ta.cols..].copy_from_slice(tb.row_slice(r));
+        }
+        self.push(out, Op::ConcatCols(a, b))
+    }
+
+    /// Column-wise sum: `n x d` -> `1 x d`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let t = &self.nodes[a.0].value;
+        let mut out = Tensor::zeros(1, t.cols);
+        for r in 0..t.rows {
+            for c in 0..t.cols {
+                out.data[c] += t.data[r * t.cols + c];
+            }
+        }
+        self.push(out, Op::SumRows(a))
+    }
+
+    /// Tiles a `1 x d` row `n` times: `1 x d` -> `n x d`.
+    pub fn repeat_row(&mut self, a: Var, n: usize) -> Var {
+        let t = &self.nodes[a.0].value;
+        assert_eq!(t.rows, 1, "repeat_row expects a row vector");
+        let mut out = Tensor::zeros(n, t.cols);
+        for r in 0..n {
+            out.data[r * t.cols..(r + 1) * t.cols].copy_from_slice(&t.data);
+        }
+        self.push(out, Op::RepeatRow(a))
+    }
+
+    /// Mean of all elements -> scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let t = &self.nodes[a.0].value;
+        let m = t.data.iter().sum::<f32>() / t.len().max(1) as f32;
+        self.push(Tensor::scalar(m), Op::MeanAll(a))
+    }
+
+    /// Sum of all elements -> scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let t = &self.nodes[a.0].value;
+        let s = t.data.iter().sum::<f32>();
+        self.push(Tensor::scalar(s), Op::SumAll(a))
+    }
+
+    /// Mean squared error against a constant target -> scalar.
+    pub fn mse_loss(&mut self, pred: Var, target: Tensor) -> Var {
+        let t = &self.nodes[pred.0].value;
+        assert_eq!((t.rows, t.cols), (target.rows, target.cols), "mse shape mismatch");
+        let n = t.len().max(1) as f32;
+        let loss = t
+            .data
+            .iter()
+            .zip(&target.data)
+            .map(|(&p, &y)| (p - y) * (p - y))
+            .sum::<f32>()
+            / n;
+        self.push(Tensor::scalar(loss), Op::Mse(pred, Rc::new(target)))
+    }
+
+    /// Huber (smooth-L1) loss against a constant target -> scalar.
+    pub fn huber_loss(&mut self, pred: Var, target: Tensor, delta: f32) -> Var {
+        let t = &self.nodes[pred.0].value;
+        assert_eq!((t.rows, t.cols), (target.rows, target.cols), "huber shape mismatch");
+        let n = t.len().max(1) as f32;
+        let loss = t
+            .data
+            .iter()
+            .zip(&target.data)
+            .map(|(&p, &y)| {
+                let e = (p - y).abs();
+                if e <= delta {
+                    0.5 * e * e
+                } else {
+                    delta * (e - 0.5 * delta)
+                }
+            })
+            .sum::<f32>()
+            / n;
+        self.push(Tensor::scalar(loss), Op::Huber(pred, Rc::new(target), delta))
+    }
+
+    /// Runs backpropagation from scalar node `root`.
+    pub fn backward(&mut self, root: Var) {
+        assert_eq!(
+            self.nodes[root.0].value.len(),
+            1,
+            "backward root must be scalar"
+        );
+        for n in self.nodes.iter_mut() {
+            n.grad = None;
+        }
+        self.nodes[root.0].grad = Some(Tensor::scalar(1.0));
+
+        for i in (0..=root.0).rev() {
+            let Some(g) = self.nodes[i].grad.clone() else { continue };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf { .. } => {}
+                Op::Add(a, b) => {
+                    self.accumulate(a, &g);
+                    self.accumulate(b, &g);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, &g);
+                    let mut neg = g.clone();
+                    neg.scale_assign(-1.0);
+                    self.accumulate(b, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let da = hadamard(&g, &self.nodes[b.0].value);
+                    let db = hadamard(&g, &self.nodes[a.0].value);
+                    self.accumulate(a, &da);
+                    self.accumulate(b, &db);
+                }
+                Op::Scale(a, s) => {
+                    let mut da = g.clone();
+                    da.scale_assign(s);
+                    self.accumulate(a, &da);
+                }
+                Op::MatMul(a, b) => {
+                    let da = g.matmul(&self.nodes[b.0].value.transposed());
+                    let db = self.nodes[a.0].value.transposed().matmul(&g);
+                    self.accumulate(a, &da);
+                    self.accumulate(b, &db);
+                }
+                Op::SpMM(adj, x) => {
+                    let dx = adj.transpose_matmul_dense(&g);
+                    self.accumulate(x, &dx);
+                }
+                Op::Relu(a) => {
+                    let mask = &self.nodes[a.0].value;
+                    let data: Vec<f32> = g
+                        .data
+                        .iter()
+                        .zip(&mask.data)
+                        .map(|(&gv, &xv)| if xv > 0.0 { gv } else { 0.0 })
+                        .collect();
+                    let da = Tensor::from_slice(g.rows, g.cols, &data);
+                    self.accumulate(a, &da);
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let mask = &self.nodes[a.0].value;
+                    let data: Vec<f32> = g
+                        .data
+                        .iter()
+                        .zip(&mask.data)
+                        .map(|(&gv, &xv)| if xv > 0.0 { gv } else { alpha * gv })
+                        .collect();
+                    let da = Tensor::from_slice(g.rows, g.cols, &data);
+                    self.accumulate(a, &da);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let data: Vec<f32> = g
+                        .data
+                        .iter()
+                        .zip(&y.data)
+                        .map(|(&gv, &yv)| gv * yv * (1.0 - yv))
+                        .collect();
+                    let da = Tensor::from_slice(g.rows, g.cols, &data);
+                    self.accumulate(a, &da);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let data: Vec<f32> = g
+                        .data
+                        .iter()
+                        .zip(&y.data)
+                        .map(|(&gv, &yv)| gv * (1.0 - yv * yv))
+                        .collect();
+                    let da = Tensor::from_slice(g.rows, g.cols, &data);
+                    self.accumulate(a, &da);
+                }
+                Op::AddBias(a, bias) => {
+                    self.accumulate(a, &g);
+                    let mut db = Tensor::zeros(1, g.cols);
+                    for r in 0..g.rows {
+                        for c in 0..g.cols {
+                            db.data[c] += g.data[r * g.cols + c];
+                        }
+                    }
+                    self.accumulate(bias, &db);
+                }
+                Op::GatherRows(a, rows) => {
+                    let src = &self.nodes[a.0].value;
+                    let mut da = Tensor::zeros(src.rows, src.cols);
+                    for (i_out, &r) in rows.iter().enumerate() {
+                        for c in 0..g.cols {
+                            da.data[r * g.cols + c] += g.data[i_out * g.cols + c];
+                        }
+                    }
+                    self.accumulate(a, &da);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (wa, wb) = (self.nodes[a.0].value.cols, self.nodes[b.0].value.cols);
+                    let mut da = Tensor::zeros(g.rows, wa);
+                    let mut db = Tensor::zeros(g.rows, wb);
+                    for r in 0..g.rows {
+                        let row = &g.data[r * g.cols..(r + 1) * g.cols];
+                        da.data[r * wa..(r + 1) * wa].copy_from_slice(&row[..wa]);
+                        db.data[r * wb..(r + 1) * wb].copy_from_slice(&row[wa..]);
+                    }
+                    self.accumulate(a, &da);
+                    self.accumulate(b, &db);
+                }
+                Op::SumRows(a) => {
+                    let rows = self.nodes[a.0].value.rows;
+                    let mut da = Tensor::zeros(rows, g.cols);
+                    for r in 0..rows {
+                        da.data[r * g.cols..(r + 1) * g.cols].copy_from_slice(&g.data);
+                    }
+                    self.accumulate(a, &da);
+                }
+                Op::RepeatRow(a) => {
+                    let mut da = Tensor::zeros(1, g.cols);
+                    for r in 0..g.rows {
+                        for c in 0..g.cols {
+                            da.data[c] += g.data[r * g.cols + c];
+                        }
+                    }
+                    self.accumulate(a, &da);
+                }
+                Op::MeanAll(a) => {
+                    let src = &self.nodes[a.0].value;
+                    let da = Tensor::full(src.rows, src.cols, g.item() / src.len().max(1) as f32);
+                    self.accumulate(a, &da);
+                }
+                Op::SumAll(a) => {
+                    let src = &self.nodes[a.0].value;
+                    let da = Tensor::full(src.rows, src.cols, g.item());
+                    self.accumulate(a, &da);
+                }
+                Op::Mse(a, target) => {
+                    let pred = &self.nodes[a.0].value;
+                    let n = pred.len().max(1) as f32;
+                    let scale = 2.0 * g.item() / n;
+                    let data: Vec<f32> = pred
+                        .data
+                        .iter()
+                        .zip(&target.data)
+                        .map(|(&p, &y)| scale * (p - y))
+                        .collect();
+                    let da = Tensor::from_slice(pred.rows, pred.cols, &data);
+                    self.accumulate(a, &da);
+                }
+                Op::Huber(a, target, delta) => {
+                    let pred = &self.nodes[a.0].value;
+                    let n = pred.len().max(1) as f32;
+                    let scale = g.item() / n;
+                    let data: Vec<f32> = pred
+                        .data
+                        .iter()
+                        .zip(&target.data)
+                        .map(|(&p, &y)| {
+                            let e = p - y;
+                            scale * if e.abs() <= delta { e } else { delta * e.signum() }
+                        })
+                        .collect();
+                    let da = Tensor::from_slice(pred.rows, pred.cols, &data);
+                    self.accumulate(a, &da);
+                }
+            }
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, g: &Tensor) {
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => existing.add_assign(g),
+            slot @ None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Collects `(ParamId, gradient)` pairs for every parameter leaf that
+    /// received a gradient. Feed these to an optimizer.
+    pub fn param_grads(&self) -> Vec<(ParamId, Tensor)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match (&n.op, &n.grad) {
+                (Op::Leaf { param: Some(id) }, Some(g)) => Some((*id, g.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn hadamard(a: &Tensor, b: &Tensor) -> Tensor {
+    let data: Vec<f32> = a.data.iter().zip(&b.data).map(|(&x, &y)| x * y).collect();
+    Tensor::from_slice(a.rows, a.cols, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Central finite difference of `f` at `x0` along every coordinate.
+    fn finite_diff(
+        x0: &Tensor,
+        mut f: impl FnMut(&Tensor) -> f32,
+        eps: f32,
+    ) -> Tensor {
+        let mut grad = Tensor::zeros(x0.rows, x0.cols);
+        for i in 0..x0.len() {
+            let mut plus = x0.clone();
+            plus.data[i] += eps;
+            let mut minus = x0.clone();
+            minus.data[i] -= eps;
+            grad.data[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+        }
+        grad
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32, what: &str) {
+        assert_eq!((a.rows, a.cols), (b.rows, b.cols), "{what} shape");
+        for i in 0..a.len() {
+            assert!(
+                (a.data[i] - b.data[i]).abs() < tol,
+                "{what}[{i}]: {} vs {}",
+                a.data[i],
+                b.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_matmul_relu_mse() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x0 = Tensor::xavier(3, 4, &mut rng);
+        let w0 = Tensor::xavier(4, 2, &mut rng);
+        let target = Tensor::xavier(3, 2, &mut rng);
+
+        let run = |x: &Tensor, w: &Tensor| -> f32 {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let wv = tape.input(w.clone());
+            let h = tape.matmul(xv, wv);
+            let r = tape.relu(h);
+            let loss = tape.mse_loss(r, target.clone());
+            tape.value(loss).item()
+        };
+
+        let mut tape = Tape::new();
+        let xv = tape.input(x0.clone());
+        let wv = tape.input(w0.clone());
+        let h = tape.matmul(xv, wv);
+        let r = tape.relu(h);
+        let loss = tape.mse_loss(r, target.clone());
+        tape.backward(loss);
+
+        let fd_x = finite_diff(&x0, |x| run(x, &w0), 1e-3);
+        let fd_w = finite_diff(&w0, |w| run(&x0, w), 1e-3);
+        assert_close(tape.grad(xv).unwrap(), &fd_x, 1e-2, "dx");
+        assert_close(tape.grad(wv).unwrap(), &fd_w, 1e-2, "dw");
+    }
+
+    #[test]
+    fn gradcheck_spmm() {
+        let adj = Rc::new(SparseMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 0.5), (1, 0, 2.0), (1, 2, 1.0), (2, 2, 0.25)],
+        ));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x0 = Tensor::xavier(3, 2, &mut rng);
+        let run = |x: &Tensor| -> f32 {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let y = tape.spmm(adj.clone(), xv);
+            let s = tape.sum_all(y);
+            tape.value(s).item()
+        };
+        let mut tape = Tape::new();
+        let xv = tape.input(x0.clone());
+        let y = tape.spmm(adj.clone(), xv);
+        let s = tape.sum_all(y);
+        tape.backward(s);
+        let fd = finite_diff(&x0, run, 1e-3);
+        assert_close(tape.grad(xv).unwrap(), &fd, 1e-2, "spmm dx");
+    }
+
+    #[test]
+    fn gradcheck_gather_concat_bias_sigmoid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x0 = Tensor::xavier(4, 3, &mut rng);
+        let b0 = Tensor::xavier(1, 6, &mut rng);
+        let rows = vec![0usize, 2, 2, 3];
+        let run = |x: &Tensor, b: &Tensor| -> f32 {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let bv = tape.input(b.clone());
+            let gathered = tape.gather_rows(xv, rows.clone());
+            let again = tape.gather_rows(xv, rows.clone());
+            let cat = tape.concat_cols(gathered, again);
+            let biased = tape.add_bias(cat, bv);
+            let s = tape.sigmoid(biased);
+            let m = tape.mean_all(s);
+            tape.value(m).item()
+        };
+        let mut tape = Tape::new();
+        let xv = tape.input(x0.clone());
+        let bv = tape.input(b0.clone());
+        let g1 = tape.gather_rows(xv, rows.clone());
+        let g2 = tape.gather_rows(xv, rows.clone());
+        let cat = tape.concat_cols(g1, g2);
+        let biased = tape.add_bias(cat, bv);
+        let s = tape.sigmoid(biased);
+        let m = tape.mean_all(s);
+        tape.backward(m);
+        let fd_x = finite_diff(&x0, |x| run(x, &b0), 1e-3);
+        let fd_b = finite_diff(&b0, |b| run(&x0, b), 1e-3);
+        assert_close(tape.grad(xv).unwrap(), &fd_x, 1e-2, "gather dx");
+        assert_close(tape.grad(bv).unwrap(), &fd_b, 1e-2, "bias db");
+    }
+
+    #[test]
+    fn gradcheck_pool_repeat_tanh_huber() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let x0 = Tensor::xavier(3, 2, &mut rng);
+        let target = Tensor::xavier(3, 2, &mut rng);
+        let run = |x: &Tensor| -> f32 {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let pooled = tape.sum_rows(xv);
+            let tiled = tape.repeat_row(pooled, 3);
+            let mixed = tape.add(tiled, xv);
+            let t = tape.tanh(mixed);
+            let loss = tape.huber_loss(t, target.clone(), 0.5);
+            tape.value(loss).item()
+        };
+        let mut tape = Tape::new();
+        let xv = tape.input(x0.clone());
+        let pooled = tape.sum_rows(xv);
+        let tiled = tape.repeat_row(pooled, 3);
+        let mixed = tape.add(tiled, xv);
+        let t = tape.tanh(mixed);
+        let loss = tape.huber_loss(t, target.clone(), 0.5);
+        tape.backward(loss);
+        let fd = finite_diff(&x0, run, 1e-3);
+        assert_close(tape.grad(xv).unwrap(), &fd, 1e-2, "pool dx");
+    }
+
+    #[test]
+    fn gradcheck_mul_sub_scale_leaky() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a0 = Tensor::xavier(2, 3, &mut rng);
+        let b0 = Tensor::xavier(2, 3, &mut rng);
+        let run = |a: &Tensor, b: &Tensor| -> f32 {
+            let mut tape = Tape::new();
+            let av = tape.input(a.clone());
+            let bv = tape.input(b.clone());
+            let prod = tape.mul(av, bv);
+            let diff = tape.sub(prod, bv);
+            let scaled = tape.scale(diff, 1.5);
+            let lr = tape.leaky_relu(scaled, 0.1);
+            let s = tape.sum_all(lr);
+            tape.value(s).item()
+        };
+        let mut tape = Tape::new();
+        let av = tape.input(a0.clone());
+        let bv = tape.input(b0.clone());
+        let prod = tape.mul(av, bv);
+        let diff = tape.sub(prod, bv);
+        let scaled = tape.scale(diff, 1.5);
+        let lr = tape.leaky_relu(scaled, 0.1);
+        let s = tape.sum_all(lr);
+        tape.backward(s);
+        let fd_a = finite_diff(&a0, |a| run(a, &b0), 1e-3);
+        let fd_b = finite_diff(&b0, |b| run(&a0, b), 1e-3);
+        assert_close(tape.grad(av).unwrap(), &fd_a, 1e-2, "da");
+        assert_close(tape.grad(bv).unwrap(), &fd_b, 1e-2, "db");
+    }
+
+    #[test]
+    fn param_grads_are_collected() {
+        let mut store = ParamStore::new(0);
+        let w = store.register("w", Tensor::from_slice(1, 1, &[2.0]));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let x = tape.input(Tensor::scalar(3.0));
+        let y = tape.mul(wv, x);
+        let loss = tape.mse_loss(y, Tensor::scalar(0.0));
+        tape.backward(loss);
+        let grads = tape.param_grads();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].0, w);
+        // d/dw (w*3)^2 = 2*(w*3)*3 = 36 at w=2.
+        assert!((grads[0].1.item() - 36.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reused_node_accumulates_gradient() {
+        // y = x + x => dy/dx = 2.
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::scalar(5.0));
+        let y = tape.add(x, x);
+        let s = tape.sum_all(y);
+        tape.backward(s);
+        assert_eq!(tape.grad(x).unwrap().item(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward root must be scalar")]
+    fn backward_on_matrix_panics() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::zeros(2, 2));
+        tape.backward(x);
+    }
+}

@@ -1,0 +1,329 @@
+//! Dense row-major `f32` matrices — the value type flowing through the
+//! autodiff tape.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix. Vectors are `1 x d` or `n x 1` matrices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major contents, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// All-`value` matrix.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Matrix from a row-major slice.
+    pub fn from_slice(rows: usize, cols: usize, data: &[f32]) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// A `1 x d` row vector.
+    pub fn row(data: &[f32]) -> Self {
+        Self::from_slice(1, data.len(), data)
+    }
+
+    /// A `n x 1` column vector.
+    pub fn column(data: &[f32]) -> Self {
+        Self::from_slice(data.len(), 1, data)
+    }
+
+    /// A `1 x 1` scalar.
+    pub fn scalar(v: f32) -> Self {
+        Self::from_slice(1, 1, &[v])
+    }
+
+    /// Xavier/Glorot-uniform initialization for a layer `in_dim -> out_dim`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a `1 x 1` tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() on non-scalar {}x{}", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Dense matrix product `self * other`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.data[i * self.cols + l];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[l * other.cols..(l + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (cv, &ov) in crow.iter_mut().zip(orow) {
+                    *cv += a * ov;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed matrix.
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// In-place `self += other` (same shape).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// A CSR sparse matrix used for graph-adjacency products in GNN layers.
+/// Values are fixed (non-differentiable); only the dense operand of an
+/// [`crate::tape::Tape::spmm`] receives gradients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// CSR row offsets, `rows + 1` long.
+    pub offsets: Vec<usize>,
+    /// Column indices.
+    pub indices: Vec<u32>,
+    /// Non-zero values aligned with `indices`.
+    pub values: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Builds from per-entry triplets `(row, col, value)`.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        let mut counts = vec![0usize; rows];
+        for &(r, _, _) in triplets {
+            counts[r as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(rows + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut indices = vec![0u32; triplets.len()];
+        let mut values = vec![0f32; triplets.len()];
+        let mut cursor = offsets.clone();
+        for &(r, c, v) in triplets {
+            let slot = &mut cursor[r as usize];
+            indices[*slot] = c;
+            values[*slot] = v;
+            *slot += 1;
+        }
+        Self {
+            rows,
+            cols,
+            offsets,
+            indices,
+            values,
+        }
+    }
+
+    /// `Y = self * X` for dense `X`.
+    pub fn matmul_dense(&self, x: &Tensor) -> Tensor {
+        assert_eq!(self.cols, x.rows, "spmm shape mismatch");
+        let mut out = Tensor::zeros(self.rows, x.cols);
+        for r in 0..self.rows {
+            let orow = &mut out.data[r * x.cols..(r + 1) * x.cols];
+            for idx in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.indices[idx] as usize;
+                let v = self.values[idx];
+                let xrow = &x.data[c * x.cols..(c + 1) * x.cols];
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `Y = self^T * X` for dense `X` (used in spmm backward).
+    pub fn transpose_matmul_dense(&self, x: &Tensor) -> Tensor {
+        assert_eq!(self.rows, x.rows, "spmm^T shape mismatch");
+        let mut out = Tensor::zeros(self.cols, x.cols);
+        for r in 0..self.rows {
+            let xrow = &x.data[r * x.cols..(r + 1) * x.cols];
+            for idx in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.indices[idx] as usize;
+                let v = self.values[idx];
+                let orow = &mut out.data[c * x.cols..(c + 1) * x.cols];
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_slice(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_slice(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_slice(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transposed().transposed(), a);
+        assert_eq!(a.transposed().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let t = Tensor::xavier(10, 20, &mut rng);
+        let bound = (6.0 / 30.0f32).sqrt();
+        assert!(t.data.iter().all(|&v| v.abs() <= bound));
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn sparse_matmul_matches_dense() {
+        // [[1, 0], [2, 3]] * [[1, 1], [1, 0]]
+        let s = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 2.0), (1, 1, 3.0)]);
+        let x = Tensor::from_slice(2, 2, &[1., 1., 1., 0.]);
+        let y = s.matmul_dense(&x);
+        assert_eq!(y.data, vec![1., 1., 5., 2.]);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn sparse_transpose_matmul() {
+        let s = SparseMatrix::from_triplets(2, 3, &[(0, 1, 2.0), (1, 2, 4.0)]);
+        let x = Tensor::from_slice(2, 1, &[1., 1.]);
+        let y = s.transpose_matmul_dense(&x);
+        // s^T is 3x2 with (1,0)=2, (2,1)=4.
+        assert_eq!(y.data, vec![0., 2., 4.]);
+    }
+
+    #[test]
+    fn accessors_and_item() {
+        let mut t = Tensor::zeros(2, 2);
+        t.set(1, 0, 5.0);
+        assert_eq!(t.get(1, 0), 5.0);
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+        assert_eq!(Tensor::row(&[1., 2.]).rows, 1);
+        assert_eq!(Tensor::column(&[1., 2.]).cols, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_and_scale_assign() {
+        let mut a = Tensor::from_slice(1, 3, &[1., 2., 3.]);
+        let b = Tensor::from_slice(1, 3, &[1., 1., 1.]);
+        a.add_assign(&b);
+        a.scale_assign(2.0);
+        assert_eq!(a.data, vec![4., 6., 8.]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Fixed-capacity experience replay with seeded uniform sampling.
+
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// Ring-buffer replay memory over arbitrary transition types.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer<T> {
+    items: Vec<T>,
+    capacity: usize,
+    next: usize,
+}
+
+impl<T: Clone> ReplayBuffer<T> {
+    /// Creates a buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
+    }
+
+    /// Inserts a transition, evicting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            self.items[self.next] = item;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples `k` transitions without replacement (clamped to the stored
+    /// count); returns references in sampled order.
+    pub fn sample<'a>(&'a self, k: usize, rng: &mut impl Rng) -> Vec<&'a T> {
+        let k = k.min(self.items.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        sample(rng, self.items.len(), k)
+            .into_iter()
+            .map(|i| &self.items[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn push_and_len() {
+        let mut b = ReplayBuffer::new(3);
+        assert!(b.is_empty());
+        b.push(1);
+        b.push(2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.capacity(), 3);
+    }
+
+    #[test]
+    fn eviction_keeps_newest() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(i);
+        }
+        assert_eq!(b.len(), 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let all: Vec<i32> = b.sample(3, &mut rng).into_iter().copied().collect();
+        // 0 and 1 must have been evicted.
+        assert!(!all.contains(&0) && !all.contains(&1), "{all:?}");
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(i);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut s: Vec<i32> = b.sample(10, &mut rng).into_iter().copied().collect();
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_clamps_to_len() {
+        let mut b = ReplayBuffer::new(5);
+        b.push(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(b.sample(3, &mut rng).len(), 1);
+        let empty: ReplayBuffer<i32> = ReplayBuffer::new(5);
+        assert!(empty.sample(2, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: ReplayBuffer<i32> = ReplayBuffer::new(0);
+    }
+}

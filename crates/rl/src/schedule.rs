@@ -1,0 +1,67 @@
+//! Exploration / learning-rate schedules.
+
+/// Linearly decaying epsilon-greedy schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct EpsilonSchedule {
+    /// Initial exploration rate.
+    pub start: f64,
+    /// Final exploration rate.
+    pub end: f64,
+    /// Steps over which to decay from `start` to `end`.
+    pub decay_steps: usize,
+}
+
+impl EpsilonSchedule {
+    /// A standard 1.0 -> 0.05 schedule over `decay_steps` steps.
+    pub fn standard(decay_steps: usize) -> Self {
+        Self {
+            start: 1.0,
+            end: 0.05,
+            decay_steps,
+        }
+    }
+
+    /// Epsilon at step `t`.
+    pub fn value(&self, t: usize) -> f64 {
+        if self.decay_steps == 0 || t >= self.decay_steps {
+            return self.end;
+        }
+        let frac = t as f64 / self.decay_steps as f64;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let s = EpsilonSchedule::standard(100);
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value(100), 0.05);
+        assert_eq!(s.value(1_000), 0.05);
+    }
+
+    #[test]
+    fn monotone_decay() {
+        let s = EpsilonSchedule::standard(50);
+        let mut last = f64::MAX;
+        for t in 0..60 {
+            let v = s.value(t);
+            assert!(v <= last + 1e-12);
+            assert!((0.05..=1.0).contains(&v));
+            last = v;
+        }
+    }
+
+    #[test]
+    fn zero_decay_steps_is_constant_end() {
+        let s = EpsilonSchedule {
+            start: 0.9,
+            end: 0.1,
+            decay_steps: 0,
+        };
+        assert_eq!(s.value(0), 0.1);
+    }
+}

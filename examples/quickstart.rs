@@ -1,0 +1,52 @@
+//! Quickstart: load a benchmark dataset, solve MCP with Lazy Greedy and IM
+//! with IMM, and print what the paper's headline comparison looks like on
+//! your machine.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mcp_benchmark::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // 1. Pick a dataset from the Table 1 catalog (a synthetic stand-in for
+    //    SNAP's BrightKite; see DESIGN.md for the substitution rationale).
+    let dataset = graph::catalog::by_name("BrightKite").expect("catalog dataset");
+    let g = dataset.load();
+    println!(
+        "Loaded {}: {} nodes, {} arcs (paper original: {} nodes)",
+        dataset.name,
+        g.num_nodes(),
+        g.num_edges(),
+        dataset.paper_nodes
+    );
+
+    // 2. Maximum Coverage: Lazy Greedy (the strong baseline of §3.5).
+    let k = 20;
+    let t = Instant::now();
+    let mcp_solution = mcp::LazyGreedy::run(&g, k);
+    println!(
+        "MCP  k={k}: Lazy Greedy covers {} / {} nodes ({:.1}%) in {:.2?}",
+        mcp_solution.covered,
+        g.num_nodes(),
+        mcp_solution.coverage * 100.0,
+        t.elapsed()
+    );
+
+    // 3. Influence Maximization: weight the graph (Weighted Cascade) and
+    //    run IMM with the paper's epsilon = 0.5.
+    let weighted = graph::weights::assign_weights(&g, WeightModel::WeightedCascade, 0);
+    let t = Instant::now();
+    let (im_solution, rr) = im::Imm::paper_default(0).run(&weighted, k);
+    println!(
+        "IM   k={k}: IMM expects spread {:.1} (from {} RR sets) in {:.2?}",
+        im_solution.spread_estimate,
+        rr.len(),
+        t.elapsed()
+    );
+
+    // 4. Verify with an independent Monte-Carlo estimate.
+    let mc = im::influence_mc(&weighted, &im_solution.seeds, 5_000, 7);
+    println!("      Monte-Carlo check: {mc:.1} (should be close to IMM's estimate)");
+}

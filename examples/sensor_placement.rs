@@ -1,0 +1,81 @@
+//! Sensor-placement scenario (a classic MCP application, cf. Leskovec et
+//! al.'s outbreak detection): place `k` sensors on a water/road network so
+//! the monitored junctions cover as much of the network as possible.
+//!
+//! Demonstrates the full MCP solver lineup, including a trained S2V-DQN,
+//! and reproduces the paper's Fig. 4 shape on one instance: Lazy Greedy
+//! matches Normal Greedy's coverage at a fraction of the runtime, and both
+//! dominate the Deep-RL policy.
+//!
+//! ```sh
+//! cargo run --release --example sensor_placement
+//! ```
+
+use mcp_benchmark::prelude::*;
+use mcpb_mcp::solver::McpSolver;
+use std::time::Instant;
+
+fn main() {
+    // A small-world "junction network": high clustering, short hops — the
+    // regime of physical infrastructure graphs.
+    let network = graph::generators::watts_strogatz(3_000, 3, 0.1, 11);
+    println!(
+        "Junction network: {} nodes, {} arcs",
+        network.num_nodes(),
+        network.num_edges()
+    );
+
+    // Train S2V-DQN on a structurally similar (but distinct) network.
+    println!("training S2V-DQN on a surrogate network...");
+    let train = graph::generators::watts_strogatz(1_000, 3, 0.1, 12);
+    let mut s2v = drl::S2vDqn::new(drl::S2vDqnConfig {
+        episodes: 30,
+        train_budget: 5,
+        seed: 5,
+        ..drl::S2vDqnConfig::default()
+    });
+    let report = s2v.train(&train);
+    println!(
+        "  trained for {:.1}s, best validation coverage {:.3}\n",
+        report.train_seconds,
+        report.best_score()
+    );
+
+    println!(
+        "{:<14} {:>6} {:>10} {:>12}",
+        "method", "k", "coverage", "runtime"
+    );
+    println!("{}", "-".repeat(46));
+    for k in [10usize, 25, 50] {
+        let mut solvers: Vec<(&str, Box<dyn McpSolver>)> = vec![
+            ("NormalGreedy", Box::new(mcp::NormalGreedy)),
+            ("LazyGreedy", Box::new(mcp::LazyGreedy)),
+            ("TopDegree", Box::new(mcp::TopDegree)),
+        ];
+        for (name, solver) in solvers.iter_mut() {
+            let t = Instant::now();
+            let sol = solver.solve(&network, k);
+            println!(
+                "{:<14} {:>6} {:>9.1}% {:>11.3?}",
+                name,
+                k,
+                sol.coverage * 100.0,
+                t.elapsed()
+            );
+        }
+        let t = Instant::now();
+        let sol = McpSolver::solve(&mut s2v, &network, k);
+        println!(
+            "{:<14} {:>6} {:>9.1}% {:>11.3?}",
+            "S2V-DQN",
+            k,
+            sol.coverage * 100.0,
+            t.elapsed()
+        );
+        println!();
+    }
+    println!(
+        "Shape to expect (the paper's Fig. 4): LazyGreedy == NormalGreedy on\n\
+         coverage, orders of magnitude faster, and S2V-DQN below both."
+    );
+}

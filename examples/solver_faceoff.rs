@@ -1,0 +1,45 @@
+//! Declarative benchmark: describe a sweep with [`BenchmarkSpec`], run it,
+//! and print the same quality/runtime tables and §6 rating scale the paper
+//! reports — the whole Fig. 2 pipeline in a dozen lines.
+//!
+//! ```sh
+//! cargo run --release --example solver_faceoff
+//! ```
+
+use mcp_benchmark::prelude::*;
+use mcpb_bench::rating::format_rating_table;
+use mcpb_bench::registry::{ImMethodKind, McpMethodKind};
+
+fn main() {
+    // MCP face-off on two catalog datasets.
+    let mut mcp_spec = BenchmarkSpec::quick_mcp(&["Gowalla", "Digg"], &[10, 25]);
+    mcp_spec.mcp_methods = vec![
+        McpMethodKind::NormalGreedy,
+        McpMethodKind::LazyGreedy,
+        McpMethodKind::Gcomb,
+        McpMethodKind::S2vDqn,
+    ];
+    println!("running MCP benchmark (training GCOMB and S2V-DQN first)...\n");
+    let report = run_benchmark(&mcp_spec);
+    println!("{}", report.quality_table.render());
+    println!("{}", report.runtime_table.render());
+    println!("== Rating scale (MCP) ==\n{}", format_rating_table(&report.rating));
+
+    // IM face-off under two edge-weight models.
+    let mut im_spec = BenchmarkSpec::quick_im(
+        &["BrightKite"],
+        &[10, 25],
+        &[WeightModel::Constant, WeightModel::WeightedCascade],
+    );
+    im_spec.im_methods = vec![
+        ImMethodKind::Imm,
+        ImMethodKind::Opim,
+        ImMethodKind::DDiscount,
+        ImMethodKind::Rl4Im,
+    ];
+    println!("\nrunning IM benchmark (training RL4IM per weight model)...\n");
+    let report = run_benchmark(&im_spec);
+    println!("{}", report.quality_table.render());
+    println!("{}", report.runtime_table.render());
+    println!("== Rating scale (IM) ==\n{}", format_rating_table(&report.rating));
+}

@@ -1,0 +1,296 @@
+//! `mcpbench` — command-line driver that regenerates any table or figure
+//! of the paper.
+//!
+//! ```sh
+//! cargo run --release -- list
+//! cargo run --release -- tab1 fig4            # quick scale
+//! cargo run --release -- --full tab7          # bench scale
+//! cargo run --release -- all                  # every experiment (quick)
+//! ```
+
+use mcpb_bench::experiments::{
+    curves, datasets, distribution, memory, noise, overview, small_scale, training, ExpConfig,
+};
+use mcpb_bench::rating::format_rating_table;
+use mcpb_graph::weights::WeightModel;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("tab1", "Table 1: dataset statistics"),
+    ("fig1", "Figure 1: coverage/runtime overview (MCP & IM)"),
+    ("tab2", "Table 2: training time vs traditional queries"),
+    ("tab3", "Table 3: peak memory usage"),
+    ("fig4", "Figure 4: MCP coverage & runtime curves"),
+    ("fig5", "Figure 5: IM influence curves (CONST/TV/WC)"),
+    ("fig6", "Figure 6: IM runtime curves"),
+    ("fig7", "Figure 7: RL4IM/CHANGE/IMM & Geometric-QN small-scale"),
+    ("tab4", "Table 4: metric vs coverage-gap correlation"),
+    ("tab5", "Table 5: edge-weight-model transfer"),
+    ("tab6", "Table 6: similarity-metric cost vs OPIM"),
+    ("fig8", "Figure 8: performance vs training duration"),
+    ("fig9", "Figure 9: performance vs training-set size"),
+    ("tab7", "Table 7: rating scale"),
+    ("tab8", "Table 8: noise-predictor training time"),
+    ("tab9", "Table 9: good-node proportion"),
+    ("lnd", "Figure 5 (LND panel): starred datasets under learned weights"),
+    ("appendix", "Figures 10-17: appendix curves"),
+    ("datasets", "export the Table 1 catalog as edge-list files"),
+    ("agreement", "seed-set agreement: diagnose the atypical-case signature"),
+    ("robustness", "repeated-query variance per method"),
+];
+
+/// Runs a serialized `BenchmarkSpec` (JSON file) end to end and prints the
+/// report — the scripting entry point for custom sweeps.
+fn run_spec(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read spec {path:?}: {e}"));
+    let spec: mcpb_core::BenchmarkSpec =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("invalid spec: {e}"));
+    let report = mcpb_core::run_benchmark(&spec);
+    println!("{}", report.quality_table.render());
+    println!("{}", report.runtime_table.render());
+    println!("{}", format_rating_table(&report.rating));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|s| s.as_str()) == Some("run-spec") {
+        let path = args.get(1).expect("usage: mcpbench run-spec <spec.json>");
+        run_spec(path);
+        return;
+    }
+    let full = args.iter().any(|a| a == "--full");
+    let mut ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    if ids.is_empty() || ids.contains(&"list") {
+        println!("usage: mcpbench [--full] <experiment>...\n\nexperiments:");
+        for (id, desc) in EXPERIMENTS {
+            println!("  {id:<9} {desc}");
+        }
+        println!("  all       run every experiment");
+        return;
+    }
+    if ids.contains(&"all") {
+        ids = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
+    }
+    let cfg = if full {
+        ExpConfig::full()
+    } else {
+        ExpConfig::quick()
+    };
+    println!(
+        "# scale: {} (seed {})\n",
+        if full { "full" } else { "quick" },
+        cfg.seed
+    );
+    for id in ids {
+        run(id, &cfg);
+    }
+}
+
+fn run(id: &str, cfg: &ExpConfig) {
+    match id {
+        "tab1" => {
+            let rows = datasets::tab1_datasets(cfg);
+            println!("{}", datasets::render(&rows).render());
+        }
+        "fig1" => {
+            let (mcp, im) = overview::fig1_overview(cfg);
+            println!(
+                "{}",
+                overview::render_overview("Figure 1a", "MCP overview", &mcp).render()
+            );
+            println!(
+                "{}",
+                overview::render_overview("Figure 1b", "IM overview", &im).render()
+            );
+        }
+        "tab2" => {
+            let rows = training::tab2_training_time(cfg);
+            println!("{}", training::render_tab2(&rows).render());
+        }
+        "tab3" => {
+            let (mcp, im) = memory::tab3_memory(cfg);
+            println!("{}", memory::render("Table 3 (MCP)", "peak memory", &mcp).render());
+            println!("{}", memory::render("Table 3 (IM)", "peak memory", &im).render());
+        }
+        "fig4" => {
+            let records = curves::fig4_mcp_curves(cfg);
+            println!(
+                "{}",
+                curves::render_quality("Figure 4", "MCP coverage (covered nodes)", &records)
+                    .render()
+            );
+            println!(
+                "{}",
+                curves::render_runtime("Figure 4", "MCP runtime", &records).render()
+            );
+        }
+        "fig5" | "fig6" => {
+            let models = if cfg.is_quick() {
+                vec![WeightModel::Constant, WeightModel::WeightedCascade]
+            } else {
+                vec![
+                    WeightModel::Constant,
+                    WeightModel::TriValency,
+                    WeightModel::WeightedCascade,
+                ]
+            };
+            let records = curves::fig56_im_curves(cfg, &models);
+            if id == "fig5" {
+                println!(
+                    "{}",
+                    curves::render_quality("Figure 5", "IM influence spread", &records).render()
+                );
+            } else {
+                println!(
+                    "{}",
+                    curves::render_runtime("Figure 6", "IM runtime", &records).render()
+                );
+            }
+        }
+        "fig7" => {
+            let (a, b) = small_scale::fig7_small_scale(cfg);
+            println!("{}", small_scale::render_fig7a(&a).render());
+            println!("{}", small_scale::render_fig7b(&b).render());
+        }
+        "tab4" => {
+            let cols = distribution::tab4_correlation(cfg);
+            println!("{}", distribution::render_tab4(&cols).render());
+        }
+        "tab5" => {
+            let cells = distribution::tab5_weight_transfer(cfg);
+            println!("{}", distribution::render_tab5(&cells).render());
+        }
+        "tab6" => {
+            let cells = distribution::tab6_similarity_cost(cfg);
+            println!("{}", distribution::render_tab6(&cells).render());
+        }
+        "fig8" => {
+            let curves_ = training::fig8_training_duration(cfg);
+            println!("{}", training::render_fig8(&curves_).render());
+        }
+        "fig9" => {
+            let points = training::fig9_training_size(cfg);
+            println!("{}", training::render_fig9(&points).render());
+        }
+        "tab7" => {
+            let (mcp, im) = overview::tab7_rating(cfg);
+            println!("== Table 7 (MCP) ==\n{}", format_rating_table(&mcp));
+            println!("== Table 7 (IM) ==\n{}", format_rating_table(&im));
+        }
+        "tab8" | "tab9" => {
+            let cells = noise::noise_predictor_study(cfg);
+            if id == "tab8" {
+                println!("{}", noise::render_tab8(&cells).render());
+            } else {
+                println!("{}", noise::render_tab9(&cells).render());
+            }
+        }
+        "lnd" => {
+            let records = curves::fig5_lnd_curves(cfg);
+            println!(
+                "{}",
+                curves::render_quality("Figure 5 (LND)", "IM influence under learned weights", &records)
+                    .render()
+            );
+            println!(
+                "{}",
+                curves::render_runtime("Figure 5 (LND)", "IM runtime under learned weights", &records)
+                    .render()
+            );
+        }
+        "robustness" => {
+            let rows = mcpb_bench::experiments::robustness::robustness_study(cfg);
+            println!("{}", mcpb_bench::experiments::robustness::render(&rows).render());
+        }
+        "agreement" => {
+            use mcpb_bench::agreement::{pairwise_agreements, summarize, SolverAnswer};
+            use mcpb_bench::scorer::ImScorer;
+            use mcpb_graph::weights::assign_weights;
+            use mcpb_im::prelude::*;
+            let k = 8;
+            let cases = [
+                (
+                    "typical (BA + WC)",
+                    assign_weights(
+                        &mcpb_graph::generators::barabasi_albert(600, 3, cfg.seed),
+                        WeightModel::WeightedCascade,
+                        0,
+                    ),
+                ),
+                (
+                    "atypical (hub + CONST)",
+                    assign_weights(
+                        &mcpb_graph::generators::hub_graph(600, 4, 0.4, cfg.seed),
+                        WeightModel::Constant,
+                        0,
+                    ),
+                ),
+            ];
+            for (label, g) in cases {
+                let scorer = ImScorer::new(&g, 5_000, cfg.seed);
+                let mut answers = Vec::new();
+                let (imm, _) = Imm::paper_default(cfg.seed).run(&g, k);
+                answers.push(SolverAnswer {
+                    method: "IMM".into(),
+                    quality: scorer.spread(&imm.seeds),
+                    seeds: imm.seeds,
+                });
+                let dd = DegreeDiscount::run(&g, k);
+                answers.push(SolverAnswer {
+                    method: "DDiscount".into(),
+                    quality: scorer.spread(&dd.seeds),
+                    seeds: dd.seeds,
+                });
+                let sa = SimulatedAnnealing::with_seed(cfg.seed).run(&g, k);
+                answers.push(SolverAnswer {
+                    method: "SA".into(),
+                    quality: scorer.spread(&sa.seeds),
+                    seeds: sa.seeds,
+                });
+                let summary = summarize(&pairwise_agreements(&answers));
+                println!(
+                    "{label}: mean Jaccard {:.3}, mean quality gap {:.3}, atypical = {}",
+                    summary.mean_jaccard, summary.mean_quality_gap, summary.atypical
+                );
+            }
+            println!(
+                "\nAtypical = solvers agree on spread while disagreeing on seeds —\n\
+                 the §4.3 regime where Deep-RL appears to 'match' IMM."
+            );
+        }
+        "datasets" => {
+            let dir = std::path::Path::new("target/datasets");
+            std::fs::create_dir_all(dir).expect("create target/datasets");
+            for ds in mcpb_graph::catalog::catalog() {
+                let ds = cfg.scaled(ds);
+                let g = ds.load();
+                let path = dir.join(format!("{}.txt", ds.name.to_lowercase()));
+                let file = std::fs::File::create(&path).expect("create dataset file");
+                mcpb_graph::io::write_edge_list(&g, std::io::BufWriter::new(file))
+                    .expect("write dataset");
+                println!(
+                    "wrote {} ({} nodes, {} arcs)",
+                    path.display(),
+                    g.num_nodes(),
+                    g.num_edges()
+                );
+            }
+        }
+        "appendix" => {
+            let (mcp, im) = curves::appendix_curves(cfg);
+            println!(
+                "{}",
+                curves::render_quality("Figures 10-11", "Appendix MCP coverage", &mcp).render()
+            );
+            println!(
+                "{}",
+                curves::render_quality("Figures 12-17", "Appendix IM influence", &im).render()
+            );
+        }
+        other => eprintln!("unknown experiment {other:?} — run `mcpbench list`"),
+    }
+}

@@ -1,0 +1,134 @@
+//! Failure injection: malformed inputs, degenerate graphs, and
+//! out-of-range parameters must produce typed errors or graceful
+//! no-ops — never panics or garbage.
+
+use mcp_benchmark::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn graph_construction_rejects_bad_edges() {
+    use graph::{Edge, Graph, GraphError};
+    assert!(matches!(
+        Graph::from_edges(2, &[Edge::unweighted(0, 9)]),
+        Err(GraphError::NodeOutOfRange { .. })
+    ));
+    assert!(matches!(
+        Graph::from_edges(2, &[Edge::new(0, 1, f32::INFINITY)]),
+        Err(GraphError::NonFiniteWeight { .. })
+    ));
+    assert!(matches!(
+        Graph::from_edges(2, &[Edge::new(0, 1, f32::NAN)]),
+        Err(GraphError::NonFiniteWeight { .. })
+    ));
+}
+
+#[test]
+fn parser_reports_line_numbers() {
+    use graph::GraphError;
+    let err = graph::io::read_edge_list("0 1\n0 1 0.5\nbroken line\n".as_bytes()).unwrap_err();
+    match err {
+        GraphError::Parse { line, .. } => assert_eq!(line, 3),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn solvers_survive_pathological_graphs() {
+    use graph::{Edge, Graph};
+    // Self-loop-only graph (builder drops them; raw construction keeps them).
+    let selfloops = Graph::from_edges(
+        3,
+        &[Edge::new(0, 0, 0.5), Edge::new(1, 1, 0.5), Edge::new(2, 2, 0.5)],
+    )
+    .unwrap();
+    let sol = mcp::LazyGreedy::run(&selfloops, 2);
+    assert_eq!(sol.covered, 2, "each seed covers only itself");
+
+    // Fully isolated graph.
+    let isolated = Graph::from_edges(5, &[]).unwrap();
+    assert_eq!(mcp::NormalGreedy::run(&isolated, 3).covered, 3);
+    let (imm, _) = im::Imm::paper_default(0).run(&isolated, 3);
+    assert_eq!(imm.seeds.len(), 3, "isolated nodes are still valid seeds");
+
+    // Zero-probability graph: spread must equal the seed count.
+    let zeros = Graph::from_edges(4, &[Edge::new(0, 1, 0.0), Edge::new(1, 2, 0.0)]).unwrap();
+    let spread = im::influence_mc(&zeros, &[0, 3], 500, 1);
+    assert_eq!(spread, 2.0);
+}
+
+#[test]
+fn budgets_beyond_n_are_clamped_everywhere() {
+    let g = graph::weights::assign_weights(
+        &graph::generators::erdos_renyi(12, 20, 4),
+        WeightModel::Constant,
+        0,
+    );
+    assert!(mcp::LazyGreedy::run(&g, 1_000).seeds.len() <= 12);
+    assert!(im::DegreeDiscount::run(&g, 1_000).seeds.len() <= 12);
+    assert!(im::Imm::paper_default(0).run(&g, 1_000).0.seeds.len() <= 12);
+    assert!(im::Opim::paper_default(0).run(&g, 1_000).0.seeds.len() <= 12);
+    assert!(im::SimulatedAnnealing::with_seed(0).run(&g, 1_000).seeds.len() <= 12);
+}
+
+#[test]
+fn deep_rl_models_degrade_gracefully_untrained() {
+    // Solving with an untrained model is legal (random-quality policy).
+    let g = graph::generators::barabasi_albert(60, 2, 5);
+    let model = drl::S2vDqn::new(drl::S2vDqnConfig::default());
+    let seeds = model.infer(&g, 4);
+    assert_eq!(seeds.len(), 4);
+    let mut gcomb = drl::Gcomb::new(drl::GcombConfig::default());
+    assert_eq!(gcomb.infer(&g, 4).len(), 4);
+}
+
+#[test]
+fn lt_model_flags_incompatible_weights() {
+    // CONST weights on a high-degree hub can exceed the LT budget of 1.
+    let mut b = graph::GraphBuilder::new(30);
+    for v in 1..30u32 {
+        b.add_edge(v, 0, 1.0);
+    }
+    let hub = b.build().unwrap();
+    let const_hub = graph::weights::assign_weights(&hub, WeightModel::Constant, 0);
+    assert!(!mcpb_im::lt::is_lt_compatible(&const_hub));
+    let wc_hub = graph::weights::assign_weights(&hub, WeightModel::WeightedCascade, 0);
+    assert!(mcpb_im::lt::is_lt_compatible(&wc_hub));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The edge-list parser never panics on arbitrary input: it either
+    /// parses or returns a typed error.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = graph::io::read_edge_list(input.as_bytes());
+    }
+
+    /// Arbitrary whitespace-separated numeric soup also never panics.
+    #[test]
+    fn parser_handles_numeric_soup(
+        nums in proptest::collection::vec((0u32..50, 0u32..50, -2.0f32..2.0), 0..20)
+    ) {
+        let mut text = String::new();
+        for (a, b, w) in nums {
+            text.push_str(&format!("{a} {b} {w}\n"));
+        }
+        match graph::io::read_edge_list(text.as_bytes()) {
+            Ok(g) => prop_assert!(g.num_nodes() <= 50),
+            Err(_) => {} // negative weights etc. are legal to reject
+        }
+    }
+
+    /// Coverage of arbitrary seed multisets is well-defined (duplicates,
+    /// any order) and bounded by n.
+    #[test]
+    fn coverage_total_is_bounded(seeds in proptest::collection::vec(0u32..40, 0..20)) {
+        let g = graph::generators::erdos_renyi(40, 80, 9);
+        let covered = mcp::covered_count(&g, &seeds);
+        prop_assert!(covered <= 40);
+        if !seeds.is_empty() {
+            prop_assert!(covered >= 1);
+        }
+    }
+}

