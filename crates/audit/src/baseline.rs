@@ -1,0 +1,215 @@
+//! The committed-baseline ratchet.
+//!
+//! `audit.baseline.json` records, per (rule, file), how many findings are
+//! grandfathered in. The gate fails when any cell *grows*; shrinking is
+//! reported as an improvement and `--update-baseline` re-tightens the file
+//! so the debt can only go down.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rules::Finding;
+
+/// Name of the baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "audit.baseline.json";
+
+/// One grandfathered (rule, file) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative file path (`/` separators).
+    pub file: String,
+    /// Number of findings tolerated.
+    pub count: u64,
+}
+
+/// The whole baseline document.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Format version, bumped on breaking layout changes.
+    pub version: u64,
+    /// Grandfathered cells, sorted by (rule, file).
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Builds a baseline from the current findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = count_cells(findings)
+            .into_iter()
+            .map(|((rule, file), count)| BaselineEntry {
+                rule,
+                file,
+                count: count as u64,
+            })
+            .collect();
+        entries.sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
+        Baseline {
+            version: 1,
+            entries,
+        }
+    }
+
+    /// Loads the baseline from `path`. A missing file is an empty baseline
+    /// (everything counts as new debt).
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}"))),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes the baseline to `path` (pretty, trailing newline, stable
+    /// order — diffs stay reviewable).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Tolerated count for a (rule, file) cell.
+    pub fn allowance(&self, rule: &str, file: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.rule == rule && e.file == file)
+            .map(|e| e.count)
+            .unwrap_or(0)
+    }
+}
+
+/// Counts findings per (rule, file). BTreeMap keeps report order stable.
+pub fn count_cells(findings: &[Finding]) -> BTreeMap<(String, String), usize> {
+    let mut cells = BTreeMap::new();
+    for f in findings {
+        *cells
+            .entry((f.rule.to_owned(), f.file.clone()))
+            .or_insert(0) += 1;
+    }
+    cells
+}
+
+/// Outcome of checking findings against the baseline.
+#[derive(Debug, Default)]
+pub struct GateResult {
+    /// Cells that grew: (rule, file, baseline, current) with the offending
+    /// findings.
+    pub regressions: Vec<Regression>,
+    /// Cells that shrank or disappeared: (rule, file, baseline, current).
+    pub improvements: Vec<(String, String, u64, u64)>,
+}
+
+/// One cell that exceeded its allowance.
+#[derive(Debug)]
+pub struct Regression {
+    /// Rule id.
+    pub rule: String,
+    /// File path.
+    pub file: String,
+    /// Grandfathered count.
+    pub allowed: u64,
+    /// Current count.
+    pub current: u64,
+    /// All current findings in the cell (the new one is among them; line
+    /// numbers shift too easily to attribute individual findings).
+    pub findings: Vec<Finding>,
+}
+
+impl GateResult {
+    /// True when nothing got worse.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares current findings to the baseline.
+pub fn check(findings: &[Finding], baseline: &Baseline) -> GateResult {
+    let cells = count_cells(findings);
+    let mut result = GateResult::default();
+    for ((rule, file), count) in &cells {
+        let allowed = baseline.allowance(rule, file);
+        if *count as u64 > allowed {
+            result.regressions.push(Regression {
+                rule: rule.clone(),
+                file: file.clone(),
+                allowed,
+                current: *count as u64,
+                findings: findings
+                    .iter()
+                    .filter(|f| f.rule == rule && &f.file == file)
+                    .cloned()
+                    .collect(),
+            });
+        } else if (*count as u64) < allowed {
+            result
+                .improvements
+                .push((rule.clone(), file.clone(), allowed, *count as u64));
+        }
+    }
+    for e in &baseline.entries {
+        if e.count > 0 && !cells.contains_key(&(e.rule.clone(), e.file.clone())) {
+            result
+                .improvements
+                .push((e.rule.clone(), e.file.clone(), e.count, 0));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: file.to_owned(),
+            line,
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = Baseline::from_findings(&[
+            finding("MCPB001", "crates/a/src/lib.rs", 3),
+            finding("MCPB001", "crates/a/src/lib.rs", 9),
+            finding("MCPB004", "crates/b/src/lib.rs", 1),
+        ]);
+        let text = serde_json::to_string_pretty(&b).expect("serialize");
+        let back: Baseline = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back.entries.len(), 2);
+        assert_eq!(back.allowance("MCPB001", "crates/a/src/lib.rs"), 2);
+        assert_eq!(back.allowance("MCPB004", "crates/b/src/lib.rs"), 1);
+        assert_eq!(back.allowance("MCPB004", "crates/a/src/lib.rs"), 0);
+    }
+
+    #[test]
+    fn growth_fails_shrink_improves() {
+        let baseline = Baseline::from_findings(&[
+            finding("MCPB001", "a.rs", 1),
+            finding("MCPB002", "b.rs", 1),
+        ]);
+        let now = [finding("MCPB001", "a.rs", 1), finding("MCPB001", "a.rs", 2)];
+        let r = check(&now, &baseline);
+        assert!(!r.passed());
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].rule, "MCPB001");
+        assert_eq!((r.regressions[0].allowed, r.regressions[0].current), (1, 2));
+        // MCPB002 in b.rs disappeared entirely.
+        assert_eq!(r.improvements, [("MCPB002".into(), "b.rs".into(), 1, 0)]);
+    }
+
+    #[test]
+    fn missing_baseline_means_zero_allowance() {
+        let r = check(&[finding("MCPB003", "a.rs", 1)], &Baseline::default());
+        assert!(!r.passed());
+        assert_eq!(r.regressions[0].allowed, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! `mcpb-audit`: the workspace lint engine.
+//!
+//! A dependency-free static-analysis pass over the workspace's `.rs`
+//! sources, plus the committed-baseline ratchet that turns it into a CI
+//! gate (`tests/lint_gate.rs` at the workspace root runs it under plain
+//! `cargo test`).
+//!
+//! The scanner is a lightweight line/token pass — no `syn`, no type
+//! resolution — tuned for the handful of defect classes that have actually
+//! bitten this benchmark:
+//!
+//! | id      | name             | why it matters here                         |
+//! |---------|------------------|---------------------------------------------|
+//! | MCPB001 | unwrap-in-lib    | solver crates must surface errors, not abort |
+//! | MCPB002 | panic-in-lib     | same, for explicit `panic!`/`todo!`          |
+//! | MCPB003 | non-seeded-rng   | every experiment must be seed-reproducible   |
+//! | MCPB004 | float-eq         | spread estimates are floats; `==` is a bug   |
+//! | MCPB005 | hash-iter-order  | unordered iteration breaks run-to-run diffs  |
+//! | MCPB006 | lossy-index-cast | node ids truncate silently past `u32::MAX`   |
+//!
+//! False positives are waived inline with `// audit:allow(MCPBnnn)`;
+//! existing debt is grandfathered per (rule, file) in
+//! `audit.baseline.json`, so the gate only fails when a cell *grows*.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use baseline::{check, Baseline, GateResult, BASELINE_FILE};
+pub use rules::{scan_file, Finding, Rule, Severity, RULES};
+pub use source::SourceFile;
+
+/// Everything one audit run produced.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Workspace root scanned.
+    pub root: PathBuf,
+    /// Files scanned (workspace-relative keys).
+    pub files_scanned: usize,
+    /// All findings, in (file, line) order.
+    pub findings: Vec<Finding>,
+}
+
+/// Scans every first-party source file under `root`.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let files = walk::workspace_sources(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let key = walk::path_key(rel);
+        let file = SourceFile::load(&root.join(rel), &key)?;
+        findings.extend(rules::scan_file(&file));
+    }
+    Ok(AuditReport {
+        root: root.to_path_buf(),
+        files_scanned: files.len(),
+        findings,
+    })
+}
+
+/// Runs the full gate: scan + baseline comparison.
+pub fn run_gate(root: &Path) -> io::Result<(AuditReport, GateResult)> {
+    let report = audit_workspace(root)?;
+    let baseline = Baseline::load(&root.join(BASELINE_FILE))?;
+    let result = check(&report.findings, &baseline);
+    Ok((report, result))
+}
+
+/// Renders a gate failure as an actionable message: every regressed cell
+/// with its findings, the rule's severity, and the fix hint.
+pub fn render_regressions(result: &GateResult) -> String {
+    let mut out = String::new();
+    for reg in &result.regressions {
+        let rule = rules::rule_by_id(&reg.rule);
+        let (severity, name, hint) = rule
+            .map(|r| (r.severity.label(), r.name, r.fix_hint))
+            .unwrap_or(("warn", "unknown-rule", ""));
+        let _ = writeln!(
+            out,
+            "{} [{severity}] {name}: {} finding(s) in {} (baseline allows {})",
+            reg.rule, reg.current, reg.file, reg.allowed
+        );
+        for f in &reg.findings {
+            let _ = writeln!(out, "    {}:{}: {}", f.file, f.line, f.snippet);
+        }
+        if !hint.is_empty() {
+            let _ = writeln!(out, "    fix: {hint}");
+        }
+        let _ = writeln!(
+            out,
+            "    (intentional? waive with `// audit:allow({})` or run \
+             `cargo run -p mcpb-audit -- --update-baseline`)",
+            reg.rule
+        );
+    }
+    out
+}
+
+/// Renders the improvements note shown when debt shrank.
+pub fn render_improvements(result: &GateResult) -> String {
+    let mut out = String::new();
+    for (rule, file, was, now) in &result.improvements {
+        let _ = writeln!(out, "improved: {rule} in {file}: {was} -> {now}");
+    }
+    if !out.is_empty() {
+        let _ = writeln!(
+            out,
+            "run `cargo run -p mcpb-audit -- --update-baseline` to ratchet the baseline down"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_runs_on_this_workspace() {
+        let root = walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let report = audit_workspace(&root).expect("audit");
+        assert!(report.files_scanned > 50, "{}", report.files_scanned);
+        // Findings refer to scanned keys and valid rules.
+        for f in &report.findings {
+            assert!(rules::rule_by_id(f.rule).is_some());
+            assert!(f.line >= 1);
+        }
+    }
+
+    #[test]
+    fn regression_rendering_names_rule_and_hint() {
+        let baseline = Baseline::default();
+        let findings = [Finding {
+            rule: "MCPB003",
+            file: "crates/x/src/lib.rs".into(),
+            line: 4,
+            snippet: "let mut rng = thread_rng();".into(),
+        }];
+        let result = check(&findings, &baseline);
+        let msg = render_regressions(&result);
+        assert!(msg.contains("MCPB003"));
+        assert!(msg.contains("non-seeded-rng"));
+        assert!(msg.contains("seed_from_u64"), "hint missing: {msg}");
+        assert!(msg.contains("crates/x/src/lib.rs:4"));
+    }
+}

@@ -1,0 +1,482 @@
+//! The lint rules (MCPB001–MCPB006).
+//!
+//! Every rule is a line-oriented token scan over sanitized source (see
+//! [`crate::source`]), deliberately dependency-free: no `syn`, no type
+//! information. Each rule carries an id, a severity, and a fix hint that is
+//! printed verbatim when the gate fails, so a violation message is
+//! actionable without opening this file.
+
+use crate::source::SourceFile;
+
+/// How bad a finding is. The baseline ratchet treats all severities the
+/// same (any growth fails the gate); severity is for triage display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/robustness debt worth burning down.
+    Info,
+    /// Likely bug or maintainability hazard.
+    Warn,
+    /// Breaks a benchmark-wide invariant (e.g. determinism).
+    Error,
+}
+
+impl Severity {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable identifier, `MCPBnnn`.
+    pub id: &'static str,
+    /// Short human name.
+    pub name: &'static str,
+    /// Triage severity.
+    pub severity: Severity,
+    /// Printed with every violation.
+    pub fix_hint: &'static str,
+}
+
+/// One rule match.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`MCPBnnn`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Raw source line, trimmed, for display.
+    pub snippet: String,
+}
+
+/// The rule table, in id order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "MCPB001",
+        name: "unwrap-in-lib",
+        severity: Severity::Warn,
+        fix_hint: "propagate a Result, or document the invariant with .expect(\"invariant: ...\")",
+    },
+    Rule {
+        id: "MCPB002",
+        name: "panic-in-lib",
+        severity: Severity::Warn,
+        fix_hint: "return an error instead of panicking; use assert!/debug_assert! for internal invariants",
+    },
+    Rule {
+        id: "MCPB003",
+        name: "non-seeded-rng",
+        severity: Severity::Error,
+        fix_hint: "benchmark runs must be reproducible: take a u64 seed and use ChaCha8Rng::seed_from_u64",
+    },
+    Rule {
+        id: "MCPB004",
+        name: "float-eq",
+        severity: Severity::Error,
+        fix_hint: "compare floats with a tolerance ((a - b).abs() < eps) or compare bit patterns explicitly",
+    },
+    Rule {
+        id: "MCPB005",
+        name: "hash-iter-order",
+        severity: Severity::Warn,
+        fix_hint: "HashMap/HashSet iteration order is unstable; sort the keys first or use a BTreeMap/Vec on result paths",
+    },
+    Rule {
+        id: "MCPB006",
+        name: "lossy-index-cast",
+        severity: Severity::Info,
+        fix_hint: "`expr as uN` silently truncates; prefer try_into() or widen the index type",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Runs every rule over one file.
+pub fn scan_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let hash_idents = collect_hash_idents(file);
+    for (lineno, line) in file.lines.iter().enumerate() {
+        check_unwrap(file, lineno, line, &mut findings);
+        check_panic(file, lineno, line, &mut findings);
+        check_rng(file, lineno, line, &mut findings);
+        check_float_eq(file, lineno, line, &mut findings);
+        check_hash_iter(file, lineno, line, &hash_idents, &mut findings);
+        check_lossy_cast(file, lineno, line, &mut findings);
+    }
+    findings
+}
+
+fn push(file: &SourceFile, lineno: usize, rule: &'static str, findings: &mut Vec<Finding>) {
+    if file.is_exempt(lineno, rule) {
+        return;
+    }
+    findings.push(Finding {
+        rule,
+        file: file.rel_path.clone(),
+        line: lineno + 1,
+        snippet: file
+            .raw_lines
+            .get(lineno)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default(),
+    });
+}
+
+/// True if the byte before `idx` cannot extend an identifier (so the match
+/// at `idx` starts a fresh token).
+fn token_start(line: &str, idx: usize) -> bool {
+    idx == 0
+        || !line.as_bytes()[idx - 1].is_ascii_alphanumeric() && line.as_bytes()[idx - 1] != b'_'
+}
+
+/// MCPB001: `.unwrap()` and undocumented `.expect(...)`.
+fn check_unwrap(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec<Finding>) {
+    for (pat, needs_doc_check) in [(".unwrap()", false), (".expect(", true)] {
+        let mut from = 0;
+        while let Some(idx) = line[from..].find(pat) {
+            let at = from + idx;
+            from = at + pat.len();
+            if needs_doc_check && expect_is_documented(file, lineno, at) {
+                continue;
+            }
+            push(file, lineno, "MCPB001", findings);
+        }
+    }
+}
+
+/// An `.expect("invariant: ...")` (message in the *raw* line, since
+/// sanitized text blanks the string) is treated as a documented invariant
+/// and not flagged.
+fn expect_is_documented(file: &SourceFile, lineno: usize, at: usize) -> bool {
+    let Some(raw) = file.raw_lines.get(lineno) else {
+        return false;
+    };
+    raw.get(at..)
+        .map(|r| r.starts_with(".expect(\"invariant:"))
+        .unwrap_or(false)
+}
+
+/// MCPB002: `panic!`, `todo!`, `unimplemented!` in library code.
+fn check_panic(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec<Finding>) {
+    for pat in ["panic!(", "todo!(", "unimplemented!("] {
+        let mut from = 0;
+        while let Some(idx) = line[from..].find(pat) {
+            let at = from + idx;
+            from = at + pat.len();
+            if token_start(line, at) {
+                push(file, lineno, "MCPB002", findings);
+            }
+        }
+    }
+}
+
+/// MCPB003: ambient (non-seeded) randomness.
+fn check_rng(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec<Finding>) {
+    for pat in ["thread_rng", "from_entropy", "rand::random"] {
+        let mut from = 0;
+        while let Some(idx) = line[from..].find(pat) {
+            let at = from + idx;
+            from = at + pat.len();
+            if token_start(line, at) {
+                push(file, lineno, "MCPB003", findings);
+            }
+        }
+    }
+}
+
+/// MCPB004: `==` / `!=` with a float-typed operand (detected through float
+/// literals and `f32::`/`f64::` constants on either side).
+fn check_float_eq(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec<Finding>) {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        let is_cmp = two == b"==" && (i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'!' | b'='))
+            || two == b"!=";
+        // Skip the whole operator so `==`'s second char is not re-examined.
+        if !is_cmp {
+            i += 1;
+            continue;
+        }
+        let lhs = last_token(&line[..i]);
+        let rhs = first_token(&line[i + 2..]);
+        if is_floatish(lhs) || is_floatish(rhs) {
+            push(file, lineno, "MCPB004", findings);
+        }
+        i += 2;
+    }
+}
+
+/// Trailing expression token of `s` (identifier/literal tail).
+fn last_token(s: &str) -> &str {
+    let trimmed = s.trim_end();
+    let start = trimmed
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    &trimmed[start..]
+}
+
+/// Leading expression token of `s`.
+fn first_token(s: &str) -> &str {
+    let trimmed = s.trim_start();
+    let end = trimmed
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .unwrap_or(trimmed.len());
+    &trimmed[..end]
+}
+
+/// Float literal (`1.0`, `3e8`, `2f64`) or `f32::`/`f64::` constant path.
+fn is_floatish(token: &str) -> bool {
+    if token.starts_with("f32::") || token.starts_with("f64::") {
+        return true;
+    }
+    let bytes = token.as_bytes();
+    if bytes.is_empty() || !bytes[0].is_ascii_digit() {
+        return false;
+    }
+    token.contains('.')
+        && token
+            .split('.')
+            .all(|p| p.chars().all(|c| c.is_ascii_digit()))
+        || token.ends_with("f32")
+        || token.ends_with("f64")
+        || (token.contains('e') || token.contains('E'))
+            && token
+                .chars()
+                .all(|c| c.is_ascii_digit() || matches!(c, 'e' | 'E' | '.' | '-' | '+'))
+}
+
+/// Identifiers bound to a HashMap/HashSet in this file (declaration-site
+/// scan: `let x = HashMap::new()`, `x: HashMap<...>`).
+fn collect_hash_idents(file: &SourceFile) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in &file.lines {
+        for marker in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(idx) = line[from..].find(marker) {
+                let at = from + idx;
+                from = at + marker.len();
+                if !token_start(line, at) {
+                    continue;
+                }
+                // `let NAME [: T] = HashMap::new()` on one line.
+                if let Some(let_pos) = line[..at].rfind("let ") {
+                    let name: String = line[let_pos + 4..]
+                        .trim_start()
+                        .trim_start_matches("mut ")
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        idents.push(name);
+                        continue;
+                    }
+                }
+                // `NAME: HashMap<` — struct field or parameter.
+                let before = line[..at].trim_end();
+                if let Some(head) = before.strip_suffix(':') {
+                    let name: String = head
+                        .chars()
+                        .rev()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect::<String>()
+                        .chars()
+                        .rev()
+                        .collect();
+                    if !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
+                    {
+                        idents.push(name);
+                    }
+                }
+            }
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+/// MCPB005: iteration over an identifier known to hold a HashMap/HashSet.
+fn check_hash_iter(
+    file: &SourceFile,
+    lineno: usize,
+    line: &str,
+    hash_idents: &[String],
+    findings: &mut Vec<Finding>,
+) {
+    for ident in hash_idents {
+        // One finding per (line, ident) even when several patterns match
+        // the same expression (e.g. `for k in map.keys()`).
+        let method_hit = [
+            ".iter()",
+            ".keys()",
+            ".values()",
+            ".into_iter()",
+            ".drain()",
+        ]
+        .iter()
+        .any(|suffix| {
+            let pat = format!("{ident}{suffix}");
+            let mut from = 0;
+            while let Some(idx) = line[from..].find(&pat) {
+                let at = from + idx;
+                from = at + pat.len();
+                if token_start(line, at) {
+                    return true;
+                }
+            }
+            false
+        });
+        let for_hit = [
+            format!("in {ident} "),
+            format!("in {ident}."),
+            format!("in {ident} {{"),
+            format!("in &{ident} "),
+            format!("in &{ident} {{"),
+            format!("in &mut {ident} "),
+        ]
+        .iter()
+        .any(|pat| {
+            line.find(pat.as_str())
+                .is_some_and(|idx| token_start(line, idx) && line[..idx].contains("for "))
+        });
+        if method_hit || for_hit {
+            push(file, lineno, "MCPB005", findings);
+        }
+    }
+}
+
+/// MCPB006: truncating `as` casts of computed expressions.
+fn check_lossy_cast(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec<Finding>) {
+    for pat in [
+        " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+    ] {
+        let mut from = 0;
+        while let Some(idx) = line[from..].find(pat) {
+            let at = from + idx;
+            from = at + pat.len();
+            // Require the cast to end the token: `as u32` not `as u32x4`.
+            let end = at + pat.len();
+            if line
+                .as_bytes()
+                .get(end)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            {
+                continue;
+            }
+            // Literal casts (`7 as u32`, `0xff as u32`) are compile-time
+            // checked by the `overflowing_literals` lint; skip them.
+            let lhs = last_token(&line[..at]);
+            let is_literal = !lhs.is_empty()
+                && lhs.chars().next().is_some_and(|c| c.is_ascii_digit())
+                && lhs
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.');
+            if !is_literal {
+                push(file, lineno, "MCPB006", findings);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Finding> {
+        scan_file(&SourceFile::parse("crates/x/src/lib.rs", src))
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_and_undocumented_expect_flagged() {
+        let f = scan("let a = x.unwrap();\nlet b = y.expect(\"oops\");\n");
+        assert_eq!(rules_of(&f), ["MCPB001", "MCPB001"]);
+    }
+
+    #[test]
+    fn documented_expect_is_clean() {
+        let f = scan("let b = y.expect(\"invariant: catalog names are unique\");\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        let f = scan("panic!(\"boom\");\ntodo!();\nunimplemented!()\n");
+        // `unimplemented!()` without `(` suffix pattern: has paren, matches.
+        assert_eq!(rules_of(&f), ["MCPB002", "MCPB002", "MCPB002"]);
+    }
+
+    #[test]
+    fn rng_sources_flagged() {
+        let f = scan("let mut rng = rand::thread_rng();\nlet r = StdRng::from_entropy();\n");
+        assert_eq!(rules_of(&f), ["MCPB003", "MCPB003"]);
+    }
+
+    #[test]
+    fn float_eq_flagged_int_eq_clean() {
+        let f = scan("if x == 1.0 { }\nif 2.5 != y { }\nif n == 3 { }\nif m <= 7 { }\n");
+        assert_eq!(rules_of(&f), ["MCPB004", "MCPB004"]);
+    }
+
+    #[test]
+    fn float_const_eq_flagged() {
+        let f = scan("if x == f64::INFINITY { }\n");
+        assert_eq!(rules_of(&f), ["MCPB004"]);
+    }
+
+    #[test]
+    fn hash_iteration_flagged() {
+        let src = "let mut seen = HashMap::new();\nfor (k, v) in seen.iter() { out.push(k); }\n";
+        let f = scan(src);
+        assert_eq!(rules_of(&f), ["MCPB005"]);
+    }
+
+    #[test]
+    fn vec_iteration_clean() {
+        let f = scan("let v = Vec::new();\nfor x in v.iter() { }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lossy_cast_flagged_literal_cast_clean() {
+        let f = scan("let a = idx as u32;\nlet b = 7 as u32;\nlet c = n as u64;\n");
+        assert_eq!(rules_of(&f), ["MCPB006"]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let f = scan("let msg = \"do not .unwrap() or panic!\"; // thread_rng\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn waiver_suppresses_named_rule_only() {
+        let f = scan("// audit:allow(MCPB001)\nlet a = x.unwrap(); let b = y as u32;\n");
+        assert_eq!(rules_of(&f), ["MCPB006"]);
+    }
+
+    #[test]
+    fn rule_table_is_consistent() {
+        for r in RULES {
+            assert!(r.id.starts_with("MCPB"));
+            assert!(!r.fix_hint.is_empty());
+            assert_eq!(rule_by_id(r.id).map(|x| x.name), Some(r.name));
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Source preprocessing for the rule scanners.
+//!
+//! Rules operate on a *sanitized* view of each file: comments and string
+//! literal contents are replaced with spaces (preserving byte positions and
+//! line structure) so that token patterns like `.unwrap()` inside a doc
+//! comment or an error message never produce findings. During sanitization
+//! two side tables are built:
+//!
+//! - `audit:allow(RULE)` waiver markers found in comments, which suppress the
+//!   named rule on the comment's own line and on the line below it;
+//! - `#[cfg(test)]` region tracking, so rules can exempt inline test modules
+//!   in library files.
+
+use std::path::Path;
+
+/// One preprocessed source file, ready for rule scanning.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across platforms,
+    /// used as the baseline key).
+    pub rel_path: String,
+    /// Raw line text, used for snippets and for rules that must look inside
+    /// string literals (e.g. distinguishing documented `.expect()` calls).
+    pub raw_lines: Vec<String>,
+    /// Sanitized line text: comments and literal contents blanked.
+    pub lines: Vec<String>,
+    /// True when the whole file is test/bench/example code by location.
+    pub is_test_file: bool,
+    /// Per line: true inside a `#[cfg(test)]` item's braces.
+    pub in_test_region: Vec<bool>,
+    /// Per line: rule ids waived via `audit:allow(...)` comments.
+    pub allowed: Vec<Vec<String>>,
+}
+
+impl SourceFile {
+    /// Preprocesses `text` as the contents of `rel_path`.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let raw_lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let n_lines = raw_lines.len();
+        let (sanitized, comments) = sanitize(text);
+        let lines: Vec<String> = sanitized.lines().map(str::to_owned).collect();
+        debug_assert_eq!(lines.len(), n_lines);
+
+        let mut allowed = vec![Vec::new(); n_lines + 1];
+        for (line, comment) in comments {
+            for rule in parse_allow_markers(&comment) {
+                // A waiver covers its own line and the next one, so both
+                // trailing (`stmt // audit:allow(X)`) and standalone
+                // (`// audit:allow(X)` above the statement) styles work.
+                allowed[line].push(rule.clone());
+                if line + 1 < allowed.len() {
+                    allowed[line + 1].push(rule);
+                }
+            }
+        }
+        allowed.truncate(n_lines);
+
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            is_test_file: path_is_test_code(rel_path),
+            in_test_region: test_regions(&lines),
+            raw_lines,
+            lines,
+            allowed,
+        }
+    }
+
+    /// Reads and preprocesses a file from disk.
+    pub fn load(path: &Path, rel_path: &str) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(SourceFile::parse(rel_path, &text))
+    }
+
+    /// True when `rule` must not fire on 0-based `line`: the file or region
+    /// is test code, or a waiver names the rule.
+    pub fn is_exempt(&self, line: usize, rule: &str) -> bool {
+        self.is_test_file
+            || self.in_test_region.get(line).copied().unwrap_or(false)
+            || self
+                .allowed
+                .get(line)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
+/// True for paths whose code is test/bench/example-only by convention.
+fn path_is_test_code(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|part| matches!(part, "tests" | "benches" | "examples" | "fixtures"))
+}
+
+/// Replaces comment and string-literal contents with spaces, preserving line
+/// structure. Returns the sanitized text plus each comment's (0-based start
+/// line, text) for waiver extraction.
+fn sanitize(text: &str) -> (String, Vec<(usize, String)>) {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Pushes a byte of "invisible" content: newlines survive, everything
+    // else becomes a space so columns and line counts are stable.
+    fn blank(out: &mut Vec<u8>, b: u8, line: &mut usize) {
+        if b == b'\n' {
+            out.push(b'\n');
+            *line += 1;
+        } else if b.is_ascii() {
+            out.push(b' ');
+        }
+        // Non-ASCII continuation bytes are dropped; a multi-byte char
+        // shrinks to one space, which keeps lines aligned well enough for
+        // line-oriented scanning.
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start_line = line;
+                let mut comment = String::new();
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    comment.push(bytes[i] as char);
+                    blank(&mut out, bytes[i], &mut line);
+                    i += 1;
+                }
+                comments.push((start_line, comment));
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let mut depth = 0usize;
+                let mut comment = String::new();
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        comment.push_str("/*");
+                        blank(&mut out, b'/', &mut line);
+                        blank(&mut out, b'*', &mut line);
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        comment.push_str("*/");
+                        blank(&mut out, b'*', &mut line);
+                        blank(&mut out, b'/', &mut line);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        comment.push(bytes[i] as char);
+                        blank(&mut out, bytes[i], &mut line);
+                        i += 1;
+                    }
+                }
+                comments.push((start_line, comment));
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            blank(&mut out, b' ', &mut line);
+                            if i + 1 < bytes.len() {
+                                blank(&mut out, bytes[i + 1], &mut line);
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b'"');
+                            i += 1;
+                            break;
+                        }
+                        other => {
+                            blank(&mut out, other, &mut line);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"...", r#"..."#, br"...", b"..." — skip prefix, count
+                // hashes, then blank until the matching close quote.
+                let mut j = i;
+                while bytes[j] == b'r' || bytes[j] == b'b' {
+                    out.push(bytes[j]);
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    out.push(b'#');
+                    hashes += 1;
+                    j += 1;
+                }
+                out.push(b'"');
+                j += 1;
+                let raw = hashes > 0 || bytes[i] != b'b' || bytes.get(i + 1) == Some(&b'r');
+                while j < bytes.len() {
+                    if bytes[j] == b'\\' && !raw {
+                        blank(&mut out, b' ', &mut line);
+                        if j + 1 < bytes.len() {
+                            blank(&mut out, bytes[j + 1], &mut line);
+                        }
+                        j += 2;
+                        continue;
+                    }
+                    if bytes[j] == b'"' && closes_raw(bytes, j, hashes) {
+                        out.push(b'"');
+                        for k in 0..hashes {
+                            let _ = k;
+                            out.push(b'#');
+                        }
+                        j += 1 + hashes;
+                        break;
+                    }
+                    blank(&mut out, bytes[j], &mut line);
+                    j += 1;
+                }
+                i = j;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal is 'x', '\...', while
+                // a lifetime quote is followed by an identifier with no
+                // closing quote right after one character.
+                if is_char_literal(bytes, i) {
+                    out.push(b'\'');
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => {
+                                blank(&mut out, b' ', &mut line);
+                                if i + 1 < bytes.len() {
+                                    blank(&mut out, bytes[i + 1], &mut line);
+                                }
+                                i += 2;
+                            }
+                            b'\'' => {
+                                out.push(b'\'');
+                                i += 1;
+                                break;
+                            }
+                            other => {
+                                blank(&mut out, other, &mut line);
+                                i += 1;
+                            }
+                        }
+                    }
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            b'\n' => {
+                out.push(b'\n');
+                line += 1;
+                i += 1;
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    (String::from_utf8_lossy(&out).into_owned(), comments)
+}
+
+/// Detects `r"`, `r#`, `b"`, `br"`, `br#` string openers at `i`, taking care
+/// not to trip on identifiers ending in `r`/`b` (checked by the caller
+/// context: we additionally require the previous byte to be a non-ident).
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let prev_ident = i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+    if prev_ident {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // Plain b"..." byte string.
+    bytes[i] == b'b' && bytes.get(j) == Some(&b'"')
+}
+
+/// True when the quote at `j` is followed by `hashes` hash marks.
+fn closes_raw(bytes: &[u8], j: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(j + k) == Some(&b'#'))
+}
+
+/// Distinguishes a char literal opening at `i` from a lifetime.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => {
+            // 'x' is a literal; '<ident> without a close quote is a
+            // lifetime. Multi-byte chars ('λ') need a scan to the quote.
+            let mut j = i + 1;
+            let mut chars = 0usize;
+            while j < bytes.len() && chars <= 4 {
+                if bytes[j] == b'\'' {
+                    return true;
+                }
+                if !(bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] >= 0x80) {
+                    return false;
+                }
+                chars += 1;
+                j += 1;
+            }
+            false
+        }
+        None => false,
+    }
+}
+
+/// Extracts rule ids from `audit:allow(RULE)` / `audit:allow(R1, R2)`.
+fn parse_allow_markers(comment: &str) -> Vec<String> {
+    let mut rules = Vec::new();
+    let mut rest = comment;
+    while let Some(idx) = rest.find("audit:allow(") {
+        rest = &rest[idx + "audit:allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            for rule in rest[..end].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    rules.push(rule.to_owned());
+                }
+            }
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    rules
+}
+
+/// Marks lines inside `#[cfg(test)]` items by tracking brace depth on
+/// sanitized text. An attribute arms a pending flag; the next `{` opens a
+/// test frame (a `;` first disarms it — `#[cfg(test)] use ...;`).
+fn test_regions(lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending = false;
+    for (lineno, line) in lines.iter().enumerate() {
+        let mut rest: &str = line;
+        while let Some(idx) = rest.find("#[cfg(test)]") {
+            pending = true;
+            rest = &rest[idx + 1..];
+        }
+        let any_test = stack.iter().any(|&t| t);
+        in_test[lineno] = any_test || pending && line.contains('{');
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    stack.push(pending);
+                    pending = false;
+                }
+                '}' => {
+                    stack.pop();
+                }
+                ';' if stack.iter().all(|&t| !t) => pending = false,
+                _ => {}
+            }
+        }
+        if stack.iter().any(|&t| t) {
+            in_test[lineno] = true;
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"call .unwrap() now\"; // panic! here\nlet y = 1;\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        assert!(!f.lines[0].contains("unwrap"));
+        assert!(!f.lines[0].contains("panic!"));
+        assert!(f.lines[1].contains("let y = 1;"));
+        assert!(f.raw_lines[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn block_comments_preserve_lines() {
+        let src = "a\n/* x\n y */ b\nc\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        assert_eq!(f.lines.len(), 4);
+        assert!(f.lines[2].contains('b'));
+        assert!(!f.lines[1].contains('y'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let p = r#\"thread_rng()\"#;\nlet q = 0;\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        assert!(!f.lines[0].contains("thread_rng"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_strings() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'y';\nlet d = 1;\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        assert!(f.lines[0].contains("fn f<'a>"));
+        assert!(!f.lines[1].contains('y'));
+        assert!(f.lines[2].contains("let d = 1;"));
+    }
+
+    #[test]
+    fn allow_markers_cover_their_line_and_the_next() {
+        let src = "// audit:allow(MCPB001)\nfoo.unwrap();\nbar.unwrap();\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        assert!(f.is_exempt(1, "MCPB001"));
+        assert!(!f.is_exempt(2, "MCPB001"));
+        assert!(!f.is_exempt(1, "MCPB002"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_tracked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        assert!(!f.is_exempt(0, "MCPB001"));
+        assert!(f.is_exempt(3, "MCPB001"));
+        assert!(!f.is_exempt(5, "MCPB001"));
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {\n    body();\n}\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        assert!(!f.is_exempt(3, "MCPB001"));
+    }
+
+    #[test]
+    fn test_paths_are_exempt_everywhere() {
+        let f = SourceFile::parse("crates/foo/tests/it.rs", "x.unwrap();\n");
+        assert!(f.is_exempt(0, "MCPB001"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Negative fixture: scanned as lib code, this file must produce ZERO
+//! findings. Each block is the sanctioned alternative to a rule's
+//! anti-pattern, or a context the rules must not fire in.
+
+use std::collections::{BTreeMap, HashMap};
+
+// MCPB001: propagation and documented invariants are clean.
+fn unwrap_alternatives(x: Option<u32>, r: Result<u32, ()>) -> Option<u32> {
+    let a = x?;
+    let b = r.ok()?;
+    let c = x.expect("invariant: checked non-empty by the caller above");
+    Some(a + b + c)
+}
+
+// MCPB002: assertions are the sanctioned way to state internal invariants.
+fn assert_alternatives(v: &[u32]) {
+    assert!(!v.is_empty(), "caller contract");
+    debug_assert!(v.len() < 1_000_000);
+}
+
+// MCPB003: seeded RNG is the required pattern.
+fn seeded_rng(seed: u64) -> u64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.gen_range(0..10)
+}
+
+// MCPB004: tolerance comparison; integer equality is fine.
+fn float_compare(a: f64, b: f64, n: usize) -> bool {
+    (a - b).abs() < 1e-9 && n == 3
+}
+
+// MCPB005: BTreeMap iterates in key order; Vec order is deterministic.
+fn ordered_iteration(m: BTreeMap<u32, u32>, v: Vec<u32>) -> u32 {
+    let mut total = 0;
+    for (_, val) in m.iter() {
+        total += val;
+    }
+    for x in v.iter() {
+        total += x;
+    }
+    // Non-iterating HashMap use is fine too.
+    let lookup: HashMap<u32, u32> = HashMap::new();
+    total + lookup.get(&0).copied().unwrap_or_default()
+}
+
+// MCPB006: widening casts and literal casts are clean.
+fn widening_casts(n: u32) -> u64 {
+    let wide = n as u64;
+    let lit = 7 as u32;
+    wide + lit as u64
+}
+
+// Strings and comments never fire: "call .unwrap() then panic!(now)" and
+// mention of thread_rng, x == 1.0, or m.iter() stay inert here.
+const DOC: &str = "do not .unwrap(); never panic!(); avoid thread_rng()";
+
+// A waived line is exempt for exactly the named rule.
+fn waived() {
+    // audit:allow(MCPB002)
+    panic!("sanctioned: fixture exercises the waiver path");
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from every rule.
+    #[test]
+    fn unwrap_everywhere_is_fine_in_tests() {
+        let x: Option<u32> = Some(1);
+        assert!(x.unwrap() == 1);
+        let f = 0.5f64;
+        assert!(f == 0.5);
+        let idx = 3usize as u32;
+        let _ = idx;
+    }
+}

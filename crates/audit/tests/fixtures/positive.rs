@@ -1,0 +1,45 @@
+//! Positive fixture: every tagged line (see fixtures_scan.rs for the tag
+//! format) must produce exactly the named finding when scanned as lib
+//! code. Never compiled — scanned as text with a lib-crate path.
+
+use std::collections::{HashMap, HashSet};
+
+fn unwrap_findings(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // FIRE:MCPB001
+    let b = r.expect("should not happen"); // FIRE:MCPB001
+    a + b
+}
+
+fn panic_findings(v: &[u32]) {
+    if v.is_empty() {
+        panic!("empty input"); // FIRE:MCPB002
+    }
+    todo!() // FIRE:MCPB002
+}
+
+fn unimplemented_finding() {
+    unimplemented!() // FIRE:MCPB002
+}
+
+fn rng_findings() {
+    let mut rng = rand::thread_rng(); // FIRE:MCPB003
+    let other = StdRng::from_entropy(); // FIRE:MCPB003
+    let r: f64 = rand::random(); // FIRE:MCPB003
+}
+
+fn float_eq_findings(a: f32, b: f64) -> bool {
+    if a == 0.5 {} // FIRE:MCPB004
+    b != 1.0 // FIRE:MCPB004
+}
+
+fn hash_iter_findings(m: HashMap<u32, u32>, s: HashSet<u32>) {
+    for (k, v) in m.iter() {} // FIRE:MCPB005
+    let total: u32 = s.iter().sum(); // FIRE:MCPB005
+    for k in m.keys() {} // FIRE:MCPB005
+}
+
+fn lossy_cast_findings(n: usize, x: i64) -> u32 {
+    let small = n as u32; // FIRE:MCPB006
+    let short = x as i16; // FIRE:MCPB006
+    small + short as u32 // FIRE:MCPB006
+}

@@ -1,0 +1,79 @@
+//! Golden-file tests for every rule: `fixtures/positive.rs` declares the
+//! expected finding on each flagged line with a `FIRE:<rule>` comment tag,
+//! and `fixtures/negative.rs` must scan clean. The fixtures directory is
+//! excluded from the workspace walk, so these patterns never reach the
+//! committed baseline.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use mcpb_audit::rules::scan_file;
+use mcpb_audit::source::SourceFile;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// `(line, rule)` pairs declared by `FIRE:` tags in fixture comments.
+fn expected_findings(src: &str) -> BTreeSet<(usize, String)> {
+    src.lines()
+        .enumerate()
+        .filter_map(|(i, line)| {
+            line.split("FIRE:")
+                .nth(1)
+                .map(|tag| (i + 1, tag.trim().to_string()))
+        })
+        .collect()
+}
+
+#[test]
+fn positive_fixture_fires_exactly_the_tagged_findings() {
+    let src = fixture("positive.rs");
+    let expected = expected_findings(&src);
+    assert!(expected.len() >= 12, "fixture lost its FIRE tags?");
+
+    // Forced lib-crate path: no path-based test exemption applies.
+    let file = SourceFile::parse("crates/fixture/src/lib.rs", &src);
+    let actual: BTreeSet<(usize, String)> = scan_file(&file)
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+
+    let missed: Vec<_> = expected.difference(&actual).collect();
+    let spurious: Vec<_> = actual.difference(&expected).collect();
+    assert!(missed.is_empty(), "tagged but not flagged: {missed:?}");
+    assert!(spurious.is_empty(), "flagged but not tagged: {spurious:?}");
+}
+
+#[test]
+fn positive_fixture_has_every_rule_at_least_once() {
+    let src = fixture("positive.rs");
+    let fired: BTreeSet<String> = expected_findings(&src)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    for rule in mcpb_audit::rules::RULES {
+        assert!(fired.contains(rule.id), "no positive case for {}", rule.id);
+    }
+}
+
+#[test]
+fn negative_fixture_scans_clean() {
+    let file = SourceFile::parse("crates/fixture/src/lib.rs", &fixture("negative.rs"));
+    let findings = scan_file(&file);
+    assert!(
+        findings.is_empty(),
+        "negative fixture should be clean: {findings:?}"
+    );
+}
+
+#[test]
+fn test_path_exempts_the_whole_positive_fixture() {
+    // The same anti-pattern soup under a tests/ path is fully exempt.
+    let file = SourceFile::parse("crates/fixture/tests/helpers.rs", &fixture("positive.rs"));
+    let findings = scan_file(&file);
+    assert!(findings.is_empty(), "tests/ path not exempt: {findings:?}");
+}

@@ -118,9 +118,21 @@ mod tests {
     #[test]
     fn pairwise_covers_all_pairs() {
         let answers = vec![
-            SolverAnswer { method: "A".into(), seeds: vec![1, 2], quality: 10.0 },
-            SolverAnswer { method: "B".into(), seeds: vec![2, 3], quality: 9.5 },
-            SolverAnswer { method: "C".into(), seeds: vec![9, 8], quality: 4.0 },
+            SolverAnswer {
+                method: "A".into(),
+                seeds: vec![1, 2],
+                quality: 10.0,
+            },
+            SolverAnswer {
+                method: "B".into(),
+                seeds: vec![2, 3],
+                quality: 9.5,
+            },
+            SolverAnswer {
+                method: "C".into(),
+                seeds: vec![9, 8],
+                quality: 4.0,
+            },
         ];
         let pairs = pairwise_agreements(&answers);
         assert_eq!(pairs.len(), 3);
@@ -154,11 +166,7 @@ mod tests {
     fn hub_dominated_instance_is_detected_as_atypical() {
         // A graph whose spread is controlled by a handful of hubs under a
         // low uniform probability: many near-equivalent solutions.
-        let g = assign_weights(
-            &generators::hub_graph(400, 4, 0.4, 3),
-            WM::Constant,
-            0,
-        );
+        let g = assign_weights(&generators::hub_graph(400, 4, 0.4, 3), WM::Constant, 0);
         let k = 8;
         let scorer = ImScorer::new(&g, 5_000, 1);
         let mut answers = Vec::new();

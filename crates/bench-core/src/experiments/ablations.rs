@@ -88,8 +88,12 @@ pub fn ablate_gcomb_pruning(cfg: &ExpConfig) -> Vec<AblationRow> {
         let (sol, m) = run_measured(|| McpSolver::solve(&mut model, &test, k));
         rows.push(AblationRow {
             study: "GCOMB pruning".into(),
-            variant: if use_np { "with noise predictor" } else { "full candidate set" }
-                .into(),
+            variant: if use_np {
+                "with noise predictor"
+            } else {
+                "full candidate set"
+            }
+            .into(),
             score: sol.covered as f64,
             runtime: m.seconds,
         });
@@ -139,8 +143,12 @@ pub fn ablate_lense_navigation(cfg: &ExpConfig) -> Vec<AblationRow> {
         let (sol, m) = run_measured(|| McpSolver::solve(&mut model, &test, 10));
         rows.push(AblationRow {
             study: "LeNSE navigation".into(),
-            variant: if nav_steps == 0 { "random subgraph" } else { "trained navigation" }
-                .into(),
+            variant: if nav_steps == 0 {
+                "random subgraph"
+            } else {
+                "trained navigation"
+            }
+            .into(),
             score: sol.covered as f64,
             runtime: m.seconds,
         });

@@ -124,7 +124,11 @@ pub fn appendix_curves(cfg: &ExpConfig) -> (Vec<SweepRecord>, Vec<SweepRecord>) 
     let im_rest = cfg.take(&im_rest, 1, im_rest.len().min(4));
     let im_train = cfg.im_train_graph();
     let im = run_im_sweep(
-        &[ImMethodKind::Imm, ImMethodKind::DDiscount, ImMethodKind::Rl4Im],
+        &[
+            ImMethodKind::Imm,
+            ImMethodKind::DDiscount,
+            ImMethodKind::Rl4Im,
+        ],
         &im_rest,
         &[WeightModel::Constant],
         &cfg.take(&cfg.budgets(), 1, 2),
@@ -250,14 +254,18 @@ mod tests {
                 .iter()
                 .find(|x| x.method == "IMM" && x.dataset == r.dataset && x.budget == r.budget)
                 .expect("imm cell");
-            assert!(imm.quality >= r.quality * 0.9, "GCOMB {} vs IMM {}", r.quality, imm.quality);
+            assert!(
+                imm.quality >= r.quality * 0.9,
+                "GCOMB {} vs IMM {}",
+                r.quality,
+                imm.quality
+            );
         }
     }
 
     #[test]
     fn fig56_im_curves_quick() {
-        let records =
-            fig56_im_curves(&ExpConfig::quick(), &[WeightModel::WeightedCascade]);
+        let records = fig56_im_curves(&ExpConfig::quick(), &[WeightModel::WeightedCascade]);
         assert!(!records.is_empty());
         // Under WC the paper finds IMM strictly ahead of Deep-RL methods.
         for r in records.iter().filter(|r| r.method == "RL4IM") {

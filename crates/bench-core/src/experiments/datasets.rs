@@ -36,8 +36,18 @@ pub fn render(rows: &[DatasetRow]) -> Table {
         "Table 1",
         "Summary of datasets (synthetic stand-ins; paper sizes in parentheses)",
         &[
-            "Dataset", "|V|", "|E|", "Density", "Clust.coe.", "Triang.(%)", "Diameter",
-            "Eff.diam.", "Isolated(%)", "VCI(%)", "Sum10(%)", "Paper |V|",
+            "Dataset",
+            "|V|",
+            "|E|",
+            "Density",
+            "Clust.coe.",
+            "Triang.(%)",
+            "Diameter",
+            "Eff.diam.",
+            "Isolated(%)",
+            "VCI(%)",
+            "Sum10(%)",
+            "Paper |V|",
         ],
     );
     for r in rows {

@@ -96,7 +96,11 @@ pub fn tab4_correlation(cfg: &ExpConfig) -> Vec<CorrelationColumn> {
     // MCP setting.
     {
         let train = cfg.mcp_train_graph();
-        let methods = [McpMethodKind::Lense, McpMethodKind::Gcomb, McpMethodKind::S2vDqn];
+        let methods = [
+            McpMethodKind::Lense,
+            McpMethodKind::Gcomb,
+            McpMethodKind::S2vDqn,
+        ];
         let mut metric_rows: Vec<Vec<f64>> = Vec::new();
         let mut gaps: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
         let mut solvers: Vec<_> = methods
@@ -131,7 +135,11 @@ pub fn tab4_correlation(cfg: &ExpConfig) -> Vec<CorrelationColumn> {
     };
     for wm in weight_models {
         let train = assign_weights(&cfg.im_train_graph(), wm, cfg.seed);
-        let methods = [ImMethodKind::Lense, ImMethodKind::Gcomb, ImMethodKind::Rl4Im];
+        let methods = [
+            ImMethodKind::Lense,
+            ImMethodKind::Gcomb,
+            ImMethodKind::Rl4Im,
+        ];
         let mut metric_rows: Vec<Vec<f64>> = Vec::new();
         let mut gaps: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
         let mut solvers: Vec<_> = methods
@@ -167,7 +175,11 @@ fn correlate(
         .map(|mi| {
             let xs: Vec<f64> = metric_rows.iter().map(|r| r[mi]).collect();
             let rho = spearman(&xs, gaps);
-            if rho.is_finite() { rho } else { 0.0 }
+            if rho.is_finite() {
+                rho
+            } else {
+                0.0
+            }
         })
         .collect();
     CorrelationColumn {
@@ -180,7 +192,11 @@ fn correlate(
 /// Renders Table 4 (metrics as rows, method columns grouped by setting).
 pub fn render_tab4(columns: &[CorrelationColumn]) -> Table {
     let mut headers = vec!["Metric".to_string()];
-    headers.extend(columns.iter().map(|c| format!("{}:{}", c.setting, c.method)));
+    headers.extend(
+        columns
+            .iter()
+            .map(|c| format!("{}:{}", c.setting, c.method)),
+    );
     let refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(
         "Table 4",
@@ -219,7 +235,11 @@ pub fn tab5_weight_transfer(cfg: &ExpConfig) -> Vec<TransferCell> {
         .collect();
     let datasets = cfg.take(&datasets, 2, datasets.len());
     let budget = if cfg.is_quick() { 10 } else { 50 };
-    let methods = [ImMethodKind::Gcomb, ImMethodKind::Rl4Im, ImMethodKind::Lense];
+    let methods = [
+        ImMethodKind::Gcomb,
+        ImMethodKind::Rl4Im,
+        ImMethodKind::Lense,
+    ];
     let targets = [WeightModel::TriValency, WeightModel::WeightedCascade];
     let mut cells = Vec::new();
 

@@ -54,7 +54,7 @@ impl ExpConfig {
     pub fn quick() -> Self {
         Self {
             scale: Scale::Quick,
-            seed: 42,
+            seed: 7,
         }
     }
 
@@ -62,7 +62,7 @@ impl ExpConfig {
     pub fn full() -> Self {
         Self {
             scale: Scale::Full,
-            seed: 42,
+            seed: 7,
         }
     }
 
@@ -90,16 +90,14 @@ impl ExpConfig {
 
     /// The MCP training graph (the paper trains on BrightKite).
     pub fn mcp_train_graph(&self) -> Graph {
-        let ds = self.scaled(
-            mcpb_graph::catalog::by_name("BrightKite").expect("BrightKite in catalog"),
-        );
+        let ds =
+            self.scaled(mcpb_graph::catalog::by_name("BrightKite").expect("BrightKite in catalog"));
         ds.load()
     }
 
     /// The IM training graph: a 15%-edge subgraph of Youtube, as in §4.
     pub fn im_train_graph(&self) -> Graph {
-        let ds =
-            self.scaled(mcpb_graph::catalog::by_name("Youtube").expect("Youtube in catalog"));
+        let ds = self.scaled(mcpb_graph::catalog::by_name("Youtube").expect("Youtube in catalog"));
         let g = ds.load();
         subsample_edges(&g, 0.15, self.seed)
     }
@@ -117,10 +115,7 @@ pub fn subsample_edges(g: &Graph, fraction: f64, seed: u64) -> Graph {
     use rand::Rng;
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let edges: Vec<mcpb_graph::Edge> = g
-        .edges()
-        .filter(|_| rng.gen::<f64>() < fraction)
-        .collect();
+    let edges: Vec<mcpb_graph::Edge> = g.edges().filter(|_| rng.gen::<f64>() < fraction).collect();
     Graph::from_edges(g.num_nodes(), &edges).expect("subsampled edges are in range")
 }
 

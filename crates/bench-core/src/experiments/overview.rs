@@ -96,7 +96,13 @@ pub fn render_overview(id: &str, title: &str, points: &[OverviewPoint]) -> Table
     let mut t = Table::new(
         id,
         title,
-        &["Method", "AvgQuality", "Quality(std)", "AvgRuntime(xFastest)", "Runtime(std)"],
+        &[
+            "Method",
+            "AvgQuality",
+            "Quality(std)",
+            "AvgRuntime(xFastest)",
+            "Runtime(std)",
+        ],
     );
     for p in points {
         t.push_row(vec![
@@ -186,10 +192,8 @@ mod tests {
 
     #[test]
     fn render_has_all_methods() {
-        let points = overview_points(&[
-            record("X", "d", 5, 0.9, 0.2),
-            record("Y", "d", 5, 0.3, 0.1),
-        ]);
+        let points =
+            overview_points(&[record("X", "d", 5, 0.9, 0.2), record("Y", "d", 5, 0.3, 0.1)]);
         let t = render_overview("Figure 1", "overview", &points);
         let s = t.render();
         assert!(s.contains('X') && s.contains('Y'));

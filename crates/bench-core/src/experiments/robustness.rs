@@ -142,12 +142,7 @@ mod tests {
         let gqn = rows.iter().find(|r| r.method == "Geometric-QN").unwrap();
         // Geometric-QN's random-start exploration must show more relative
         // variance than IMM's guaranteed selection (the §4.3 finding).
-        assert!(
-            gqn.cv >= imm.cv,
-            "G-QN cv {} vs IMM cv {}",
-            gqn.cv,
-            imm.cv
-        );
+        assert!(gqn.cv >= imm.cv, "G-QN cv {} vs IMM cv {}", gqn.cv, imm.cv);
         // And clearly lower mean quality.
         assert!(gqn.mean_quality < imm.mean_quality);
     }

@@ -56,7 +56,11 @@ pub fn fig7a_synthetic(cfg: &ExpConfig) -> Vec<SyntheticPoint> {
         let mut sums = (0.0, 0.0, 0.0);
         for rep in 0..repeats {
             let g = assign_weights(
-                &mcpb_graph::generators::barabasi_albert(n, 2, cfg.seed + rep as u64 * 31 + n as u64),
+                &mcpb_graph::generators::barabasi_albert(
+                    n,
+                    2,
+                    cfg.seed + rep as u64 * 31 + n as u64,
+                ),
                 wm,
                 cfg.seed + rep as u64,
             );
@@ -198,7 +202,12 @@ mod tests {
             // budget (the paper's "atypical case"), so allow 10% estimator
             // noise rather than demanding strict dominance.
             assert!(p.imm >= p.rl4im * 0.9, "IMM {} vs RL4IM {}", p.imm, p.rl4im);
-            assert!(p.imm >= p.change * 0.9, "IMM {} vs CHANGE {}", p.imm, p.change);
+            assert!(
+                p.imm >= p.change * 0.9,
+                "IMM {} vs CHANGE {}",
+                p.imm,
+                p.change
+            );
             assert!(p.rl4im > 0.0 && p.change > 0.0);
         }
         assert!(render_fig7a(&points).render().contains("CHANGE"));
@@ -209,7 +218,12 @@ mod tests {
         let points = fig7b_geometric_qn(&ExpConfig::quick());
         assert_eq!(points.len(), 2);
         for p in &points {
-            assert!(p.ratio > 0.0 && p.ratio <= 1.05, "{}: ratio {}", p.dataset, p.ratio);
+            assert!(
+                p.ratio > 0.0 && p.ratio <= 1.05,
+                "{}: ratio {}",
+                p.dataset,
+                p.ratio
+            );
         }
         assert!(render_fig7b(&points).render().contains("G-QN/IMM"));
     }

@@ -50,7 +50,11 @@ pub fn tab2_training_time(cfg: &ExpConfig) -> Vec<TrainingTimeRow> {
     }
 
     let mcp_train = cfg.mcp_train_graph();
-    let im_train = assign_weights(&cfg.im_train_graph(), WeightModel::WeightedCascade, cfg.seed);
+    let im_train = assign_weights(
+        &cfg.im_train_graph(),
+        WeightModel::WeightedCascade,
+        cfg.seed,
+    );
     let mut rows = Vec::new();
     // Tab. 2 measures the *ratio* of training to query time, so the full
     // run uses the extended training scale (the paper trains for hours).
@@ -151,7 +155,11 @@ pub struct TrainingCurve {
 pub fn fig8_training_duration(cfg: &ExpConfig) -> Vec<TrainingCurve> {
     let mult = if cfg.is_quick() { 1 } else { 4 };
     let budget = 5;
-    let im_train = assign_weights(&cfg.im_train_graph(), WeightModel::WeightedCascade, cfg.seed);
+    let im_train = assign_weights(
+        &cfg.im_train_graph(),
+        WeightModel::WeightedCascade,
+        cfg.seed,
+    );
     let mut curves = Vec::new();
 
     // GCOMB on the Youtube subgraph (Fig. 8a).
@@ -309,7 +317,11 @@ pub fn fig9_training_size(cfg: &ExpConfig) -> Vec<SizePoint> {
     }
 
     // RL4IM: number of synthetic samples and nodes per sample (Fig. 9b).
-    let sample_counts = if cfg.is_quick() { vec![4, 8] } else { vec![5, 20, 50] };
+    let sample_counts = if cfg.is_quick() {
+        vec![4, 8]
+    } else {
+        vec![5, 20, 50]
+    };
     for &c in &sample_counts {
         let pool = synthetic_training_pool(c, 50, WeightModel::WeightedCascade, cfg.seed);
         let mut model = Rl4Im::new(Rl4ImConfig {
@@ -326,7 +338,11 @@ pub fn fig9_training_size(cfg: &ExpConfig) -> Vec<SizePoint> {
             score: report.best_score(),
         });
     }
-    let node_counts = if cfg.is_quick() { vec![30, 60] } else { vec![50, 100, 200] };
+    let node_counts = if cfg.is_quick() {
+        vec![30, 60]
+    } else {
+        vec![50, 100, 200]
+    };
     for &n in &node_counts {
         let pool = synthetic_training_pool(6, n, WeightModel::WeightedCascade, cfg.seed);
         let mut model = Rl4Im::new(Rl4ImConfig {
@@ -348,7 +364,11 @@ pub fn fig9_training_size(cfg: &ExpConfig) -> Vec<SizePoint> {
     let small: Vec<_> = catalog::small_datasets()
         .into_iter()
         .map(|d| {
-            assign_weights(&cfg.scaled(d).load(), WeightModel::WeightedCascade, cfg.seed)
+            assign_weights(
+                &cfg.scaled(d).load(),
+                WeightModel::WeightedCascade,
+                cfg.seed,
+            )
         })
         .collect();
     for count in 1..=small.len() {
@@ -377,7 +397,14 @@ pub fn render_fig8(curves: &[TrainingCurve]) -> Table {
     let mut t = Table::new(
         "Figure 8",
         "Validation score vs training duration",
-        &["Method", "Epoch", "Score", "Loss", "Final", "IMM(same graph)"],
+        &[
+            "Method",
+            "Epoch",
+            "Score",
+            "Loss",
+            "Final",
+            "IMM(same graph)",
+        ],
     );
     for c in curves {
         for cp in &c.checkpoints {

@@ -59,7 +59,9 @@ pub fn rating_scale(observations: &[Observation]) -> Vec<RatingRow> {
     for (d, obs) in &per_dataset {
         best_quality.insert(
             d,
-            obs.iter().map(|o| o.quality).fold(f64::MIN_POSITIVE, f64::max),
+            obs.iter()
+                .map(|o| o.quality)
+                .fold(f64::MIN_POSITIVE, f64::max),
         );
         best_runtime.insert(
             d,
@@ -108,7 +110,11 @@ pub fn rating_scale(observations: &[Observation]) -> Vec<RatingRow> {
             robustness_pct: 0.0, // filled below
         });
     }
-    let max_rob = raw_robustness.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    let max_rob = raw_robustness
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
     for (row, raw) in rows.iter_mut().zip(raw_robustness) {
         row.robustness_pct = raw / max_rob * 100.0;
     }

@@ -305,9 +305,7 @@ pub fn prepare_im(
         ImMethodKind::Change => (Box::new(Change::new(seed)), None),
         ImMethodKind::TimPlus => (Box::new(TimPlus::with_seed(seed)), None),
         ImMethodKind::CelfPlusPlus => (Box::new(CelfPlusPlus::new(5_000, seed)), None),
-        ImMethodKind::SimulatedAnnealing => {
-            (Box::new(SimulatedAnnealing::with_seed(seed)), None)
-        }
+        ImMethodKind::SimulatedAnnealing => (Box::new(SimulatedAnnealing::with_seed(seed)), None),
         ImMethodKind::Gcomb => {
             let mut model = Gcomb::new(GcombConfig {
                 supervised_epochs: 30 * m,
@@ -463,7 +461,11 @@ mod tests {
             ImMethodKind::SimulatedAnnealing,
         ] {
             let mut solver = prepare_im(kind, &train, WeightModel::Constant, Scale::Quick, 1);
-            assert!(solver.train_report.is_none(), "{} is traditional", kind.name());
+            assert!(
+                solver.train_report.is_none(),
+                "{} is traditional",
+                kind.name()
+            );
             let sol = solver.solve(&train, 4);
             assert_eq!(sol.seeds.len(), 4, "{}", kind.name());
         }

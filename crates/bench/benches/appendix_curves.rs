@@ -5,9 +5,18 @@ use mcpb_bench::experiments::{curves, ExpConfig};
 fn bench(c: &mut Criterion) {
     let cfg = ExpConfig::quick();
     let (mcp, im) = curves::appendix_curves(&cfg);
-    println!("{}", curves::render_quality("Figures 10-11", "Appendix MCP", &mcp).render());
-    println!("{}", curves::render_quality("Figures 12-17", "Appendix IM", &im).render());
-    println!("{}", curves::render_runtime("Figures 11/13/15/17", "Appendix runtimes", &im).render());
+    println!(
+        "{}",
+        curves::render_quality("Figures 10-11", "Appendix MCP", &mcp).render()
+    );
+    println!(
+        "{}",
+        curves::render_quality("Figures 12-17", "Appendix IM", &im).render()
+    );
+    println!(
+        "{}",
+        curves::render_runtime("Figures 11/13/15/17", "Appendix runtimes", &im).render()
+    );
 
     c.bench_function("appendix/render", |b| {
         b.iter(|| curves::render_quality("x", "y", &mcp))

@@ -5,8 +5,14 @@ use mcpb_bench::experiments::{overview, ExpConfig};
 fn bench(c: &mut Criterion) {
     let cfg = ExpConfig::quick();
     let (mcp, im) = overview::fig1_overview(&cfg);
-    println!("{}", overview::render_overview("Figure 1a", "MCP overview", &mcp).render());
-    println!("{}", overview::render_overview("Figure 1b", "IM overview", &im).render());
+    println!(
+        "{}",
+        overview::render_overview("Figure 1a", "MCP overview", &mcp).render()
+    );
+    println!(
+        "{}",
+        overview::render_overview("Figure 1b", "IM overview", &im).render()
+    );
 
     c.bench_function("fig1/aggregate_points", |b| {
         b.iter(|| overview::overview_points(&[]))

@@ -7,12 +7,25 @@ use mcpb_mcp::greedy::{LazyGreedy, NormalGreedy};
 fn bench(c: &mut Criterion) {
     let cfg = ExpConfig::quick();
     let records = curves::fig4_mcp_curves(&cfg);
-    println!("{}", curves::render_quality("Figure 4", "MCP coverage", &records).render());
-    println!("{}", curves::render_runtime("Figure 4", "MCP runtime", &records).render());
+    println!(
+        "{}",
+        curves::render_quality("Figure 4", "MCP coverage", &records).render()
+    );
+    println!(
+        "{}",
+        curves::render_runtime("Figure 4", "MCP runtime", &records).render()
+    );
 
-    let g = catalog::by_name("Gowalla").map(|d| cfg.scaled(d)).unwrap().load();
-    c.bench_function("fig4/lazy_greedy_k20", |b| b.iter(|| LazyGreedy::run(&g, 20)));
-    c.bench_function("fig4/normal_greedy_k20", |b| b.iter(|| NormalGreedy::run(&g, 20)));
+    let g = catalog::by_name("Gowalla")
+        .map(|d| cfg.scaled(d))
+        .unwrap()
+        .load();
+    c.bench_function("fig4/lazy_greedy_k20", |b| {
+        b.iter(|| LazyGreedy::run(&g, 20))
+    });
+    c.bench_function("fig4/normal_greedy_k20", |b| {
+        b.iter(|| NormalGreedy::run(&g, 20))
+    });
 }
 
 criterion_group! {

@@ -5,11 +5,12 @@ use mcpb_graph::WeightModel;
 
 fn bench(c: &mut Criterion) {
     let cfg = ExpConfig::quick();
-    let records = curves::fig56_im_curves(
-        &cfg,
-        &[WeightModel::Constant, WeightModel::WeightedCascade],
+    let records =
+        curves::fig56_im_curves(&cfg, &[WeightModel::Constant, WeightModel::WeightedCascade]);
+    println!(
+        "{}",
+        curves::render_quality("Figure 5", "IM influence", &records).render()
     );
-    println!("{}", curves::render_quality("Figure 5", "IM influence", &records).render());
 
     c.bench_function("fig5/render", |b| {
         b.iter(|| curves::render_quality("Figure 5", "IM influence", &records))

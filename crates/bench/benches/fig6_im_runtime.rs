@@ -1,18 +1,24 @@
 //! Figure 6: IM runtime curves under the weight models.
 use criterion::{criterion_group, criterion_main, Criterion};
 use mcpb_bench::experiments::{curves, ExpConfig};
-use mcpb_graph::weights::{assign_weights, WeightModel};
 use mcpb_graph::catalog;
-use mcpb_im::imm::Imm;
+use mcpb_graph::weights::{assign_weights, WeightModel};
 use mcpb_im::discount::DegreeDiscount;
+use mcpb_im::imm::Imm;
 
 fn bench(c: &mut Criterion) {
     let cfg = ExpConfig::quick();
     let records = curves::fig56_im_curves(&cfg, &[WeightModel::TriValency]);
-    println!("{}", curves::render_runtime("Figure 6", "IM runtime", &records).render());
+    println!(
+        "{}",
+        curves::render_runtime("Figure 6", "IM runtime", &records).render()
+    );
 
     let g = assign_weights(
-        &catalog::by_name("BrightKite").map(|d| cfg.scaled(d)).unwrap().load(),
+        &catalog::by_name("BrightKite")
+            .map(|d| cfg.scaled(d))
+            .unwrap()
+            .load(),
         WeightModel::WeightedCascade,
         0,
     );

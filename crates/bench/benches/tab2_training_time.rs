@@ -10,7 +10,10 @@ fn bench(c: &mut Criterion) {
     let rows = training::tab2_training_time(&cfg);
     println!("{}", training::render_tab2(&rows).render());
 
-    let g = catalog::by_name("Pokec").map(|d| cfg.scaled(d)).unwrap().load();
+    let g = catalog::by_name("Pokec")
+        .map(|d| cfg.scaled(d))
+        .unwrap()
+        .load();
     c.bench_function("tab2/lazy_greedy_query_k20", |b| {
         b.iter(|| LazyGreedy::run(&g, 20))
     });

@@ -9,8 +9,14 @@ static ALLOC: TrackingAllocator = TrackingAllocator;
 fn bench(c: &mut Criterion) {
     let cfg = ExpConfig::quick();
     let (mcp, im) = memory::tab3_memory(&cfg);
-    println!("{}", memory::render("Table 3 (MCP)", "peak memory", &mcp).render());
-    println!("{}", memory::render("Table 3 (IM)", "peak memory", &im).render());
+    println!(
+        "{}",
+        memory::render("Table 3 (MCP)", "peak memory", &mcp).render()
+    );
+    println!(
+        "{}",
+        memory::render("Table 3 (IM)", "peak memory", &im).render()
+    );
 
     c.bench_function("tab3/measure_peak_overhead", |b| {
         b.iter(|| mcpb_bench::alloc::measure_peak(|| vec![0u8; 4096].len()))

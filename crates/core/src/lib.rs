@@ -162,10 +162,8 @@ pub fn run_benchmark(spec: &BenchmarkSpec) -> BenchmarkReport {
         Problem::Mcp => ("MCP quality", "MCP runtime"),
         Problem::Im => ("IM influence", "IM runtime"),
     };
-    let quality_table =
-        mcpb_bench::experiments::curves::render_quality("Benchmark", qid, &records);
-    let runtime_table =
-        mcpb_bench::experiments::curves::render_runtime("Benchmark", rid, &records);
+    let quality_table = mcpb_bench::experiments::curves::render_quality("Benchmark", qid, &records);
+    let runtime_table = mcpb_bench::experiments::curves::render_runtime("Benchmark", rid, &records);
     let rating = mcpb_bench::experiments::overview::rating_from_records(&records);
 
     BenchmarkReport {
@@ -193,8 +191,7 @@ mod tests {
 
     #[test]
     fn quick_im_benchmark_end_to_end() {
-        let mut spec =
-            BenchmarkSpec::quick_im(&["Damascus"], &[3], &[WeightModel::Constant]);
+        let mut spec = BenchmarkSpec::quick_im(&["Damascus"], &[3], &[WeightModel::Constant]);
         spec.im_methods = vec![ImMethodKind::DDiscount, ImMethodKind::Imm];
         let report = run_benchmark(&spec);
         assert_eq!(report.records.len(), 2);

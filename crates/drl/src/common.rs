@@ -258,11 +258,7 @@ mod tests {
 
     #[test]
     fn coverage_oracle_gains() {
-        let g = Graph::from_edges(
-            4,
-            &[Edge::unweighted(0, 1), Edge::unweighted(0, 2)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(4, &[Edge::unweighted(0, 1), Edge::unweighted(0, 2)]).unwrap();
         let mut o = RewardOracle::new(&g, Task::Mcp, 0);
         assert!((o.marginal_gain(0) - 0.75).abs() < 1e-12);
         let gain = o.add_seed(0);
@@ -308,9 +304,21 @@ mod tests {
     fn train_report_best() {
         let r = TrainReport {
             checkpoints: vec![
-                Checkpoint { epoch: 0, validation_score: 0.1, loss: 1.0 },
-                Checkpoint { epoch: 5, validation_score: 0.4, loss: 0.5 },
-                Checkpoint { epoch: 9, validation_score: 0.3, loss: 0.4 },
+                Checkpoint {
+                    epoch: 0,
+                    validation_score: 0.1,
+                    loss: 1.0,
+                },
+                Checkpoint {
+                    epoch: 5,
+                    validation_score: 0.4,
+                    loss: 0.5,
+                },
+                Checkpoint {
+                    epoch: 9,
+                    validation_score: 0.3,
+                    loss: 0.4,
+                },
             ],
             train_seconds: 1.0,
         };

@@ -214,11 +214,7 @@ impl Gcomb {
     /// Probabilistic greedy: like greedy but samples among the current
     /// top-5 marginal gains, producing diverse near-optimal solutions for
     /// label generation. Returns per-run (selection order, gains).
-    fn probabilistic_greedy(
-        &mut self,
-        graph: &Graph,
-        budget: usize,
-    ) -> Vec<(NodeId, f64)> {
+    fn probabilistic_greedy(&mut self, graph: &Graph, budget: usize) -> Vec<(NodeId, f64)> {
         let n = graph.num_nodes();
         let mut oracle = RewardOracle::new(graph, self.cfg.task, self.rng.gen());
         let mut picked = vec![false; n];
@@ -359,10 +355,7 @@ impl Gcomb {
                 if avail.is_empty() {
                     break;
                 }
-                let state = vec![
-                    step as f32 / budget.max(1) as f32,
-                    oracle.total() as f32,
-                ];
+                let state = vec![step as f32 / budget.max(1) as f32, oracle.total() as f32];
                 let actions: Vec<Vec<f32>> = avail
                     .iter()
                     .map(|&v| Self::action_features(&tg, v, &scores, &oracle))
@@ -591,7 +584,12 @@ mod tests {
         model.train(&g);
         let sol = McpSolver::solve(&mut model, &g, 6);
         let rnd = mcpb_mcp::baselines::RandomSeeds::run(&g, 6, 1);
-        assert!(sol.covered > rnd.covered, "{} vs {}", sol.covered, rnd.covered);
+        assert!(
+            sol.covered > rnd.covered,
+            "{} vs {}",
+            sol.covered,
+            rnd.covered
+        );
     }
 
     #[test]

@@ -151,10 +151,7 @@ impl GeometricQn {
             .nodes()
             .filter(|&v| graph.out_degree(v) + graph.in_degree(v) > 0)
             .collect();
-        let start = candidates
-            .choose(&mut self.rng)
-            .copied()
-            .unwrap_or(0);
+        let start = candidates.choose(&mut self.rng).copied().unwrap_or(0);
         let mut discovered: Vec<NodeId> = vec![start];
         let mut in_set = vec![false; n];
         in_set[start as usize] = true;
@@ -235,14 +232,12 @@ impl GeometricQn {
             if g.num_nodes() < 4 {
                 continue;
             }
-            let (discovered, trace) =
-                self.explore(g, |s| schedule.value(s), step_base);
+            let (discovered, trace) = self.explore(g, |s| schedule.value(s), step_base);
             step_base += trace.len();
             // Terminal reward: normalized objective of the seeds found in
             // the discovered region (high-variance sparse signal, as in the
             // original).
-            let seeds =
-                Self::select_from_discovered(g, &discovered, self.cfg.train_budget);
+            let seeds = Self::select_from_discovered(g, &discovered, self.cfg.train_budget);
             let mut oracle =
                 RewardOracle::new(g, self.cfg.task, self.cfg.seed.wrapping_add(ep as u64));
             for &s in &seeds {
@@ -340,8 +335,8 @@ impl McpSolver for GeometricQn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcpb_graph::weights::assign_weights;
     use mcpb_graph::generators;
+    use mcpb_graph::weights::assign_weights;
     use mcpb_graph::WeightModel as WM;
 
     fn tiny_cfg() -> GeometricQnConfig {

@@ -269,19 +269,19 @@ impl Lense {
                 let done = step + 1 == self.cfg.nav_steps;
                 let mut reward = new_quality - quality;
                 if done {
-                    reward += self
-                        .quality_ratio(train_graph, &new_nodes, self.cfg.train_budget, reference)
-                        as f32;
+                    reward += self.quality_ratio(
+                        train_graph,
+                        &new_nodes,
+                        self.cfg.train_budget,
+                        reference,
+                    ) as f32;
                 }
                 let next = self.navigation_actions(train_graph, &new_nodes, new_quality, step + 1);
                 replay.push(Transition {
                     state,
                     action: actions[idx].clone(),
                     reward,
-                    next_state: next
-                        .as_ref()
-                        .map(|(s, _, _)| s.clone())
-                        .unwrap_or_default(),
+                    next_state: next.as_ref().map(|(s, _, _)| s.clone()).unwrap_or_default(),
                     next_actions: if done {
                         Vec::new()
                     } else {
@@ -393,8 +393,7 @@ impl Lense {
         }
         let size = self.cfg.subgraph_size.max(2 * k).min(n);
         let (_, mut nodes) = {
-            let (sub, order) =
-                sample_training_subgraph(graph, size, self.rng.gen());
+            let (sub, order) = sample_training_subgraph(graph, size, self.rng.gen());
             (sub, order)
         };
         if nodes.is_empty() {

@@ -176,14 +176,20 @@ impl Rl4Im {
                 let action = if self.rng.gen::<f64>() < eps {
                     *candidates.choose(&mut self.rng).expect("non-empty")
                 } else {
-                    let q = self.net.q_numbers(&self.online, &sgs[gi], &tags, &candidates);
+                    let q = self
+                        .net
+                        .q_numbers(&self.online, &sgs[gi], &tags, &candidates);
                     candidates[mcpb_rl::dqn::argmax(&q)]
                 };
                 let marginal = oracle.add_seed(action) as f32;
                 let mut next_tags = tags.clone();
                 next_tags[action as usize] = self.tag_value(step, budget);
                 let done = step + 1 == budget;
-                let reward = if self.cfg.reward_shaping { marginal } else { 0.0 };
+                let reward = if self.cfg.reward_shaping {
+                    marginal
+                } else {
+                    0.0
+                };
                 pending.push(Rl4ImTransition {
                     graph_idx: gi,
                     tags: tags.clone(),
@@ -250,9 +256,10 @@ impl Rl4Im {
                 if candidates.is_empty() {
                     t.reward
                 } else {
-                    let q = self.net.q_numbers(&self.target, sg, &t.next_tags, &candidates);
-                    t.reward
-                        + self.cfg.gamma * q.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+                    let q = self
+                        .net
+                        .q_numbers(&self.target, sg, &t.next_tags, &candidates);
+                    t.reward + self.cfg.gamma * q.iter().copied().fold(f32::NEG_INFINITY, f32::max)
                 }
             };
             let mut tape = Tape::new();
@@ -425,6 +432,9 @@ mod tests {
     fn pool_generator_is_deterministic() {
         let a = synthetic_training_pool(3, 30, WeightModel::TriValency, 9);
         let b = synthetic_training_pool(3, 30, WeightModel::TriValency, 9);
-        assert_eq!(a[2].edges().collect::<Vec<_>>(), b[2].edges().collect::<Vec<_>>());
+        assert_eq!(
+            a[2].edges().collect::<Vec<_>>(),
+            b[2].edges().collect::<Vec<_>>()
+        );
     }
 }

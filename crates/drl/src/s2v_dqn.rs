@@ -212,8 +212,7 @@ impl S2vDqn {
             self.cfg.train_subgraph_nodes * 2,
             self.cfg.seed ^ 0x7a11,
         );
-        let mut replay: ReplayBuffer<S2vTransition> =
-            ReplayBuffer::new(self.cfg.replay_capacity);
+        let mut replay: ReplayBuffer<S2vTransition> = ReplayBuffer::new(self.cfg.replay_capacity);
         let schedule = EpsilonSchedule::standard(self.cfg.eps_decay_steps);
         let mut graphs: Vec<EpisodeGraph> = Vec::new();
         let mut best_snapshot = self.online.snapshot();
@@ -257,9 +256,9 @@ impl S2vDqn {
                 let action = if self.rng.gen::<f64>() < eps {
                     *candidates.choose(&mut self.rng).expect("non-empty")
                 } else {
-                    let q =
-                        self.net
-                            .q_numbers(&self.online, &graphs[gi].sg, &tags, &candidates);
+                    let q = self
+                        .net
+                        .q_numbers(&self.online, &graphs[gi].sg, &tags, &candidates);
                     candidates[mcpb_rl::dqn::argmax(&q)]
                 };
                 let reward = oracle.add_seed(action) as f32;
@@ -349,8 +348,7 @@ impl S2vDqn {
                     let q = self
                         .net
                         .q_numbers(&self.target, &eg.sg, &t.next_tags, &candidates);
-                    t.reward
-                        + boot_gamma * q.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+                    t.reward + boot_gamma * q.iter().copied().fold(f32::NEG_INFINITY, f32::max)
                 }
             };
             let mut tape = Tape::new();

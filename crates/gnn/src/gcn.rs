@@ -147,9 +147,7 @@ mod tests {
         let g = generators::barabasi_albert(40, 2, 3);
         let adj = Rc::new(gcn_normalized(&g));
         let n = g.num_nodes();
-        let target: Vec<f32> = (0..n as u32)
-            .map(|v| g.degree(v) as f32 / 10.0)
-            .collect();
+        let target: Vec<f32> = (0..n as u32).map(|v| g.degree(v) as f32 / 10.0).collect();
         let target = Tensor::column(&target);
         let mut store = ParamStore::new(5);
         let enc = GcnEncoder::new(&mut store, "enc", &[1, 16, 1]);

@@ -91,9 +91,21 @@ pub struct SageEncoder {
 
 impl SageEncoder {
     /// Registers both layers.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, out: usize) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        out: usize,
+    ) -> Self {
         Self {
-            l1: SageLayer::new(store, &format!("{name}.1"), in_dim, hidden, Activation::Relu),
+            l1: SageLayer::new(
+                store,
+                &format!("{name}.1"),
+                in_dim,
+                hidden,
+                Activation::Relu,
+            ),
             l2: SageLayer::new(
                 store,
                 &format!("{name}.2"),
@@ -165,7 +177,9 @@ mod tests {
         let g = generators::barabasi_albert(50, 3, 2);
         let agg = Rc::new(mean_aggregator(&g));
         let n = g.num_nodes();
-        let target: Vec<f32> = (0..n as NodeId).map(|v| g.degree(v) as f32 / 20.0).collect();
+        let target: Vec<f32> = (0..n as NodeId)
+            .map(|v| g.degree(v) as f32 / 20.0)
+            .collect();
         let mut store = ParamStore::new(3);
         let enc = SageEncoder::new(&mut store, "sage", 1, 8, 4);
         let head = Linear::new(&mut store, "head", enc.out_dim(), 1);

@@ -35,7 +35,7 @@ pub enum Category {
 }
 
 /// Structural family driving the stand-in generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Family {
     /// Preferential attachment with `m` links per new node and a fraction of
     /// isolated nodes appended.
@@ -44,11 +44,15 @@ enum Family {
     /// isolated fraction.
     SmallWorld { k: usize, beta: f64, isolated: f64 },
     /// Extreme hub concentration (talk-page style) with huge isolated share.
-    HubDominated { hubs: usize, spoke_prob: f64, isolated: f64 },
+    HubDominated {
+        hubs: usize,
+        spoke_prob: f64,
+        isolated: f64,
+    },
 }
 
 /// One catalog entry: the stand-in recipe plus the paper's original numbers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Short name matching Table 1 (e.g. "BrightKite").
     pub name: &'static str,
@@ -74,9 +78,7 @@ pub struct Dataset {
 impl Dataset {
     /// Materializes the stand-in graph. Deterministic per dataset.
     pub fn load(&self) -> Graph {
-        let core_nodes = |iso: f64| {
-            (((self.nodes as f64) * (1.0 - iso)).round() as usize).max(4)
-        };
+        let core_nodes = |iso: f64| (((self.nodes as f64) * (1.0 - iso)).round() as usize).max(4);
         match self.family {
             Family::ScaleFree { m, isolated } => embed(
                 generators::barabasi_albert(core_nodes(isolated).min(self.nodes), m, self.seed),
@@ -84,7 +86,10 @@ impl Dataset {
             ),
             Family::SmallWorld { k, beta, isolated } => {
                 let core = core_nodes(isolated).min(self.nodes).max(2 * k + 1);
-                embed(generators::watts_strogatz(core, k, beta, self.seed), self.nodes)
+                embed(
+                    generators::watts_strogatz(core, k, beta, self.seed),
+                    self.nodes,
+                )
             }
             Family::HubDominated {
                 hubs,
@@ -92,7 +97,10 @@ impl Dataset {
                 isolated,
             } => {
                 let core = core_nodes(isolated).min(self.nodes).max(hubs + 2);
-                embed(generators::hub_graph(core, hubs, spoke_prob, self.seed), self.nodes)
+                embed(
+                    generators::hub_graph(core, hubs, spoke_prob, self.seed),
+                    self.nodes,
+                )
             }
         }
     }
@@ -108,7 +116,9 @@ fn embed(core: Graph, n: usize) -> Graph {
     for e in core.edges() {
         b.add_edge(e.src as NodeId, e.dst as NodeId, e.weight);
     }
-    b.build().expect("core ids fit inside n")
+    b.build()
+        .expect("invariant: core ids fit inside n")
+        .debug_validated()
 }
 
 /// Returns the full 20-dataset catalog in Table 1 order.
@@ -116,26 +126,310 @@ pub fn catalog() -> Vec<Dataset> {
     use Category::*;
     use Family::*;
     vec![
-        Dataset { name: "Damascus", category: Tweets, nodes: 600, family: ScaleFree { m: 1, isolated: 0.0 }, paper_nodes: 3_000, paper_edges: 7_700, used_in_mcp: true, used_in_im: false, lnd_only: false, seed: 101 },
-        Dataset { name: "Israel", category: Tweets, nodes: 600, family: ScaleFree { m: 1, isolated: 0.0 }, paper_nodes: 3_000, paper_edges: 8_300, used_in_mcp: true, used_in_im: false, lnd_only: false, seed: 102 },
-        Dataset { name: "CondMat", category: Collaboration, nodes: 2_000, family: SmallWorld { k: 2, beta: 0.1, isolated: 0.0 }, paper_nodes: 23_000, paper_edges: 186_000, used_in_mcp: true, used_in_im: false, lnd_only: false, seed: 103 },
-        Dataset { name: "Digg", category: Social, nodes: 2_000, family: ScaleFree { m: 4, isolated: 0.37 }, paper_nodes: 26_000, paper_edges: 200_000, used_in_mcp: true, used_in_im: false, lnd_only: false, seed: 104 },
-        Dataset { name: "Flixster", category: Social, nodes: 3_000, family: ScaleFree { m: 3, isolated: 0.39 }, paper_nodes: 95_000, paper_edges: 484_000, used_in_mcp: false, used_in_im: false, lnd_only: true, seed: 105 },
-        Dataset { name: "BrightKite", category: Social, nodes: 3_000, family: ScaleFree { m: 2, isolated: 0.0 }, paper_nodes: 58_000, paper_edges: 214_000, used_in_mcp: true, used_in_im: true, lnd_only: false, seed: 106 },
-        Dataset { name: "Gowalla", category: Social, nodes: 4_000, family: ScaleFree { m: 2, isolated: 0.0 }, paper_nodes: 196_000, paper_edges: 846_000, used_in_mcp: true, used_in_im: false, lnd_only: false, seed: 107 },
-        Dataset { name: "Twitter", category: Tweets, nodes: 5_000, family: ScaleFree { m: 3, isolated: 0.24 }, paper_nodes: 323_000, paper_edges: 2_100_000, used_in_mcp: false, used_in_im: false, lnd_only: true, seed: 108 },
-        Dataset { name: "DBLP", category: Collaboration, nodes: 5_000, family: SmallWorld { k: 2, beta: 0.1, isolated: 0.40 }, paper_nodes: 317_000, paper_edges: 1_000_000, used_in_mcp: true, used_in_im: true, lnd_only: false, seed: 109 },
-        Dataset { name: "Amazon", category: Ecommerce, nodes: 5_000, family: SmallWorld { k: 2, beta: 0.2, isolated: 0.21 }, paper_nodes: 334_000, paper_edges: 925_000, used_in_mcp: true, used_in_im: true, lnd_only: false, seed: 110 },
-        Dataset { name: "Higgs", category: Tweets, nodes: 5_000, family: ScaleFree { m: 16, isolated: 0.0 }, paper_nodes: 456_000, paper_edges: 14_900_000, used_in_mcp: true, used_in_im: true, lnd_only: false, seed: 111 },
-        Dataset { name: "Youtube", category: Social, nodes: 8_000, family: ScaleFree { m: 4, isolated: 0.67 }, paper_nodes: 1_100_000, paper_edges: 4_200_000, used_in_mcp: true, used_in_im: true, lnd_only: false, seed: 112 },
-        Dataset { name: "Pokec", category: Social, nodes: 8_000, family: ScaleFree { m: 9, isolated: 0.12 }, paper_nodes: 1_600_000, paper_edges: 30_600_000, used_in_mcp: true, used_in_im: true, lnd_only: false, seed: 113 },
-        Dataset { name: "Skitter", category: Traceroutes, nodes: 8_000, family: ScaleFree { m: 6, isolated: 0.43 }, paper_nodes: 1_700_000, paper_edges: 11_100_000, used_in_mcp: true, used_in_im: false, lnd_only: false, seed: 114 },
-        Dataset { name: "WikiTopcats", category: Hyperlinks, nodes: 9_000, family: ScaleFree { m: 8, isolated: 0.0 }, paper_nodes: 1_800_000, paper_edges: 28_500_000, used_in_mcp: true, used_in_im: true, lnd_only: false, seed: 115 },
-        Dataset { name: "WikiTalk", category: Communication, nodes: 10_000, family: HubDominated { hubs: 4, spoke_prob: 0.35, isolated: 0.80 }, paper_nodes: 2_400_000, paper_edges: 5_000_000, used_in_mcp: true, used_in_im: true, lnd_only: false, seed: 116 },
-        Dataset { name: "Stack", category: QAndA, nodes: 10_000, family: ScaleFree { m: 8, isolated: 0.27 }, paper_nodes: 2_600_000, paper_edges: 36_200_000, used_in_mcp: false, used_in_im: false, lnd_only: true, seed: 117 },
-        Dataset { name: "Orkut", category: Social, nodes: 10_000, family: ScaleFree { m: 16, isolated: 0.11 }, paper_nodes: 3_100_000, paper_edges: 117_000_000, used_in_mcp: true, used_in_im: true, lnd_only: false, seed: 118 },
-        Dataset { name: "LiveJournal", category: Social, nodes: 12_000, family: ScaleFree { m: 8, isolated: 0.42 }, paper_nodes: 4_800_000, paper_edges: 69_000_000, used_in_mcp: true, used_in_im: true, lnd_only: false, seed: 119 },
-        Dataset { name: "Friendster", category: Social, nodes: 20_000, family: ScaleFree { m: 14, isolated: 0.0 }, paper_nodes: 65_600_000, paper_edges: 1_800_000_000, used_in_mcp: true, used_in_im: false, lnd_only: false, seed: 120 },
+        Dataset {
+            name: "Damascus",
+            category: Tweets,
+            nodes: 600,
+            family: ScaleFree {
+                m: 1,
+                isolated: 0.0,
+            },
+            paper_nodes: 3_000,
+            paper_edges: 7_700,
+            used_in_mcp: true,
+            used_in_im: false,
+            lnd_only: false,
+            seed: 101,
+        },
+        Dataset {
+            name: "Israel",
+            category: Tweets,
+            nodes: 600,
+            family: ScaleFree {
+                m: 1,
+                isolated: 0.0,
+            },
+            paper_nodes: 3_000,
+            paper_edges: 8_300,
+            used_in_mcp: true,
+            used_in_im: false,
+            lnd_only: false,
+            seed: 102,
+        },
+        Dataset {
+            name: "CondMat",
+            category: Collaboration,
+            nodes: 2_000,
+            family: SmallWorld {
+                k: 2,
+                beta: 0.1,
+                isolated: 0.0,
+            },
+            paper_nodes: 23_000,
+            paper_edges: 186_000,
+            used_in_mcp: true,
+            used_in_im: false,
+            lnd_only: false,
+            seed: 103,
+        },
+        Dataset {
+            name: "Digg",
+            category: Social,
+            nodes: 2_000,
+            family: ScaleFree {
+                m: 4,
+                isolated: 0.37,
+            },
+            paper_nodes: 26_000,
+            paper_edges: 200_000,
+            used_in_mcp: true,
+            used_in_im: false,
+            lnd_only: false,
+            seed: 104,
+        },
+        Dataset {
+            name: "Flixster",
+            category: Social,
+            nodes: 3_000,
+            family: ScaleFree {
+                m: 3,
+                isolated: 0.39,
+            },
+            paper_nodes: 95_000,
+            paper_edges: 484_000,
+            used_in_mcp: false,
+            used_in_im: false,
+            lnd_only: true,
+            seed: 105,
+        },
+        Dataset {
+            name: "BrightKite",
+            category: Social,
+            nodes: 3_000,
+            family: ScaleFree {
+                m: 2,
+                isolated: 0.0,
+            },
+            paper_nodes: 58_000,
+            paper_edges: 214_000,
+            used_in_mcp: true,
+            used_in_im: true,
+            lnd_only: false,
+            seed: 106,
+        },
+        Dataset {
+            name: "Gowalla",
+            category: Social,
+            nodes: 4_000,
+            family: ScaleFree {
+                m: 2,
+                isolated: 0.0,
+            },
+            paper_nodes: 196_000,
+            paper_edges: 846_000,
+            used_in_mcp: true,
+            used_in_im: false,
+            lnd_only: false,
+            seed: 107,
+        },
+        Dataset {
+            name: "Twitter",
+            category: Tweets,
+            nodes: 5_000,
+            family: ScaleFree {
+                m: 3,
+                isolated: 0.24,
+            },
+            paper_nodes: 323_000,
+            paper_edges: 2_100_000,
+            used_in_mcp: false,
+            used_in_im: false,
+            lnd_only: true,
+            seed: 108,
+        },
+        Dataset {
+            name: "DBLP",
+            category: Collaboration,
+            nodes: 5_000,
+            family: SmallWorld {
+                k: 2,
+                beta: 0.1,
+                isolated: 0.40,
+            },
+            paper_nodes: 317_000,
+            paper_edges: 1_000_000,
+            used_in_mcp: true,
+            used_in_im: true,
+            lnd_only: false,
+            seed: 109,
+        },
+        Dataset {
+            name: "Amazon",
+            category: Ecommerce,
+            nodes: 5_000,
+            family: SmallWorld {
+                k: 2,
+                beta: 0.2,
+                isolated: 0.21,
+            },
+            paper_nodes: 334_000,
+            paper_edges: 925_000,
+            used_in_mcp: true,
+            used_in_im: true,
+            lnd_only: false,
+            seed: 110,
+        },
+        Dataset {
+            name: "Higgs",
+            category: Tweets,
+            nodes: 5_000,
+            family: ScaleFree {
+                m: 16,
+                isolated: 0.0,
+            },
+            paper_nodes: 456_000,
+            paper_edges: 14_900_000,
+            used_in_mcp: true,
+            used_in_im: true,
+            lnd_only: false,
+            seed: 111,
+        },
+        Dataset {
+            name: "Youtube",
+            category: Social,
+            nodes: 8_000,
+            family: ScaleFree {
+                m: 4,
+                isolated: 0.67,
+            },
+            paper_nodes: 1_100_000,
+            paper_edges: 4_200_000,
+            used_in_mcp: true,
+            used_in_im: true,
+            lnd_only: false,
+            seed: 112,
+        },
+        Dataset {
+            name: "Pokec",
+            category: Social,
+            nodes: 8_000,
+            family: ScaleFree {
+                m: 9,
+                isolated: 0.12,
+            },
+            paper_nodes: 1_600_000,
+            paper_edges: 30_600_000,
+            used_in_mcp: true,
+            used_in_im: true,
+            lnd_only: false,
+            seed: 113,
+        },
+        Dataset {
+            name: "Skitter",
+            category: Traceroutes,
+            nodes: 8_000,
+            family: ScaleFree {
+                m: 6,
+                isolated: 0.43,
+            },
+            paper_nodes: 1_700_000,
+            paper_edges: 11_100_000,
+            used_in_mcp: true,
+            used_in_im: false,
+            lnd_only: false,
+            seed: 114,
+        },
+        Dataset {
+            name: "WikiTopcats",
+            category: Hyperlinks,
+            nodes: 9_000,
+            family: ScaleFree {
+                m: 8,
+                isolated: 0.0,
+            },
+            paper_nodes: 1_800_000,
+            paper_edges: 28_500_000,
+            used_in_mcp: true,
+            used_in_im: true,
+            lnd_only: false,
+            seed: 115,
+        },
+        Dataset {
+            name: "WikiTalk",
+            category: Communication,
+            nodes: 10_000,
+            family: HubDominated {
+                hubs: 4,
+                spoke_prob: 0.35,
+                isolated: 0.80,
+            },
+            paper_nodes: 2_400_000,
+            paper_edges: 5_000_000,
+            used_in_mcp: true,
+            used_in_im: true,
+            lnd_only: false,
+            seed: 116,
+        },
+        Dataset {
+            name: "Stack",
+            category: QAndA,
+            nodes: 10_000,
+            family: ScaleFree {
+                m: 8,
+                isolated: 0.27,
+            },
+            paper_nodes: 2_600_000,
+            paper_edges: 36_200_000,
+            used_in_mcp: false,
+            used_in_im: false,
+            lnd_only: true,
+            seed: 117,
+        },
+        Dataset {
+            name: "Orkut",
+            category: Social,
+            nodes: 10_000,
+            family: ScaleFree {
+                m: 16,
+                isolated: 0.11,
+            },
+            paper_nodes: 3_100_000,
+            paper_edges: 117_000_000,
+            used_in_mcp: true,
+            used_in_im: true,
+            lnd_only: false,
+            seed: 118,
+        },
+        Dataset {
+            name: "LiveJournal",
+            category: Social,
+            nodes: 12_000,
+            family: ScaleFree {
+                m: 8,
+                isolated: 0.42,
+            },
+            paper_nodes: 4_800_000,
+            paper_edges: 69_000_000,
+            used_in_mcp: true,
+            used_in_im: true,
+            lnd_only: false,
+            seed: 119,
+        },
+        Dataset {
+            name: "Friendster",
+            category: Social,
+            nodes: 20_000,
+            family: ScaleFree {
+                m: 14,
+                isolated: 0.0,
+            },
+            paper_nodes: 65_600_000,
+            paper_edges: 1_800_000_000,
+            used_in_mcp: true,
+            used_in_im: false,
+            lnd_only: false,
+            seed: 120,
+        },
     ]
 }
 
@@ -201,7 +495,10 @@ mod tests {
         let a = d.load();
         let b = d.load();
         assert_eq!(a.num_edges(), b.num_edges());
-        assert_eq!(a.edges().take(50).collect::<Vec<_>>(), b.edges().take(50).collect::<Vec<_>>());
+        assert_eq!(
+            a.edges().take(50).collect::<Vec<_>>(),
+            b.edges().take(50).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -172,7 +172,10 @@ mod tests {
     fn components_ignore_direction() {
         let g = Graph::from_edges(
             3,
-            &[crate::csr::Edge::unweighted(1, 0), crate::csr::Edge::unweighted(1, 2)],
+            &[
+                crate::csr::Edge::unweighted(1, 0),
+                crate::csr::Edge::unweighted(1, 2),
+            ],
         )
         .unwrap();
         assert_eq!(connected_components(&g).count, 1);

@@ -84,22 +84,26 @@ impl Graph {
         let in_offsets = prefix_sum(&in_degree);
         let m = edges.len();
 
+        // Fill both adjacencies in sorted order (out by (src, dst), in by
+        // (dst, src)): every constructed graph satisfies the sortedness
+        // invariant checked by [`Graph::validate`], and neighbor lookups
+        // can binary-search.
+        let mut by_src: Vec<u32> = (0..m as u32).collect();
+        by_src.sort_unstable_by_key(|&i| (edges[i as usize].src, edges[i as usize].dst));
+        let mut by_dst: Vec<u32> = (0..m as u32).collect();
+        by_dst.sort_unstable_by_key(|&i| (edges[i as usize].dst, edges[i as usize].src));
+
         let mut out_targets = vec![0 as NodeId; m];
         let mut out_weights = vec![0f32; m];
         let mut in_sources = vec![0 as NodeId; m];
         let mut in_weights = vec![0f32; m];
-        let mut out_cursor = out_offsets.clone();
-        let mut in_cursor = in_offsets.clone();
-
-        for e in edges {
-            let oc = &mut out_cursor[e.src as usize];
-            out_targets[*oc] = e.dst;
-            out_weights[*oc] = e.weight;
-            *oc += 1;
-            let ic = &mut in_cursor[e.dst as usize];
-            in_sources[*ic] = e.src;
-            in_weights[*ic] = e.weight;
-            *ic += 1;
+        for (slot, &i) in by_src.iter().enumerate() {
+            out_targets[slot] = edges[i as usize].dst;
+            out_weights[slot] = edges[i as usize].weight;
+        }
+        for (slot, &i) in by_dst.iter().enumerate() {
+            in_sources[slot] = edges[i as usize].src;
+            in_weights[slot] = edges[i as usize].weight;
         }
 
         Ok(Self {
@@ -244,8 +248,126 @@ impl Graph {
             }
         }
         let g = Graph::from_edges(order.len(), &edges)
-            .expect("induced subgraph edges are in range by construction");
+            .expect("invariant: induced subgraph edges are in range by construction");
         (g, order)
+    }
+
+    /// Checks every structural invariant of the CSR representation:
+    ///
+    /// - offset arrays have length `n + 1`, start at 0, are monotone, and
+    ///   end at the arc count;
+    /// - arc arrays (targets/sources/weights, both directions) agree on the
+    ///   arc count;
+    /// - every endpoint is `< n`;
+    /// - every weight is finite;
+    /// - each node's out-targets and in-sources are sorted;
+    /// - the out- and in-adjacency describe the same arc multiset.
+    ///
+    /// `O(m log m)`. Generators and the dataset catalog run this under
+    /// `debug_assertions`; release builds skip it.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let corrupt = |detail: String| Err(GraphError::Corrupt { detail });
+        let m = self.out_targets.len();
+        if self.out_offsets.len() != self.n + 1 || self.in_offsets.len() != self.n + 1 {
+            return corrupt(format!(
+                "offset arrays have lengths {}/{}, want n + 1 = {}",
+                self.out_offsets.len(),
+                self.in_offsets.len(),
+                self.n + 1
+            ));
+        }
+        if self.out_weights.len() != m || self.in_sources.len() != m || self.in_weights.len() != m {
+            return corrupt(format!(
+                "arc arrays disagree on the arc count: out {}({} w), in {}({} w)",
+                m,
+                self.out_weights.len(),
+                self.in_sources.len(),
+                self.in_weights.len()
+            ));
+        }
+        for (offsets, label) in [(&self.out_offsets, "out"), (&self.in_offsets, "in")] {
+            if offsets[0] != 0 || offsets[self.n] != m {
+                return corrupt(format!(
+                    "{label}_offsets spans {}..{}, want 0..{m}",
+                    offsets[0], offsets[self.n]
+                ));
+            }
+            if let Some(v) = (0..self.n).find(|&v| offsets[v] > offsets[v + 1]) {
+                return corrupt(format!("{label}_offsets decreases at node {v}"));
+            }
+        }
+        for v in 0..self.n as NodeId {
+            for (nbrs, label) in [(self.out_neighbors(v), "out"), (self.in_neighbors(v), "in")] {
+                if let Some(&bad) = nbrs.iter().find(|&&u| (u as usize) >= self.n) {
+                    return corrupt(format!(
+                        "{label}-neighbor {bad} of node {v} is out of range (n = {})",
+                        self.n
+                    ));
+                }
+                if nbrs.windows(2).any(|w| w[0] > w[1]) {
+                    return corrupt(format!("{label}-adjacency of node {v} is not sorted"));
+                }
+            }
+            if let Some((u, _)) = self
+                .out_neighbors(v)
+                .iter()
+                .zip(self.out_weights(v))
+                .chain(self.in_neighbors(v).iter().zip(self.in_weights(v)))
+                .find(|(_, w)| !w.is_finite())
+            {
+                return corrupt(format!("non-finite weight on an arc at ({v}, {u})"));
+            }
+        }
+        let mut fwd = self.arc_keys_forward();
+        let mut rev: Vec<(NodeId, NodeId, u32)> = (0..self.n as NodeId)
+            .flat_map(|v| {
+                self.in_neighbors(v)
+                    .iter()
+                    .zip(self.in_weights(v))
+                    .map(move |(&u, &w)| (u, v, w.to_bits()))
+            })
+            .collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        if fwd != rev {
+            return corrupt("out- and in-adjacency describe different arc multisets".into());
+        }
+        Ok(())
+    }
+
+    /// [`Graph::validate`] plus topological symmetry: every arc `(u, v, w)`
+    /// must be mirrored by `(v, u, w)`, as produced by
+    /// [`GraphBuilder::add_undirected`].
+    pub fn validate_undirected(&self) -> Result<(), GraphError> {
+        self.validate()?;
+        let mut arcs = self.arc_keys_forward();
+        arcs.sort_unstable();
+        for &(u, v, w) in &arcs {
+            if arcs.binary_search(&(v, u, w)).is_err() {
+                return Err(GraphError::Corrupt {
+                    detail: format!("arc ({u}, {v}) has no mirror arc with the same weight"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// All arcs as `(src, dst, weight bits)` from the out-adjacency.
+    fn arc_keys_forward(&self) -> Vec<(NodeId, NodeId, u32)> {
+        self.edges()
+            .map(|e| (e.src, e.dst, e.weight.to_bits()))
+            .collect()
+    }
+
+    /// Debug-mode sanitizer hook: validates in debug builds (panicking on
+    /// corruption), free in release builds. Construction sites chain this
+    /// on their result.
+    #[must_use]
+    pub fn debug_validated(self) -> Graph {
+        #[cfg(debug_assertions)]
+        self.validate()
+            .expect("invariant: constructed graph passes CSR validation");
+        self
     }
 
     /// Returns the transpose (all arcs reversed). In/out adjacency swap.
@@ -297,6 +419,11 @@ pub enum GraphError {
         /// Description of the problem.
         message: String,
     },
+    /// [`Graph::validate`] found a broken CSR invariant.
+    Corrupt {
+        /// Which invariant failed, and where.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -310,6 +437,9 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Corrupt { detail } => {
+                write!(f, "corrupt CSR graph: {detail}")
             }
         }
     }
@@ -372,8 +502,7 @@ impl GraphBuilder {
         if self.dedup {
             self.edges.retain(|e| e.src != e.dst);
             // Stable sort so the last-inserted duplicate wins after dedup.
-            self.edges
-                .sort_by_key(|e| (e.src, e.dst));
+            self.edges.sort_by_key(|e| (e.src, e.dst));
             // Dedup keeps the first of each run; reverse the runs by doing a
             // manual pass that overwrites earlier weights.
             let mut out: Vec<Edge> = Vec::with_capacity(self.edges.len());
@@ -442,7 +571,10 @@ mod tests {
     #[test]
     fn rejects_nan_weight() {
         let err = Graph::from_edges(2, &[Edge::new(0, 1, f32::NAN)]).unwrap_err();
-        assert!(matches!(err, GraphError::NonFiniteWeight { src: 0, dst: 1 }));
+        assert!(matches!(
+            err,
+            GraphError::NonFiniteWeight { src: 0, dst: 1 }
+        ));
     }
 
     #[test]
@@ -521,5 +653,83 @@ mod tests {
     #[test]
     fn memory_bytes_positive() {
         assert!(triangle().memory_bytes() > 0);
+    }
+
+    #[test]
+    fn from_edges_sorts_adjacency() {
+        // Edges deliberately out of order; both adjacencies come out sorted.
+        let g = Graph::from_edges(
+            4,
+            &[
+                Edge::new(0, 3, 1.0),
+                Edge::new(0, 1, 2.0),
+                Edge::new(2, 0, 3.0),
+                Edge::new(1, 0, 4.0),
+                Edge::new(0, 2, 5.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.out_weights(0), &[2.0, 5.0, 1.0]);
+        assert_eq!(g.in_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_weights(0), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_graphs() {
+        triangle().validate().unwrap();
+        Graph::from_edges(0, &[]).unwrap().validate().unwrap();
+        triangle().transpose().validate().unwrap();
+        triangle().reweighted(|_, _, w| w + 1.0).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_unsorted_adjacency() {
+        let mut g = triangle();
+        // Corrupt by hand: give node 0 two out-arcs in descending order.
+        g.out_offsets = vec![0, 2, 3, 3];
+        g.out_targets = vec![2, 1, 2];
+        g.out_weights = vec![0.5, 0.5, 0.25];
+        let err = g.validate().unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt { .. }));
+        assert!(err.to_string().contains("not sorted"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_mismatched_directions() {
+        let mut g = triangle();
+        // In-adjacency claims 0's in-arc comes from 1, but out says 2 -> 0.
+        g.in_sources[0] = 1;
+        let err = g.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("different arc multisets")
+                || err.to_string().contains("not sorted"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_catches_broken_offsets() {
+        let mut g = triangle();
+        g.out_offsets[1] = 5; // beyond the arc count and non-monotone
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_undirected_rejects_one_way_arcs() {
+        let directed = triangle();
+        directed.validate().unwrap();
+        let err = directed.validate_undirected().unwrap_err();
+        assert!(err.to_string().contains("mirror"), "{err}");
+
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected(0, 1, 0.5).add_undirected(1, 2, 0.25);
+        b.build().unwrap().validate_undirected().unwrap();
+    }
+
+    #[test]
+    fn debug_validated_passes_through() {
+        let g = triangle().debug_validated();
+        assert_eq!(g.num_edges(), 3);
     }
 }

@@ -41,7 +41,10 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
             added += 1;
         }
     }
-    builder.build().expect("generated ids are in range")
+    builder
+        .build()
+        .expect("generated ids are in range")
+        .debug_validated()
 }
 
 /// Barabási–Albert preferential attachment: starts from a clique of
@@ -87,7 +90,10 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
             endpoints.push(t);
         }
     }
-    builder.build().expect("generated ids are in range")
+    builder
+        .build()
+        .expect("generated ids are in range")
+        .debug_validated()
 }
 
 /// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
@@ -118,45 +124,44 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
             builder.add_undirected(v as NodeId, t as NodeId, 1.0);
         }
     }
-    builder.build().expect("generated ids are in range")
+    builder
+        .build()
+        .expect("generated ids are in range")
+        .debug_validated()
 }
 
 /// Stochastic block model with `blocks` equally sized communities;
 /// within-community edges appear with probability `p_in`, cross-community
 /// with `p_out`. Used to synthesize graphs with pronounced community
 /// structure (the statistic Tab. 4 found most predictive).
-pub fn stochastic_block_model(
-    n: usize,
-    blocks: usize,
-    p_in: f64,
-    p_out: f64,
-    seed: u64,
-) -> Graph {
+pub fn stochastic_block_model(n: usize, blocks: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
     assert!(blocks >= 1);
     let mut rng = rng(seed);
     let mut builder = GraphBuilder::new(n);
     let block_of = |v: usize| v * blocks / n.max(1);
     for a in 0..n {
         for b in (a + 1)..n {
-            let p = if block_of(a) == block_of(b) { p_in } else { p_out };
+            let p = if block_of(a) == block_of(b) {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen_bool(p) {
                 builder.add_undirected(a as NodeId, b as NodeId, 1.0);
             }
         }
     }
-    builder.build().expect("generated ids are in range")
+    builder
+        .build()
+        .expect("generated ids are in range")
+        .debug_validated()
 }
 
 /// A directed scale-free graph: preferential attachment backbone plus a
 /// fraction `isolated_frac` of trailing isolated nodes, matching the large
 /// isolated-node fractions of several catalog datasets (e.g. Wiki-Talk at
 /// 93.8%).
-pub fn scale_free_with_isolated(
-    n: usize,
-    m_attach: usize,
-    isolated_frac: f64,
-    seed: u64,
-) -> Graph {
+pub fn scale_free_with_isolated(n: usize, m_attach: usize, isolated_frac: f64, seed: u64) -> Graph {
     assert!((0.0..1.0).contains(&isolated_frac));
     let active = ((n as f64) * (1.0 - isolated_frac)).round().max(2.0) as usize;
     let core = barabasi_albert(active.min(n), m_attach, seed);
@@ -164,7 +169,10 @@ pub fn scale_free_with_isolated(
     for e in core.edges() {
         builder.add_edge(e.src, e.dst, e.weight);
     }
-    builder.build().expect("generated ids are in range")
+    builder
+        .build()
+        .expect("generated ids are in range")
+        .debug_validated()
 }
 
 /// A "hub and spokes" star-heavy graph: `hubs` nodes each connected to a
@@ -189,7 +197,10 @@ pub fn hub_graph(n: usize, hubs: usize, spoke_prob: f64, seed: u64) -> Graph {
             builder.add_undirected(a, b, 1.0);
         }
     }
-    builder.build().expect("generated ids are in range")
+    builder
+        .build()
+        .expect("generated ids are in range")
+        .debug_validated()
 }
 
 /// Random node permutation, used when sampling training subgraphs.

@@ -26,7 +26,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
         if trimmed.is_empty() {
             continue;
         }
-        if let Some(rest) = trimmed.strip_prefix('#').or_else(|| trimmed.strip_prefix('%')) {
+        if let Some(rest) = trimmed
+            .strip_prefix('#')
+            .or_else(|| trimmed.strip_prefix('%'))
+        {
             if let Some(ns) = rest.trim().strip_prefix("nodes:") {
                 declared_nodes = ns.trim().parse::<usize>().ok();
             }

@@ -20,7 +20,11 @@ pub struct Partition {
 impl Partition {
     /// Number of distinct communities.
     pub fn num_communities(&self) -> usize {
-        self.communities.iter().copied().max().map_or(0, |m| m as usize + 1)
+        self.communities
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1)
     }
 
     /// Community sizes sorted descending — the profile used when comparing
@@ -145,8 +149,7 @@ fn one_level(view: &UndirectedView) -> (Vec<u32>, bool) {
             comm_degree[old as usize] -= view.degree[v];
             let base = neigh_weight.get(&old).copied().unwrap_or(0.0);
             let mut best = old;
-            let mut best_gain =
-                base - comm_degree[old as usize] * view.degree[v] / two_m;
+            let mut best_gain = base - comm_degree[old as usize] * view.degree[v] / two_m;
             let mut cands: Vec<u32> = neigh_weight.keys().copied().collect();
             cands.sort_unstable(); // deterministic tie handling
             for c in cands {
@@ -174,7 +177,11 @@ fn one_level(view: &UndirectedView) -> (Vec<u32>, bool) {
 
 /// Builds the coarsened graph where each community becomes one node.
 fn aggregate(view: &UndirectedView, assignment: &[u32]) -> UndirectedView {
-    let nc = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let nc = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut maps: Vec<HashMap<NodeId, f64>> = vec![HashMap::new(); nc];
     for v in 0..view.adj.len() {
         let cv = assignment[v] as usize;
@@ -238,7 +245,11 @@ pub fn modularity_of(g: &Graph, assignment: &[u32]) -> f64 {
     if two_m <= 0.0 {
         return 0.0;
     }
-    let nc = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let nc = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut internal = vec![0.0f64; nc]; // sum of internal edge weights * 2
     let mut total_deg = vec![0.0f64; nc];
     for v in 0..view.adj.len() {

@@ -30,7 +30,11 @@ pub fn fractional_ranks(values: &[f64]) -> Vec<f64> {
 /// Pearson correlation of two equal-length samples. Returns 0 for degenerate
 /// (zero-variance) inputs.
 pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "correlation inputs must have equal length");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "correlation inputs must have equal length"
+    );
     let n = x.len();
     if n < 2 {
         return 0.0;
@@ -56,7 +60,11 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
 /// Spearman's rank correlation coefficient, tie-aware (Pearson over
 /// fractional ranks). Result is in `[-1, 1]`.
 pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "correlation inputs must have equal length");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "correlation inputs must have equal length"
+    );
     let rx = fractional_ranks(x);
     let ry = fractional_ranks(y);
     pearson(&rx, &ry).clamp(-1.0, 1.0)

@@ -355,11 +355,7 @@ mod tests {
 
     #[test]
     fn weighted_degree_stats() {
-        let g = Graph::from_edges(
-            2,
-            &[Edge::new(0, 1, 0.5), Edge::new(1, 0, 0.25)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(2, &[Edge::new(0, 1, 0.5), Edge::new(1, 0, 0.25)]).unwrap();
         assert!((average_weighted_degree(&g) - 0.375).abs() < 1e-9);
         assert!((average_edge_weight(&g) - 0.375).abs() < 1e-9);
     }

@@ -72,18 +72,16 @@ pub fn assign_weights(g: &Graph, model: WeightModel, seed: u64) -> Graph {
         WeightModel::Constant => g.reweighted(|_, _, _| CONST_WEIGHT),
         WeightModel::TriValency => {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            g.reweighted(|_, _, _| TRI_VALENCY_WEIGHTS[rng.gen_range(0..3)])
+            g.reweighted(|_, _, _| TRI_VALENCY_WEIGHTS[rng.gen_range(0..3usize)])
         }
-        WeightModel::WeightedCascade => {
-            g.reweighted(|_, v, _| {
-                let d = g.in_degree(v);
-                if d == 0 {
-                    0.0
-                } else {
-                    1.0 / d as f32
-                }
-            })
-        }
+        WeightModel::WeightedCascade => g.reweighted(|_, v, _| {
+            let d = g.in_degree(v);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f32
+            }
+        }),
         WeightModel::Learned => {
             let log = generate_action_log(g, 200, seed);
             learn_credit_distribution(g, &log)
@@ -213,7 +211,11 @@ mod tests {
     fn path_graph() -> Graph {
         Graph::from_edges(
             3,
-            &[Edge::unweighted(0, 1), Edge::unweighted(1, 2), Edge::unweighted(0, 2)],
+            &[
+                Edge::unweighted(0, 1),
+                Edge::unweighted(1, 2),
+                Edge::unweighted(0, 2),
+            ],
         )
         .unwrap()
     }
@@ -277,7 +279,10 @@ mod tests {
         // in-neighbor activation.
         let mut per_action: HashMap<u32, HashMap<NodeId, u32>> = HashMap::new();
         for r in &log.records {
-            per_action.entry(r.action).or_default().insert(r.user, r.time);
+            per_action
+                .entry(r.action)
+                .or_default()
+                .insert(r.user, r.time);
         }
         for times in per_action.values() {
             for (&v, &t) in times {
@@ -313,9 +318,21 @@ mod tests {
         let g = Graph::from_edges(2, &[Edge::unweighted(0, 1)]).unwrap();
         let log = ActionLog {
             records: vec![
-                ActionRecord { user: 0, action: 0, time: 0 },
-                ActionRecord { user: 1, action: 0, time: 1 },
-                ActionRecord { user: 0, action: 1, time: 0 },
+                ActionRecord {
+                    user: 0,
+                    action: 0,
+                    time: 0,
+                },
+                ActionRecord {
+                    user: 1,
+                    action: 0,
+                    time: 1,
+                },
+                ActionRecord {
+                    user: 0,
+                    action: 1,
+                    time: 0,
+                },
             ],
         };
         let learned = learn_credit_distribution(&g, &log);

@@ -76,7 +76,11 @@ pub fn wl_features(g: &Graph, iterations: usize) -> WlFeatures {
         let mut next = vec![0u64; n];
         for v in 0..n {
             scratch.clear();
-            for &u in g.out_neighbors(v as NodeId).iter().chain(g.in_neighbors(v as NodeId)) {
+            for &u in g
+                .out_neighbors(v as NodeId)
+                .iter()
+                .chain(g.in_neighbors(v as NodeId))
+            {
                 scratch.push(labels[u as usize]);
             }
             next[v] = hash_label(labels[v], &mut scratch);
@@ -96,7 +100,11 @@ pub fn wl_kernel(a: &Graph, b: &Graph, iterations: usize) -> f64 {
     let fb = wl_features(b, iterations);
     let denom = fa.norm() * fb.norm();
     if denom == 0.0 {
-        return if a.num_nodes() == 0 && b.num_nodes() == 0 { 1.0 } else { 0.0 };
+        return if a.num_nodes() == 0 && b.num_nodes() == 0 {
+            1.0
+        } else {
+            0.0
+        };
     }
     fa.dot(&fb) / denom
 }

@@ -123,6 +123,10 @@ fn dataset_splits_match_the_paper_protocol() {
     // subset of the larger MCP evaluation).
     let mcp_names: Vec<&str> = catalog::mcp_datasets().iter().map(|d| d.name).collect();
     for d in catalog::im_datasets() {
-        assert!(mcp_names.contains(&d.name), "{} missing from MCP set", d.name);
+        assert!(
+            mcp_names.contains(&d.name),
+            "{} missing from MCP set",
+            d.name
+        );
     }
 }

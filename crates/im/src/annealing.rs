@@ -101,8 +101,7 @@ impl SimulatedAnnealing {
             current[out_idx] = incoming;
             let proposal_spread = Self::spread(&rr, &current);
             let delta = proposal_spread - current_spread;
-            let accept = delta >= 0.0
-                || rng.gen::<f64>() < (delta / temp.max(1e-12)).exp();
+            let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temp.max(1e-12)).exp();
             if accept {
                 in_set[outgoing as usize] = false;
                 in_set[incoming as usize] = true;

@@ -67,7 +67,7 @@ pub fn influence_mc(graph: &Graph, seeds: &[NodeId], trials: usize, seed: u64) -
     let total: u64 = chunks
         .par_iter()
         .map(|&c| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37_79b9)) ;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
             let mut visited = vec![0u32; graph.num_nodes()];
             let mut frontier = Vec::new();
             let in_chunk = chunk.min(trials - c * chunk);
@@ -105,7 +105,11 @@ mod tests {
     fn probability_one_chain_activates_everything() {
         let g = Graph::from_edges(
             4,
-            &[Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(2, 3, 1.0)],
+            &[
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(2, 3, 1.0),
+            ],
         )
         .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -131,8 +135,7 @@ mod tests {
     #[test]
     fn mc_estimate_on_two_independent_edges() {
         // I({0}) = 1 + p + q.
-        let g =
-            Graph::from_edges(3, &[Edge::new(0, 1, 0.5), Edge::new(0, 2, 0.25)]).unwrap();
+        let g = Graph::from_edges(3, &[Edge::new(0, 1, 0.5), Edge::new(0, 2, 0.25)]).unwrap();
         let est = influence_mc(&g, &[0], 20_000, 9);
         assert!((est - 1.75).abs() < 0.03, "estimate {est}");
     }

@@ -90,7 +90,9 @@ impl CelfGreedy {
         }
         let mut round = 0u32;
         while seeds.len() < k.min(n) {
-            let Some((gain, Reverse(v), stamp)) = heap.pop() else { break };
+            let Some((gain, Reverse(v), stamp)) = heap.pop() else {
+                break;
+            };
             if stamp == round {
                 seeds.push(v);
                 current_spread += gain as f64 / SCALE;

@@ -97,7 +97,9 @@ impl CelfPlusPlus {
         let mut in_seeds = vec![false; n];
 
         while seeds.len() < k.min(n) {
-            let Some((gain, Reverse(v))) = heap.pop() else { break };
+            let Some((gain, Reverse(v))) = heap.pop() else {
+                break;
+            };
             if in_seeds[v as usize] {
                 continue;
             }
@@ -191,10 +193,7 @@ mod tests {
         // Same oracle resolution: spreads should be close.
         let a = crate::cascade::influence_mc(&g, &pp.seeds, 4_000, 1);
         let b = crate::cascade::influence_mc(&g, &celf.seeds, 4_000, 1);
-        assert!(
-            (a - b).abs() / b.max(1.0) < 0.05,
-            "celf++ {a} vs celf {b}"
-        );
+        assert!((a - b).abs() / b.max(1.0) < 0.05, "celf++ {a} vs celf {b}");
     }
 
     #[test]

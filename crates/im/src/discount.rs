@@ -93,7 +93,8 @@ impl SingleDiscount {
                 if selected[v] {
                     continue;
                 }
-                if best.is_none_or(|(bs, bv)| score[v] > bs || (score[v] == bs && (v as NodeId) < bv))
+                if best
+                    .is_none_or(|(bs, bv)| score[v] > bs || (score[v] == bs && (v as NodeId) < bv))
                 {
                     best = Some((score[v], v as NodeId));
                 }
@@ -164,7 +165,11 @@ mod tests {
         }
         let g = b.build().unwrap();
         let dd = DegreeDiscount::run(&g, 2);
-        assert_eq!(dd.seeds[1], 4, "second seed should leave the clique: {:?}", dd.seeds);
+        assert_eq!(
+            dd.seeds[1], 4,
+            "second seed should leave the clique: {:?}",
+            dd.seeds
+        );
         let sd = SingleDiscount::run(&g, 2);
         assert_eq!(sd.seeds[1], 4, "{:?}", sd.seeds);
     }
@@ -176,7 +181,10 @@ mod tests {
             WeightModel::Constant,
             0,
         );
-        for solver in [DegreeDiscount::run(&g, 12).seeds, SingleDiscount::run(&g, 12).seeds] {
+        for solver in [
+            DegreeDiscount::run(&g, 12).seeds,
+            SingleDiscount::run(&g, 12).seeds,
+        ] {
             assert_eq!(solver.len(), 12);
             let mut s = solver.clone();
             s.sort_unstable();
@@ -196,7 +204,10 @@ mod tests {
         let dd_spread = influence_mc(&g, &dd.seeds, 4_000, 3);
         let random: Vec<u32> = (120..128).collect();
         let rnd_spread = influence_mc(&g, &random, 4_000, 3);
-        assert!(dd_spread > rnd_spread, "dd {dd_spread} vs random {rnd_spread}");
+        assert!(
+            dd_spread > rnd_spread,
+            "dd {dd_spread} vs random {rnd_spread}"
+        );
     }
 
     #[test]

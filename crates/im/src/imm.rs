@@ -100,12 +100,11 @@ impl Imm {
 
         // Phase 2: sample theta = lambda* / LB sets and select greedily.
         let alpha = (ell * nf.ln() + 2f64.ln()).sqrt();
-        let beta = ((1.0 - 1.0 / std::f64::consts::E) * (log_cnk + ell * nf.ln() + 2f64.ln()))
-            .sqrt();
-        let lambda_star = 2.0 * nf * ((1.0 - 1.0 / std::f64::consts::E) * alpha + beta).powi(2)
-            / (eps * eps);
-        let theta = ((lambda_star / lb).ceil() as usize)
-            .clamp(1, self.params.max_rr_sets);
+        let beta =
+            ((1.0 - 1.0 / std::f64::consts::E) * (log_cnk + ell * nf.ln() + 2f64.ln())).sqrt();
+        let lambda_star =
+            2.0 * nf * ((1.0 - 1.0 / std::f64::consts::E) * alpha + beta).powi(2) / (eps * eps);
+        let theta = ((lambda_star / lb).ceil() as usize).clamp(1, self.params.max_rr_sets);
         rr.extend_to(graph, theta, self.params.seed);
         let (seeds, covered) = rr.greedy_max_coverage(k);
         let spread = nf * covered as f64 / rr.len().max(1) as f64;

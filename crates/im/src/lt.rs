@@ -23,9 +23,9 @@ use rayon::prelude::*;
 
 /// Validates the LT precondition: incoming weights sum to <= 1 (+eps).
 pub fn is_lt_compatible(graph: &Graph) -> bool {
-    graph.nodes().all(|v| {
-        graph.in_weights(v).iter().map(|&w| w as f64).sum::<f64>() <= 1.0 + 1e-4
-    })
+    graph
+        .nodes()
+        .all(|v| graph.in_weights(v).iter().map(|&w| w as f64).sum::<f64>() <= 1.0 + 1e-4)
 }
 
 /// Runs one LT diffusion from `seeds` with fresh thresholds; returns the
@@ -218,7 +218,11 @@ mod tests {
     fn weight_one_chain_fully_activates() {
         let g = Graph::from_edges(
             4,
-            &[Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(2, 3, 1.0)],
+            &[
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(2, 3, 1.0),
+            ],
         )
         .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);

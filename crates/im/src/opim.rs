@@ -105,8 +105,7 @@ impl Opim {
             // Lower bound of I(S) from R2 (martingale concentration).
             let ln_inv = (1.0 / delta_round).ln();
             let cov2f = cov2 as f64;
-            let lower_cov = ((cov2f + 2.0 * ln_inv / 9.0).sqrt() - (ln_inv / 2.0).sqrt())
-                .powi(2)
+            let lower_cov = ((cov2f + 2.0 * ln_inv / 9.0).sqrt() - (ln_inv / 2.0).sqrt()).powi(2)
                 - ln_inv / 18.0;
             let lower = lower_cov.max(0.0) * nf / r2.len().max(1) as f64;
 
@@ -116,11 +115,15 @@ impl Opim {
             let upper_cov = ((opt_cov_ub + ln_inv / 2.0).sqrt() + (ln_inv / 2.0).sqrt()).powi(2);
             let upper = upper_cov * nf / r1.len().max(1) as f64;
 
-            let spread = nf * cov2f / r2.len().max(1) as f64;
-            if spread >= best.1 {
-                best = (seeds, spread);
-            }
-            guarantee = if upper > 0.0 { (lower / upper).min(1.0) } else { 0.0 };
+            // Later rounds hold strictly larger collections, so their
+            // estimate supersedes earlier ones; keeping a max over rounds
+            // would be upward-biased by early small-sample noise.
+            best = (seeds, nf * cov2f / r2.len().max(1) as f64);
+            guarantee = if upper > 0.0 {
+                (lower / upper).min(1.0)
+            } else {
+                0.0
+            };
             if guarantee >= target || round == i_max || theta >= theta_max {
                 break;
             }

@@ -42,7 +42,9 @@ impl RrCollection {
         let fresh: Vec<Vec<NodeId>> = (start..target)
             .into_par_iter()
             .map(|i| {
-                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
                 sample_rr_set(graph, &mut rng)
             })
             .collect();
@@ -131,7 +133,9 @@ impl RrCollection {
         let mut round = 0u32;
 
         while seeds.len() < k {
-            let Some((gain, Reverse(v), stamp)) = heap.pop() else { break };
+            let Some((gain, Reverse(v), stamp)) = heap.pop() else {
+                break;
+            };
             if stamp == round {
                 if gain == 0 {
                     break;

@@ -73,8 +73,7 @@ impl TimPlus {
         let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed ^ 0x71a1);
         let log2n = n.log2().max(1.0);
         for i in 1..(log2n as usize) {
-            let ci = (6.0 * self.params.ell * n.ln() + 6.0 * log2n.ln())
-                * 2f64.powi(i as i32);
+            let ci = (6.0 * self.params.ell * n.ln() + 6.0 * log2n.ln()) * 2f64.powi(i as i32);
             let ci = (ci.ceil() as usize).clamp(1, self.params.max_rr_sets);
             let mut sum = 0.0f64;
             for _ in 0..ci {
@@ -101,10 +100,9 @@ impl TimPlus {
         let nf = n as f64;
         let kpt = self.estimate_kpt(graph, k).max(1.0);
         let eps = self.params.epsilon;
-        let lambda = (8.0 + 2.0 * eps)
-            * nf
-            * (self.params.ell * nf.ln() + log_binomial(n, k) + 2f64.ln())
-            / (eps * eps);
+        let lambda =
+            (8.0 + 2.0 * eps) * nf * (self.params.ell * nf.ln() + log_binomial(n, k) + 2f64.ln())
+                / (eps * eps);
         let theta = ((lambda / kpt).ceil() as usize).clamp(1, self.params.max_rr_sets);
         rr.extend_to(graph, theta, self.params.seed);
         let (seeds, covered) = rr.greedy_max_coverage(k);

@@ -29,10 +29,7 @@ fn ris_matches_mc_under_every_weight_model() {
         let mc = influence_mc(&g, &seeds, 30_000, 11);
         let rr = sample_collection(&g, 30_000, 13);
         let ris = rr.estimate_spread(&seeds);
-        assert!(
-            rel_err(ris, mc) < 0.1,
-            "{model}: RIS {ris} vs MC {mc}"
-        );
+        assert!(rel_err(ris, mc) < 0.1, "{model}: RIS {ris} vs MC {mc}");
     }
 }
 

@@ -206,11 +206,7 @@ mod tests {
     #[test]
     fn parallel_edges_count_once() {
         // Two parallel arcs 0 -> 1: gain of {0} is 2, not 3.
-        let g = Graph::from_edges(
-            2,
-            &[Edge::unweighted(0, 1), Edge::unweighted(0, 1)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(2, &[Edge::unweighted(0, 1), Edge::unweighted(0, 1)]).unwrap();
         let o = CoverageOracle::new(&g);
         assert_eq!(o.marginal_gain(0), 2);
         let mut o = CoverageOracle::new(&g);

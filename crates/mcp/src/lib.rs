@@ -37,7 +37,6 @@ pub mod prelude {
     pub use crate::greedy::{LazyGreedy, NormalGreedy};
     pub use crate::solver::{McpSolution, McpSolver};
     pub use crate::variants::{
-        partial_coverage_greedy, stochastic_mcp_greedy, BudgetedMcp, GeneralizedMcp,
-        WeightedMcp,
+        partial_coverage_greedy, stochastic_mcp_greedy, BudgetedMcp, GeneralizedMcp, WeightedMcp,
     };
 }

@@ -21,7 +21,11 @@ impl McpSolution {
         McpSolution {
             seeds,
             covered,
-            coverage: if n == 0 { 0.0 } else { covered as f64 / n as f64 },
+            coverage: if n == 0 {
+                0.0
+            } else {
+                covered as f64 / n as f64
+            },
         }
     }
 }

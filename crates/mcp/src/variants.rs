@@ -311,7 +311,11 @@ impl<'g> GeneralizedMcp<'g> {
                 if picked[vi] || spent + self.bin_costs[vi] > budget {
                     continue;
                 }
-                let mut profit = if covered.contains(vi) { 0.0 } else { self.profits[vi] };
+                let mut profit = if covered.contains(vi) {
+                    0.0
+                } else {
+                    self.profits[vi]
+                };
                 for &u in self.graph.out_neighbors(v) {
                     if u != v && !covered.contains(u as usize) {
                         profit += self.profits[u as usize];

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod gradcheck;
 pub mod layers;
 pub mod optim;
 pub mod params;
@@ -30,6 +31,7 @@ pub mod tape;
 pub mod tape_softmax;
 pub mod tensor;
 
+pub use gradcheck::{grad_check, GradCheckError, GradCheckReport};
 pub use layers::{Activation, Linear, Mlp};
 pub use optim::{merge_grads, Adam, Sgd};
 pub use params::{ParamId, ParamStore};

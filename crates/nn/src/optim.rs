@@ -171,7 +171,11 @@ mod tests {
         let mut adam = Adam::new(0.1);
         adam.clip_norm = Some(1.0);
         adam.step(&mut store, &[(w, huge)]);
-        assert!(store.value(w).item().abs() <= 0.2, "{}", store.value(w).item());
+        assert!(
+            store.value(w).item().abs() <= 0.2,
+            "{}",
+            store.value(w).item()
+        );
     }
 
     #[test]

@@ -226,9 +226,7 @@ mod tests {
         assert!(s
             .import(&[("nope".to_string(), Tensor::zeros(2, 2))])
             .is_err());
-        assert!(s
-            .import(&[("w".to_string(), Tensor::zeros(3, 3))])
-            .is_err());
+        assert!(s.import(&[("w".to_string(), Tensor::zeros(3, 3))]).is_err());
     }
 
     #[test]

@@ -39,6 +39,89 @@ enum Op {
     Huber(Var, Rc<Tensor>, f32),
 }
 
+impl Op {
+    /// Stable kind name, used by the debug-mode numeric sanitizer and the
+    /// grad-check coverage test.
+    fn kind(&self) -> &'static str {
+        match self {
+            Op::Leaf { .. } => "Leaf",
+            Op::Add(..) => "Add",
+            Op::Sub(..) => "Sub",
+            Op::Mul(..) => "Mul",
+            Op::Scale(..) => "Scale",
+            Op::MatMul(..) => "MatMul",
+            Op::SpMM(..) => "SpMM",
+            Op::Relu(..) => "Relu",
+            Op::LeakyRelu(..) => "LeakyRelu",
+            Op::Sigmoid(..) => "Sigmoid",
+            Op::Tanh(..) => "Tanh",
+            Op::AddBias(..) => "AddBias",
+            Op::GatherRows(..) => "GatherRows",
+            Op::ConcatCols(..) => "ConcatCols",
+            Op::SumRows(..) => "SumRows",
+            Op::RepeatRow(..) => "RepeatRow",
+            Op::MeanAll(..) => "MeanAll",
+            Op::SumAll(..) => "SumAll",
+            Op::Mse(..) => "Mse",
+            Op::Huber(..) => "Huber",
+        }
+    }
+
+    /// Input variables of this op (empty for leaves). Only the debug-mode
+    /// sanitizer needs provenance, so release builds compile this out.
+    #[cfg(debug_assertions)]
+    fn operands(&self) -> Vec<Var> {
+        match self {
+            Op::Leaf { .. } => Vec::new(),
+            Op::Scale(a, _)
+            | Op::SpMM(_, a)
+            | Op::Relu(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::GatherRows(a, _)
+            | Op::SumRows(a)
+            | Op::RepeatRow(a)
+            | Op::MeanAll(a)
+            | Op::SumAll(a)
+            | Op::Mse(a, _)
+            | Op::Huber(a, _, _) => vec![*a],
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::MatMul(a, b)
+            | Op::AddBias(a, b)
+            | Op::ConcatCols(a, b) => vec![*a, *b],
+        }
+    }
+}
+
+/// Every op kind name, in declaration order. The grad-check suite asserts
+/// it exercises each of these, so adding an op without a gradient test
+/// fails CI.
+pub const OP_KINDS: &[&str] = &[
+    "Leaf",
+    "Add",
+    "Sub",
+    "Mul",
+    "Scale",
+    "MatMul",
+    "SpMM",
+    "Relu",
+    "LeakyRelu",
+    "Sigmoid",
+    "Tanh",
+    "AddBias",
+    "GatherRows",
+    "ConcatCols",
+    "SumRows",
+    "RepeatRow",
+    "MeanAll",
+    "SumAll",
+    "Mse",
+    "Huber",
+];
+
 struct Node {
     value: Tensor,
     grad: Option<Tensor>,
@@ -58,12 +141,44 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
+        #[cfg(debug_assertions)]
+        self.check_finite(&value, &op);
         self.nodes.push(Node {
             value,
             grad: None,
             op,
         });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Debug-mode numeric sanitizer: aborts at the *first* op that produces
+    /// a NaN/Inf, naming the op kind, the offending element, and the shapes
+    /// of its inputs — instead of letting the poison surface fifty ops
+    /// later in an optimizer step.
+    #[cfg(debug_assertions)]
+    fn check_finite(&self, value: &Tensor, op: &Op) {
+        let Some(bad) = value.data.iter().position(|v| !v.is_finite()) else {
+            return;
+        };
+        let inputs: Vec<String> = op
+            .operands()
+            .iter()
+            .map(|v| {
+                let t = &self.nodes[v.0].value;
+                format!("{}x{}", t.rows, t.cols)
+            })
+            .collect();
+        // audit:allow(MCPB002) — the sanitizer's whole job is to abort.
+        panic!(
+            "mcpb-nn sanitizer: op {} produced non-finite value {} at element {} \
+             (output {}x{}, inputs [{}])",
+            op.kind(),
+            value.data[bad],
+            bad,
+            value.rows,
+            value.cols,
+            inputs.join(", ")
+        );
     }
 
     /// Registers a constant input (no gradient flows out of it).
@@ -80,6 +195,13 @@ impl Tape {
     /// The value computed at `v`.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
+    }
+
+    /// Distinct op kinds recorded on this tape (sorted). The grad-check
+    /// suite unions these across its cases and compares against
+    /// [`OP_KINDS`], so op coverage is measured, not self-declared.
+    pub fn used_op_kinds(&self) -> std::collections::BTreeSet<&'static str> {
+        self.nodes.iter().map(|n| n.op.kind()).collect()
     }
 
     /// The gradient accumulated at `v` (after [`Tape::backward`]).
@@ -247,7 +369,11 @@ impl Tape {
     /// Mean squared error against a constant target -> scalar.
     pub fn mse_loss(&mut self, pred: Var, target: Tensor) -> Var {
         let t = &self.nodes[pred.0].value;
-        assert_eq!((t.rows, t.cols), (target.rows, target.cols), "mse shape mismatch");
+        assert_eq!(
+            (t.rows, t.cols),
+            (target.rows, target.cols),
+            "mse shape mismatch"
+        );
         let n = t.len().max(1) as f32;
         let loss = t
             .data
@@ -262,7 +388,11 @@ impl Tape {
     /// Huber (smooth-L1) loss against a constant target -> scalar.
     pub fn huber_loss(&mut self, pred: Var, target: Tensor, delta: f32) -> Var {
         let t = &self.nodes[pred.0].value;
-        assert_eq!((t.rows, t.cols), (target.rows, target.cols), "huber shape mismatch");
+        assert_eq!(
+            (t.rows, t.cols),
+            (target.rows, target.cols),
+            "huber shape mismatch"
+        );
         let n = t.len().max(1) as f32;
         let loss = t
             .data
@@ -278,7 +408,10 @@ impl Tape {
             })
             .sum::<f32>()
             / n;
-        self.push(Tensor::scalar(loss), Op::Huber(pred, Rc::new(target), delta))
+        self.push(
+            Tensor::scalar(loss),
+            Op::Huber(pred, Rc::new(target), delta),
+        )
     }
 
     /// Runs backpropagation from scalar node `root`.
@@ -294,7 +427,9 @@ impl Tape {
         self.nodes[root.0].grad = Some(Tensor::scalar(1.0));
 
         for i in (0..=root.0).rev() {
-            let Some(g) = self.nodes[i].grad.clone() else { continue };
+            let Some(g) = self.nodes[i].grad.clone() else {
+                continue;
+            };
             let op = self.nodes[i].op.clone();
             match op {
                 Op::Leaf { .. } => {}
@@ -455,7 +590,12 @@ impl Tape {
                         .zip(&target.data)
                         .map(|(&p, &y)| {
                             let e = p - y;
-                            scale * if e.abs() <= delta { e } else { delta * e.signum() }
+                            scale
+                                * if e.abs() <= delta {
+                                    e
+                                } else {
+                                    delta * e.signum()
+                                }
                         })
                         .collect();
                     let da = Tensor::from_slice(pred.rows, pred.cols, &data);
@@ -498,11 +638,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     /// Central finite difference of `f` at `x0` along every coordinate.
-    fn finite_diff(
-        x0: &Tensor,
-        mut f: impl FnMut(&Tensor) -> f32,
-        eps: f32,
-    ) -> Tensor {
+    fn finite_diff(x0: &Tensor, mut f: impl FnMut(&Tensor) -> f32, eps: f32) -> Tensor {
         let mut grad = Tensor::zeros(x0.rows, x0.cols);
         for i in 0..x0.len() {
             let mut plus = x0.clone();

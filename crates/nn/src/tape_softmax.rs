@@ -20,7 +20,11 @@ impl Tape {
         let t = self.value(logits);
         let (_n, d) = (t.rows, t.cols);
         let global_max = t.data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let shift = if global_max.is_finite() { global_max } else { 0.0 };
+        let shift = if global_max.is_finite() {
+            global_max
+        } else {
+            0.0
+        };
         let shift_mat = self.input(Tensor::full(t.rows, t.cols, shift));
         let centered = self.sub(logits, shift_mat);
         let exped = self.exp(centered);
@@ -40,17 +44,9 @@ impl Tape {
         // the identity exp(x) = e^x using tanh: e^x = (1+tanh(x/2))/(1-tanh(x/2)).
         let half = self.scale(a, 0.5);
         let th = self.tanh(half);
-        let one = self.input(Tensor::full(
-            self.value(th).rows,
-            self.value(th).cols,
-            1.0,
-        ));
+        let one = self.input(Tensor::full(self.value(th).rows, self.value(th).cols, 1.0));
         let num = self.add(one, th);
-        let one2 = self.input(Tensor::full(
-            self.value(th).rows,
-            self.value(th).cols,
-            1.0,
-        ));
+        let one2 = self.input(Tensor::full(self.value(th).rows, self.value(th).cols, 1.0));
         let den = self.sub(one2, th);
         let recip = self.reciprocal(den);
         self.mul(num, recip)
@@ -244,7 +240,15 @@ mod tests {
         let xs: Vec<f32> = (0..30).map(|i| i as f32 / 10.0 - 1.5).collect();
         let labels: Vec<usize> = xs
             .iter()
-            .map(|&x| if x < -0.5 { 0 } else if x < 0.5 { 1 } else { 2 })
+            .map(|&x| {
+                if x < -0.5 {
+                    0
+                } else if x < 0.5 {
+                    1
+                } else {
+                    2
+                }
+            })
             .collect();
         let input = Tensor::column(&xs);
         let mut last_loss = f32::MAX;
@@ -267,7 +271,9 @@ mod tests {
         let correct = (0..30)
             .filter(|&r| {
                 let row = v.row_slice(r);
-                let pred = (0..3).max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap()).unwrap();
+                let pred = (0..3)
+                    .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                    .unwrap();
                 pred == labels[r]
             })
             .count();

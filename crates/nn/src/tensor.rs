@@ -100,7 +100,13 @@ impl Tensor {
 
     /// The single value of a `1 x 1` tensor.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.len(), 1, "item() on non-scalar {}x{}", self.rows, self.cols);
+        assert_eq!(
+            self.len(),
+            1,
+            "item() on non-scalar {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[0]
     }
 

@@ -141,12 +141,7 @@ impl DqnAgent {
     }
 
     /// Epsilon-greedy action choice; returns the chosen index.
-    pub fn select_action(
-        &mut self,
-        state: &[f32],
-        actions: &[Vec<f32>],
-        epsilon: f64,
-    ) -> usize {
+    pub fn select_action(&mut self, state: &[f32], actions: &[Vec<f32>], epsilon: f64) -> usize {
         assert!(!actions.is_empty(), "no actions available");
         if self.rng.gen::<f64>() < epsilon {
             return self.rng.gen_range(0..actions.len());
@@ -248,8 +243,7 @@ pub fn train_dqn(
     episodes: usize,
     schedule: EpsilonSchedule,
 ) -> TrainStats {
-    let mut replay: ReplayBuffer<Transition> =
-        ReplayBuffer::new(agent.cfg.replay_capacity);
+    let mut replay: ReplayBuffer<Transition> = ReplayBuffer::new(agent.cfg.replay_capacity);
     let mut rng = ChaCha8Rng::seed_from_u64(agent.cfg.seed ^ 0x7ea7);
     let mut stats = TrainStats::default();
     let mut global_step = 0usize;
@@ -268,7 +262,11 @@ pub fn train_dqn(
             let action = actions[idx].clone();
             let (reward, done) = env.step(idx);
             let next_state = env.state_features();
-            let next_actions = if done { Vec::new() } else { env.action_features() };
+            let next_actions = if done {
+                Vec::new()
+            } else {
+                env.action_features()
+            };
             replay.push(Transition {
                 state: state.clone(),
                 action,
@@ -373,8 +371,10 @@ mod tests {
         assert!(steps <= 3, "optimal path is 2 steps, took {steps}");
         // Later episodes should outperform the earliest ones on average.
         let early: f32 = stats.episode_rewards[..20].iter().sum::<f32>() / 20.0;
-        let late: f32 =
-            stats.episode_rewards[stats.episode_rewards.len() - 20..].iter().sum::<f32>() / 20.0;
+        let late: f32 = stats.episode_rewards[stats.episode_rewards.len() - 20..]
+            .iter()
+            .sum::<f32>()
+            / 20.0;
         assert!(late > early, "late {late} <= early {early}");
     }
 

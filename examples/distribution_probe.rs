@@ -31,7 +31,9 @@ fn main() {
         let s_g = graph::stats::graph_stats(g, 16, 0);
         println!(
             "  cheap stats   density {:.2} vs {:.2}   clustering {:.3} vs {:.3}",
-            s_g.density, s_train.density, s_g.clustering_coefficient,
+            s_g.density,
+            s_train.density,
+            s_g.clustering_coefficient,
             s_train.clustering_coefficient
         );
 

@@ -45,7 +45,9 @@ fn main() {
     );
 
     // 4. Budgeted MCP: hub blocks cost more to build on.
-    let costs: Vec<f64> = (0..500u32).map(|v| 1.0 + g.out_degree(v) as f64 / 4.0).collect();
+    let costs: Vec<f64> = (0..500u32)
+        .map(|v| 1.0 + g.out_degree(v) as f64 / 4.0)
+        .collect();
     let budgeted = BudgetedMcp::new(&g, costs).greedy(12.0);
     println!(
         "Budgeted (12)  {} facilities    covers {:.0} blocks",
@@ -62,7 +64,9 @@ fn main() {
     );
 
     // 6. Generalized MCP: bins with opening costs, profit-per-element.
-    let bin_costs: Vec<f64> = (0..500u32).map(|v| 1.0 + g.degree(v) as f64 / 8.0).collect();
+    let bin_costs: Vec<f64> = (0..500u32)
+        .map(|v| 1.0 + g.degree(v) as f64 / 8.0)
+        .collect();
     let profits = vec![1.0; 500];
     let generalized = GeneralizedMcp::new(&g, bin_costs, profits).greedy(15.0);
     println!(

@@ -23,7 +23,10 @@ fn main() {
     let report = run_benchmark(&mcp_spec);
     println!("{}", report.quality_table.render());
     println!("{}", report.runtime_table.render());
-    println!("== Rating scale (MCP) ==\n{}", format_rating_table(&report.rating));
+    println!(
+        "== Rating scale (MCP) ==\n{}",
+        format_rating_table(&report.rating)
+    );
 
     // IM face-off under two edge-weight models.
     let mut im_spec = BenchmarkSpec::quick_im(
@@ -41,5 +44,8 @@ fn main() {
     let report = run_benchmark(&im_spec);
     println!("{}", report.quality_table.render());
     println!("{}", report.runtime_table.render());
-    println!("== Rating scale (IM) ==\n{}", format_rating_table(&report.rating));
+    println!(
+        "== Rating scale (IM) ==\n{}",
+        format_rating_table(&report.rating)
+    );
 }

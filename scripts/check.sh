@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local CI: formatting, the mcpb-audit lint gate, and the full test suite.
+# Run from anywhere inside the repo; exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> mcpb-audit lint gate"
+cargo run -q -p mcpb-audit
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "OK: fmt, audit, and tests all green"

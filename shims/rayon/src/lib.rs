@@ -1,0 +1,54 @@
+//! Offline stand-in for `rayon`: the parallel-iterator entry points used by
+//! this workspace, executed sequentially.
+//!
+//! Every call site in the workspace already partitions work into
+//! independently seeded chunks so that results are order-deterministic with
+//! or without parallelism (see `tests/determinism.rs`); running the chunks
+//! sequentially is therefore observationally identical, just slower. When a
+//! real registry is available, deleting this shim and restoring the upstream
+//! `rayon` dependency re-enables multithreading with no call-site changes.
+
+pub mod prelude {
+    //! Drop-in `use rayon::prelude::*;` surface.
+
+    /// `into_par_iter()` for owned collections and ranges. Sequential here:
+    /// it simply forwards to [`IntoIterator`].
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// "Parallel" iterator over `self` (sequential in this shim).
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` for slices (and anything that derefs to one).
+    pub trait ParallelSlice<T> {
+        /// "Parallel" iterator over `&self` (sequential in this shim).
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collect() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn slice_par_iter_sum() {
+        let data = vec![1u64, 2, 3, 4];
+        let s: u64 = data.par_iter().map(|&x| x * x).sum();
+        assert_eq!(s, 30);
+    }
+}

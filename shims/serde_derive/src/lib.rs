@@ -1,0 +1,270 @@
+//! Syn-free `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Parses the incoming token stream by hand, supporting exactly the data
+//! shapes this workspace derives on:
+//!
+//! - structs with named fields (any field types that implement the traits)
+//! - enums whose variants are all unit variants
+//!
+//! Anything else (tuple structs, generics, data-carrying enums) is rejected
+//! with a compile error naming the limitation, so a future contributor hits
+//! a clear message instead of a silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with unit variants only.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Extracts the data shape from a `DeriveInput` token stream.
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility/qualifiers until the
+    // `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + [...]
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // pub / crate / union qualifiers etc.
+            }
+            Some(TokenTree::Group(_)) => i += 1, // e.g. the (crate) of pub(crate)
+            Some(_) => i += 1,
+            None => return Err("derive input without struct/enum keyword".into()),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde shim derive does not support tuple struct `{name}`"
+                ))
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("no body found for `{name}`")),
+        }
+    };
+
+    if kind == "struct" {
+        Ok(Shape::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Shape::Enum {
+            name: name.clone(),
+            variants: parse_unit_variants(body, &name)?,
+        })
+    }
+}
+
+/// Parses `ident: Type, ...` field lists, skipping attributes, visibility,
+/// and the type tokens (tracking `<...>` nesting so commas inside generics
+/// don't split fields).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1; // pub(crate) / pub(super)
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let field = id.to_string();
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {
+                        fields.push(field);
+                        i += 2;
+                        // Skip the type up to the next top-level comma.
+                        let mut angle = 0i32;
+                        while i < tokens.len() {
+                            match &tokens[i] {
+                                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                                    i += 1;
+                                    break;
+                                }
+                                _ => {}
+                            }
+                            i += 1;
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "unsupported field syntax after `{field}`: {other:?}"
+                        ))
+                    }
+                }
+            }
+            other => return Err(format!("unexpected token in field list: {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses unit variant lists, rejecting data-carrying variants.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                match tokens.get(i + 1) {
+                    None => {
+                        variants.push(variant);
+                        i += 1;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        variants.push(variant);
+                        i += 2;
+                    }
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "serde shim derive supports only unit variants; \
+                             `{enum_name}::{variant}` carries data"
+                        ))
+                    }
+                    Some(other) => {
+                        return Err(format!(
+                            "unsupported variant syntax after `{enum_name}::{variant}`: {other:?}"
+                        ))
+                    }
+                }
+            }
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal parses")
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__v, {name:?}, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match ::serde::__variant(__v, {name:?})? {{\n\
+                             {arms}\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}

@@ -22,7 +22,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig4", "Figure 4: MCP coverage & runtime curves"),
     ("fig5", "Figure 5: IM influence curves (CONST/TV/WC)"),
     ("fig6", "Figure 6: IM runtime curves"),
-    ("fig7", "Figure 7: RL4IM/CHANGE/IMM & Geometric-QN small-scale"),
+    (
+        "fig7",
+        "Figure 7: RL4IM/CHANGE/IMM & Geometric-QN small-scale",
+    ),
     ("tab4", "Table 4: metric vs coverage-gap correlation"),
     ("tab5", "Table 5: edge-weight-model transfer"),
     ("tab6", "Table 6: similarity-metric cost vs OPIM"),
@@ -31,18 +34,24 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("tab7", "Table 7: rating scale"),
     ("tab8", "Table 8: noise-predictor training time"),
     ("tab9", "Table 9: good-node proportion"),
-    ("lnd", "Figure 5 (LND panel): starred datasets under learned weights"),
+    (
+        "lnd",
+        "Figure 5 (LND panel): starred datasets under learned weights",
+    ),
     ("appendix", "Figures 10-17: appendix curves"),
     ("datasets", "export the Table 1 catalog as edge-list files"),
-    ("agreement", "seed-set agreement: diagnose the atypical-case signature"),
+    (
+        "agreement",
+        "seed-set agreement: diagnose the atypical-case signature",
+    ),
     ("robustness", "repeated-query variance per method"),
 ];
 
 /// Runs a serialized `BenchmarkSpec` (JSON file) end to end and prints the
 /// report — the scripting entry point for custom sweeps.
 fn run_spec(path: &str) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read spec {path:?}: {e}"));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read spec {path:?}: {e}"));
     let spec: mcpb_core::BenchmarkSpec =
         serde_json::from_str(&text).unwrap_or_else(|e| panic!("invalid spec: {e}"));
     let report = mcpb_core::run_benchmark(&spec);
@@ -113,8 +122,14 @@ fn run(id: &str, cfg: &ExpConfig) {
         }
         "tab3" => {
             let (mcp, im) = memory::tab3_memory(cfg);
-            println!("{}", memory::render("Table 3 (MCP)", "peak memory", &mcp).render());
-            println!("{}", memory::render("Table 3 (IM)", "peak memory", &im).render());
+            println!(
+                "{}",
+                memory::render("Table 3 (MCP)", "peak memory", &mcp).render()
+            );
+            println!(
+                "{}",
+                memory::render("Table 3 (IM)", "peak memory", &im).render()
+            );
         }
         "fig4" => {
             let records = curves::fig4_mcp_curves(cfg);
@@ -193,18 +208,29 @@ fn run(id: &str, cfg: &ExpConfig) {
             let records = curves::fig5_lnd_curves(cfg);
             println!(
                 "{}",
-                curves::render_quality("Figure 5 (LND)", "IM influence under learned weights", &records)
-                    .render()
+                curves::render_quality(
+                    "Figure 5 (LND)",
+                    "IM influence under learned weights",
+                    &records
+                )
+                .render()
             );
             println!(
                 "{}",
-                curves::render_runtime("Figure 5 (LND)", "IM runtime under learned weights", &records)
-                    .render()
+                curves::render_runtime(
+                    "Figure 5 (LND)",
+                    "IM runtime under learned weights",
+                    &records
+                )
+                .render()
             );
         }
         "robustness" => {
             let rows = mcpb_bench::experiments::robustness::robustness_study(cfg);
-            println!("{}", mcpb_bench::experiments::robustness::render(&rows).render());
+            println!(
+                "{}",
+                mcpb_bench::experiments::robustness::render(&rows).render()
+            );
         }
         "agreement" => {
             use mcpb_bench::agreement::{pairwise_agreements, summarize, SolverAnswer};

@@ -26,9 +26,7 @@ fn declarative_mcp_benchmark_runs_and_renders() {
         let ng = report
             .records
             .iter()
-            .find(|x| {
-                x.method == "NormalGreedy" && x.dataset == r.dataset && x.budget == r.budget
-            })
+            .find(|x| x.method == "NormalGreedy" && x.dataset == r.dataset && x.budget == r.budget)
             .expect("normal greedy cell");
         assert!(
             (r.quality - ng.quality).abs() < 1e-9,
@@ -47,7 +45,11 @@ fn declarative_im_benchmark_with_two_weight_models() {
         &[5],
         &[WeightModel::Constant, WeightModel::WeightedCascade],
     );
-    spec.im_methods = vec![ImMethodKind::Imm, ImMethodKind::DDiscount, ImMethodKind::SDiscount];
+    spec.im_methods = vec![
+        ImMethodKind::Imm,
+        ImMethodKind::DDiscount,
+        ImMethodKind::SDiscount,
+    ];
     let report = run_benchmark(&spec);
     assert_eq!(report.records.len(), 6);
     let models: std::collections::HashSet<_> = report
@@ -84,9 +86,15 @@ fn catalog_pipeline_weights_and_scores() {
 fn every_deep_rl_method_trains_through_registry() {
     use mcpb_bench::registry::{prepare_im, prepare_mcp, Scale};
     let train = graph::generators::barabasi_albert(150, 3, 5);
-    for kind in [McpMethodKind::S2vDqn, McpMethodKind::Gcomb, McpMethodKind::Lense] {
+    for kind in [
+        McpMethodKind::S2vDqn,
+        McpMethodKind::Gcomb,
+        McpMethodKind::Lense,
+    ] {
         let prepared = prepare_mcp(kind, &train, Scale::Quick, 2);
-        let report = prepared.train_report.expect("deep-rl methods report training");
+        let report = prepared
+            .train_report
+            .expect("deep-rl methods report training");
         assert!(report.train_seconds > 0.0, "{}", kind.name());
         assert!(!report.checkpoints.is_empty(), "{}", kind.name());
     }

@@ -38,7 +38,11 @@ fn solvers_survive_pathological_graphs() {
     // Self-loop-only graph (builder drops them; raw construction keeps them).
     let selfloops = Graph::from_edges(
         3,
-        &[Edge::new(0, 0, 0.5), Edge::new(1, 1, 0.5), Edge::new(2, 2, 0.5)],
+        &[
+            Edge::new(0, 0, 0.5),
+            Edge::new(1, 1, 0.5),
+            Edge::new(2, 2, 0.5),
+        ],
     )
     .unwrap();
     let sol = mcp::LazyGreedy::run(&selfloops, 2);
@@ -67,7 +71,13 @@ fn budgets_beyond_n_are_clamped_everywhere() {
     assert!(im::DegreeDiscount::run(&g, 1_000).seeds.len() <= 12);
     assert!(im::Imm::paper_default(0).run(&g, 1_000).0.seeds.len() <= 12);
     assert!(im::Opim::paper_default(0).run(&g, 1_000).0.seeds.len() <= 12);
-    assert!(im::SimulatedAnnealing::with_seed(0).run(&g, 1_000).seeds.len() <= 12);
+    assert!(
+        im::SimulatedAnnealing::with_seed(0)
+            .run(&g, 1_000)
+            .seeds
+            .len()
+            <= 12
+    );
 }
 
 #[test]

@@ -1,0 +1,29 @@
+//! CI lint gate: `cargo test` fails when the static-analysis findings of
+//! [`mcpb_audit`] regress past the committed `audit.baseline.json` ratchet.
+//!
+//! New code must not introduce findings (non-seeded RNG and float `==` are
+//! hard errors; unwrap/panic/hash-iteration/lossy casts ratchet per file).
+//! To accept an intentional finding, add an `// audit:allow(RULEID)` marker;
+//! to re-tighten the ratchet after cleanups, run
+//! `cargo run -p mcpb-audit -- --update-baseline`.
+
+#[test]
+fn audit_findings_do_not_regress_past_baseline() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (report, gate) = mcpb_audit::run_gate(root).expect("audit run failed");
+    assert!(
+        report.files_scanned > 0,
+        "audit scanned no files; workspace layout changed?"
+    );
+    if !gate.regressions.is_empty() {
+        panic!(
+            "\n{}\nlint gate: {} regression(s) past audit.baseline.json\n",
+            mcpb_audit::render_regressions(&gate),
+            gate.regressions.len()
+        );
+    }
+    if !gate.improvements.is_empty() {
+        // Not a failure: just surface that the ratchet can be tightened.
+        eprintln!("{}", mcpb_audit::render_improvements(&gate));
+    }
+}

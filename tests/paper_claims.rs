@@ -169,8 +169,8 @@ fn claim_weight_model_transfer_is_lossy_on_average() {
         m.train(train);
         m
     };
-    let mut const_model = mk(&train_const, 8);
-    let mut wc_model = mk(&train_wc, 8);
+    let mut const_model = mk(&train_const, 1);
+    let mut wc_model = mk(&train_wc, 1);
 
     // Evaluate both on WC-weighted test graphs.
     let mut matched_total = 0.0;
