@@ -95,6 +95,12 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Info,
         fix_hint: "`expr as uN` silently truncates; prefer try_into() or widen the index type",
     },
+    Rule {
+        id: "MCPB007",
+        name: "raw-instant-timing",
+        severity: Severity::Warn,
+        fix_hint: "time through mcpb-trace (span()/Stopwatch) or bench-core's run_measured so profiles stay consistent; ad-hoc Instant timing bypasses the collector",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -113,6 +119,7 @@ pub fn scan_file(file: &SourceFile) -> Vec<Finding> {
         check_float_eq(file, lineno, line, &mut findings);
         check_hash_iter(file, lineno, line, &hash_idents, &mut findings);
         check_lossy_cast(file, lineno, line, &mut findings);
+        check_raw_instant(file, lineno, line, &mut findings);
     }
     findings
 }
@@ -391,6 +398,32 @@ fn check_lossy_cast(file: &SourceFile, lineno: usize, line: &str, findings: &mut
     }
 }
 
+/// MCPB007: direct `std::time::Instant` use outside the sanctioned timing
+/// layers. Wall-clock reads belong in `mcpb-trace` (spans / `Stopwatch`)
+/// or `bench-core::instrument::run_measured`; everything else timing itself
+/// by hand fragments the profile. The two layers that *implement* timing
+/// are path-exempt.
+fn check_raw_instant(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec<Finding>) {
+    if file.rel_path.starts_with("crates/trace/")
+        || file.rel_path == "crates/bench-core/src/instrument.rs"
+    {
+        return;
+    }
+    // One finding per line: `std::time::Instant::now()` matches both
+    // patterns but is a single offence.
+    for pat in ["Instant::now", "time::Instant"] {
+        let mut from = 0;
+        while let Some(idx) = line[from..].find(pat) {
+            let at = from + idx;
+            from = at + pat.len();
+            if token_start(line, at) {
+                push(file, lineno, "MCPB007", findings);
+                return;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +502,36 @@ mod tests {
     fn waiver_suppresses_named_rule_only() {
         let f = scan("// audit:allow(MCPB001)\nlet a = x.unwrap(); let b = y as u32;\n");
         assert_eq!(rules_of(&f), ["MCPB006"]);
+    }
+
+    #[test]
+    fn raw_instant_flagged_once_per_line() {
+        let f = scan("use std::time::Instant;\nlet t = std::time::Instant::now();\n");
+        assert_eq!(rules_of(&f), ["MCPB007", "MCPB007"]);
+    }
+
+    #[test]
+    fn raw_instant_exempt_in_timing_layers() {
+        for path in [
+            "crates/trace/src/clock.rs",
+            "crates/bench-core/src/instrument.rs",
+        ] {
+            let f = scan_file(&SourceFile::parse(path, "let t = Instant::now();\n"));
+            assert!(f.is_empty(), "{path}: {f:?}");
+        }
+        // Only the exact instrument.rs file is exempt in bench-core.
+        let f = scan_file(&SourceFile::parse(
+            "crates/bench-core/src/sweep.rs",
+            "let t = Instant::now();\n",
+        ));
+        assert_eq!(rules_of(&f), ["MCPB007"]);
+    }
+
+    #[test]
+    fn instant_in_identifier_clean() {
+        // `MyInstant::now` must not fire: the pattern is not a token start.
+        let f = scan("let t = MyInstant::now();\n");
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -50,6 +50,16 @@ fn widening_casts(n: u32) -> u64 {
     wide + lit as u64
 }
 
+// MCPB007: timing goes through the trace layer's Stopwatch (or spans /
+// bench-core's run_measured), never a raw Instant. Identifiers merely
+// containing the word are clean.
+fn sanctioned_timing() -> f64 {
+    let watch = mcpb_trace::Stopwatch::start();
+    let instant_count = 3; // substring "instant" in an identifier is inert
+    let _ = instant_count;
+    watch.elapsed_secs()
+}
+
 // Strings and comments never fire: "call .unwrap() then panic!(now)" and
 // mention of thread_rng, x == 1.0, or m.iter() stay inert here.
 const DOC: &str = "do not .unwrap(); never panic!(); avoid thread_rng()";

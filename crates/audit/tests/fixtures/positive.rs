@@ -43,3 +43,9 @@ fn lossy_cast_findings(n: usize, x: i64) -> u32 {
     let short = x as i16; // FIRE:MCPB006
     small + short as u32 // FIRE:MCPB006
 }
+
+fn raw_instant_findings() -> f64 {
+    let started = std::time::Instant::now(); // FIRE:MCPB007
+    let also = Instant::now(); // FIRE:MCPB007
+    started.elapsed().as_secs_f64() + also.elapsed().as_secs_f64()
+}

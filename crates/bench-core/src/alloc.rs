@@ -1,80 +1,21 @@
 //! Peak-memory tracking (Tab. 3).
 //!
+//! The implementation lives in [`mcpb_trace::alloc`] so the tracing crate's
+//! span profiles can reuse the same accounting; this module re-exports it
+//! for the bench binaries (`#[global_allocator] static A: TrackingAllocator`
+//! in `crates/bench/benches/*`) and everything else that historically
+//! imported it from `mcpb_bench::alloc`.
+//!
 //! The paper reports OS-level peak memory per solver run; portable Rust has
 //! no per-scope RSS probe, so we substitute a counting global allocator:
 //! install [`TrackingAllocator`] as `#[global_allocator]` in a binary or
 //! bench target and wrap each solver call in [`measure_peak`]. Library
 //! tests that run under the default allocator simply observe zero deltas —
-//! the API degrades gracefully rather than failing.
+//! use [`tracking_installed`] to distinguish "0 bytes" from "not measured".
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-static LIVE: AtomicUsize = AtomicUsize::new(0);
-static PEAK: AtomicUsize = AtomicUsize::new(0);
-
-/// A [`System`]-backed allocator that tracks live and peak bytes.
-pub struct TrackingAllocator;
-
-// SAFETY: delegates every allocation to `System`, only adding atomic
-// bookkeeping around it.
-unsafe impl GlobalAlloc for TrackingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let ptr = unsafe { System.alloc(layout) };
-        if !ptr.is_null() {
-            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
-            PEAK.fetch_max(live, Ordering::Relaxed);
-        }
-        ptr
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) };
-        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
-        if !new_ptr.is_null() {
-            if new_size >= layout.size() {
-                let live = LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
-                    - layout.size();
-                PEAK.fetch_max(live, Ordering::Relaxed);
-            } else {
-                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
-            }
-        }
-        new_ptr
-    }
-}
-
-/// Currently live tracked bytes (0 unless the tracking allocator is the
-/// global allocator).
-pub fn live_bytes() -> usize {
-    LIVE.load(Ordering::Relaxed)
-}
-
-/// Peak tracked bytes since the last [`reset_peak`].
-pub fn peak_bytes() -> usize {
-    PEAK.load(Ordering::Relaxed)
-}
-
-/// Resets the peak to the current live level.
-pub fn reset_peak() {
-    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
-}
-
-/// Runs `f`, returning its result plus the peak *additional* bytes
-/// allocated while it ran (0 when tracking is inactive). Single-threaded
-/// accounting: concurrent allocations from other threads are attributed to
-/// whatever measurement window is open.
-pub fn measure_peak<R>(f: impl FnOnce() -> R) -> (R, usize) {
-    let baseline = live_bytes();
-    reset_peak();
-    let out = f();
-    let peak = peak_bytes().saturating_sub(baseline);
-    (out, peak)
-}
+pub use mcpb_trace::alloc::{
+    live_bytes, measure_peak, peak_bytes, reset_peak, tracking_installed, TrackingAllocator,
+};
 
 #[cfg(test)]
 mod tests {
@@ -102,5 +43,11 @@ mod tests {
     fn nested_measurements_do_not_panic() {
         let ((a, _), _) = measure_peak(|| measure_peak(|| vec![0u8; 1024].len()));
         assert_eq!(a, 1024);
+    }
+
+    #[test]
+    fn installation_probe_is_stable() {
+        // Whatever the answer is, it must not flip between calls.
+        assert_eq!(tracking_installed(), tracking_installed());
     }
 }

@@ -41,11 +41,10 @@ pub fn tab3_memory(cfg: &ExpConfig) -> (Vec<SweepRecord>, Vec<SweepRecord>) {
         for ds in &mcp_datasets {
             let graph = ds.load();
             let (sol, m) = crate::instrument::run_measured(|| solver.solve(&graph, k));
-            let peak = if m.peak_bytes > 0 {
-                m.peak_bytes
-            } else {
-                estimate_footprint(&graph, kind.is_deep_rl())
-            };
+            let peak = m
+                .peak_bytes
+                .filter(|&p| p > 0)
+                .unwrap_or_else(|| estimate_footprint(&graph, kind.is_deep_rl()));
             mcp_records.push(SweepRecord {
                 method: kind.name().to_string(),
                 dataset: ds.name.to_string(),
@@ -54,7 +53,7 @@ pub fn tab3_memory(cfg: &ExpConfig) -> (Vec<SweepRecord>, Vec<SweepRecord>) {
                 quality: sol.coverage,
                 absolute: sol.covered as f64,
                 runtime: m.seconds,
-                peak_bytes: peak,
+                peak_bytes: Some(peak),
             });
         }
     }
@@ -90,11 +89,10 @@ pub fn tab3_memory(cfg: &ExpConfig) -> (Vec<SweepRecord>, Vec<SweepRecord>) {
             let ds = cfg.scaled(catalog::by_name(name).expect("catalog name"));
             let graph = assign_weights(&ds.load(), *wm, cfg.seed);
             let (sol, m) = crate::instrument::run_measured(|| solver.solve(&graph, k));
-            let peak = if m.peak_bytes > 0 {
-                m.peak_bytes
-            } else {
-                estimate_footprint(&graph, kind.is_deep_rl())
-            };
+            let peak = m
+                .peak_bytes
+                .filter(|&p| p > 0)
+                .unwrap_or_else(|| estimate_footprint(&graph, kind.is_deep_rl()));
             im_records.push(SweepRecord {
                 method: kind.name().to_string(),
                 dataset: format!("{}-{}", short_name(name), wm.abbrev()),
@@ -103,7 +101,7 @@ pub fn tab3_memory(cfg: &ExpConfig) -> (Vec<SweepRecord>, Vec<SweepRecord>) {
                 quality: 0.0,
                 absolute: sol.seeds.len() as f64,
                 runtime: m.seconds,
-                peak_bytes: peak,
+                peak_bytes: Some(peak),
             });
         }
     }
@@ -150,7 +148,7 @@ pub fn render(id: &str, title: &str, records: &[SweepRecord]) -> Table {
             let cell = records
                 .iter()
                 .find(|r| &r.method == m && &r.dataset == d)
-                .map(|r| fmt_mib(r.peak_bytes))
+                .and_then(|r| r.peak_bytes.map(fmt_mib))
                 .unwrap_or_else(|| "/".into());
             row.push(cell);
         }
@@ -168,20 +166,20 @@ mod tests {
         let (mcp, im) = tab3_memory(&ExpConfig::quick());
         assert!(!mcp.is_empty() && !im.is_empty());
         for r in mcp.iter().chain(&im) {
-            assert!(r.peak_bytes > 0, "{} on {}", r.method, r.dataset);
+            assert!(
+                r.peak_bytes.is_some_and(|p| p > 0),
+                "{} on {}",
+                r.method,
+                r.dataset
+            );
         }
         // Deep-RL methods use more memory than Normal Greedy on the same
         // dataset (the paper reports >= 78x; shape, not magnitude).
         let ng: Vec<&SweepRecord> = mcp.iter().filter(|r| r.method == "NormalGreedy").collect();
         for r in mcp.iter().filter(|r| r.method == "S2V-DQN") {
             let base = ng.iter().find(|x| x.dataset == r.dataset).unwrap();
-            assert!(
-                r.peak_bytes >= base.peak_bytes,
-                "S2V-DQN {} < greedy {} on {}",
-                r.peak_bytes,
-                base.peak_bytes,
-                r.dataset
-            );
+            let (rp, bp) = (r.peak_bytes.unwrap(), base.peak_bytes.unwrap());
+            assert!(rp >= bp, "S2V-DQN {} < greedy {} on {}", rp, bp, r.dataset);
         }
         let t = render("Table 3", "memory", &mcp);
         assert!(t.render().contains("MiB"));

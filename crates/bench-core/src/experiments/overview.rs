@@ -140,7 +140,7 @@ pub fn rating_from_records(records: &[SweepRecord]) -> Vec<RatingRow> {
             ),
             quality: r.quality,
             runtime: r.runtime,
-            memory: (r.peak_bytes.max(1)) as f64,
+            memory: r.peak_bytes.unwrap_or(0).max(1) as f64,
         })
         .collect();
     rating_scale(&observations)
@@ -159,7 +159,7 @@ mod tests {
             quality: q,
             absolute: q * 100.0,
             runtime: t,
-            peak_bytes: 1,
+            peak_bytes: Some(1),
         }
     }
 

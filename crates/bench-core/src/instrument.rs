@@ -1,28 +1,30 @@
 //! Wall-clock + memory instrumentation around solver runs.
 
-use crate::alloc::measure_peak;
+use crate::alloc::{measure_peak, tracking_installed};
+use mcpb_trace::Stopwatch;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// One instrumented run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct Measurement {
     /// Wall-clock seconds.
     pub seconds: f64,
-    /// Peak additional heap bytes during the run (0 when the tracking
-    /// allocator is not installed).
-    pub peak_bytes: usize,
+    /// Peak additional heap bytes during the run. `None` when the tracking
+    /// allocator is not installed as the global allocator — previously this
+    /// was reported as `0`, which was indistinguishable from a genuine
+    /// zero-allocation run.
+    pub peak_bytes: Option<usize>,
 }
 
 /// Runs `f`, measuring wall-clock time and allocator peak.
 pub fn run_measured<R>(f: impl FnOnce() -> R) -> (R, Measurement) {
-    let start = Instant::now();
-    let (out, peak_bytes) = measure_peak(f);
+    let watch = Stopwatch::start();
+    let (out, peak) = measure_peak(f);
     (
         out,
         Measurement {
-            seconds: start.elapsed().as_secs_f64(),
-            peak_bytes,
+            seconds: watch.elapsed_secs(),
+            peak_bytes: tracking_installed().then_some(peak),
         },
     )
 }
@@ -60,6 +62,33 @@ mod tests {
         });
         assert!(v > 0);
         assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    fn peak_is_none_without_tracking_allocator() {
+        // Library tests run under the system allocator, so the measurement
+        // must report "unknown" rather than a misleading 0.
+        let (_, m) = run_measured(|| vec![0u8; 4096].len());
+        assert_eq!(m.peak_bytes, None);
+    }
+
+    #[test]
+    fn measurement_serializes_optional_peak() {
+        let m = Measurement {
+            seconds: 1.5,
+            peak_bytes: None,
+        };
+        let json = serde_json::to_string(&m).expect("serialize");
+        assert!(json.contains("null"), "None must encode as null: {json}");
+        let m2 = Measurement {
+            seconds: 1.5,
+            peak_bytes: Some(1024),
+        };
+        let json2 = serde_json::to_string(&m2).expect("serialize");
+        assert!(
+            json2.contains("1024"),
+            "Some must encode the value: {json2}"
+        );
     }
 
     #[test]

@@ -96,6 +96,57 @@ pub fn fmt_mib(bytes: usize) -> String {
     format!("{:.2}MiB", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// Renders a trace snapshot as a per-solver timing breakdown: one row per
+/// span path (indentation mirrors nesting) with call counts, total/self
+/// time, and heap peaks, followed by one row per latency histogram with
+/// its quantiles. Returns `None` when the snapshot is empty (tracing
+/// disabled), so callers can skip the section entirely.
+pub fn profile_table(summary: &mcpb_trace::TraceSummary) -> Option<Table> {
+    if summary.is_empty() {
+        return None;
+    }
+    let mut t = Table::new(
+        "Profile",
+        "solver timing breakdown (tracing enabled)",
+        &[
+            "Span / metric",
+            "Calls",
+            "Total",
+            "Self",
+            "Heap peak",
+            "p50",
+            "p99",
+        ],
+    );
+    for s in &summary.spans {
+        t.push_row(vec![
+            format!("{:indent$}{}", "", s.name(), indent = 2 * s.depth()),
+            s.calls.to_string(),
+            mcpb_trace::fmt_nanos(s.total_nanos),
+            mcpb_trace::fmt_nanos(s.self_nanos),
+            if s.heap_peak_bytes > 0 {
+                fmt_mib(s.heap_peak_bytes)
+            } else {
+                "/".into()
+            },
+            "/".into(),
+            "/".into(),
+        ]);
+    }
+    for h in &summary.histograms {
+        t.push_row(vec![
+            h.name.clone(),
+            h.count.to_string(),
+            "/".into(),
+            "/".into(),
+            "/".into(),
+            fmt_f(h.p50),
+            fmt_f(h.p99),
+        ]);
+    }
+    Some(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +180,29 @@ mod tests {
         assert!(fmt_secs(0.5).ends_with("ms"));
         assert!(fmt_secs(2.0).ends_with('s'));
         assert_eq!(fmt_mib(1024 * 1024), "1.00MiB");
+    }
+
+    #[test]
+    fn profile_table_skips_empty_and_renders_spans() {
+        assert!(profile_table(&mcpb_trace::TraceSummary::default()).is_none());
+        let summary = mcpb_trace::TraceSummary {
+            spans: vec![mcpb_trace::SpanProfile {
+                path: "sweep.mcp/LazyGreedy".into(),
+                calls: 4,
+                total_nanos: 2_000_000,
+                self_nanos: 1_500_000,
+                heap_peak_bytes: 0,
+            }],
+            counters: vec![],
+            histograms: vec![{
+                let mut h = mcpb_trace::Histogram::new();
+                h.observe(0.002);
+                h.summarize("sweep.query_secs/LazyGreedy")
+            }],
+        };
+        let t = profile_table(&summary).expect("non-empty");
+        let rendered = t.render();
+        assert!(rendered.contains("LazyGreedy"));
+        assert!(rendered.contains("query_secs"));
     }
 }

@@ -31,8 +31,27 @@ pub struct SweepRecord {
     /// Query wall-clock seconds (inference only, matching the paper's
     /// deliberately DRL-favourable protocol).
     pub runtime: f64,
-    /// Peak additional heap bytes during the query.
-    pub peak_bytes: usize,
+    /// Peak additional heap bytes during the query (`None` when the
+    /// tracking allocator is not installed, i.e. memory was not measured).
+    pub peak_bytes: Option<usize>,
+}
+
+/// Emits the per-cell telemetry shared by both sweeps: a [`SweepPoint`]
+/// event plus a per-method query-latency histogram sample. Gated on the
+/// collector so the disabled path stays a single atomic load.
+fn record_sweep_cell(rec: &SweepRecord) {
+    if !mcpb_trace::is_enabled() {
+        return;
+    }
+    mcpb_trace::emit(mcpb_trace::Event::SweepPoint {
+        method: rec.method.clone(),
+        dataset: rec.dataset.clone(),
+        budget: rec.budget as u64,
+        quality: rec.quality,
+        runtime: rec.runtime,
+    });
+    mcpb_trace::observe(&format!("sweep.query_secs/{}", rec.method), rec.runtime);
+    mcpb_trace::counter_add("sweep.cells", 1);
 }
 
 /// The MCP sweep: trains each Deep-RL method once on `train_graph`
@@ -55,8 +74,16 @@ pub fn run_mcp_sweep(
         let graph = ds.load();
         for &k in budgets {
             for solver in prepared.iter_mut() {
+                let _cell = if mcpb_trace::is_enabled() {
+                    Some(mcpb_trace::span_named(format!(
+                        "sweep.mcp/{}",
+                        solver.name()
+                    )))
+                } else {
+                    None
+                };
                 let (sol, m): (_, Measurement) = run_measured(|| solver.solve(&graph, k));
-                records.push(SweepRecord {
+                let rec = SweepRecord {
                     method: solver.name().to_string(),
                     dataset: ds.name.to_string(),
                     weight_model: None,
@@ -65,7 +92,9 @@ pub fn run_mcp_sweep(
                     absolute: scorer.score_absolute(&graph, &sol.seeds) as f64,
                     runtime: m.seconds,
                     peak_bytes: m.peak_bytes,
-                });
+                };
+                record_sweep_cell(&rec);
+                records.push(rec);
             }
         }
     }
@@ -97,8 +126,16 @@ pub fn run_im_sweep(
             let scorer = ImScorer::new(&graph, scorer_rr_sets, seed ^ 0x5c0e);
             for &k in budgets {
                 for solver in prepared.iter_mut() {
+                    let _cell = if mcpb_trace::is_enabled() {
+                        Some(mcpb_trace::span_named(format!(
+                            "sweep.im/{}",
+                            solver.name()
+                        )))
+                    } else {
+                        None
+                    };
                     let (sol, m) = run_measured(|| solver.solve(&graph, k));
-                    records.push(SweepRecord {
+                    let rec = SweepRecord {
                         method: solver.name().to_string(),
                         dataset: ds.name.to_string(),
                         weight_model: Some(wm.abbrev().to_string()),
@@ -107,7 +144,9 @@ pub fn run_im_sweep(
                         absolute: scorer.spread(&sol.seeds),
                         runtime: m.seconds,
                         peak_bytes: m.peak_bytes,
-                    });
+                    };
+                    record_sweep_cell(&rec);
+                    records.push(rec);
                 }
             }
         }

@@ -175,6 +175,57 @@ pub struct TrainReport {
     pub train_seconds: f64,
 }
 
+/// Shared instrumentation for every method's `train()`: the wall clock
+/// behind [`TrainReport::train_seconds`] (always running, whether or not
+/// the collector is enabled, so the reported seconds keep their historical
+/// meaning) plus — only when tracing is on — a root `train.<solver>` span
+/// and per-episode [`mcpb_trace::Event::EpisodeEnd`] telemetry.
+pub struct TrainScope {
+    solver: &'static str,
+    watch: mcpb_trace::Stopwatch,
+    _span: Option<mcpb_trace::Span>,
+}
+
+impl TrainScope {
+    /// Starts the training clock and, when tracing is enabled, opens the
+    /// root span that all nested spans (subgraph sampling, NN forward /
+    /// backward) aggregate under.
+    pub fn start(solver: &'static str) -> Self {
+        let root = if mcpb_trace::is_enabled() {
+            Some(mcpb_trace::span_named(format!("train.{solver}")))
+        } else {
+            None
+        };
+        TrainScope {
+            solver,
+            watch: mcpb_trace::Stopwatch::start(),
+            _span: root,
+        }
+    }
+
+    /// Emits one `EpisodeEnd` event plus an episode-reward histogram
+    /// sample. No-op (single atomic load) when tracing is disabled.
+    pub fn episode_end(&self, episode: usize, loss: f64, epsilon: f64, reward: f64) {
+        if !mcpb_trace::is_enabled() {
+            return;
+        }
+        mcpb_trace::emit(mcpb_trace::Event::EpisodeEnd {
+            solver: self.solver.to_string(),
+            episode: episode as u64,
+            loss,
+            epsilon,
+            reward,
+        });
+        mcpb_trace::observe(&format!("train.episode_reward/{}", self.solver), reward);
+    }
+
+    /// Seconds since [`TrainScope::start`] — the value every method stores
+    /// in [`TrainReport::train_seconds`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.watch.elapsed_secs()
+    }
+}
+
 impl TrainReport {
     /// The best validation score observed.
     pub fn best_score(&self) -> f64 {
@@ -197,6 +248,16 @@ impl TrainReport {
     }
 }
 
+/// Mean of an `f32` loss slice as `f64` (0 when empty). Shared by the
+/// per-episode telemetry in every method's training loop.
+pub fn mean_f32(xs: &[f32]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().map(|&x| f64::from(x)).sum::<f64>() / xs.len() as f64
+    }
+}
+
 /// Samples a connected-ish training subgraph of about `target_nodes` nodes
 /// by BFS from a random non-isolated start, mirroring how S2V-DQN/GCOMB
 /// subsample training instances.
@@ -207,6 +268,7 @@ pub fn sample_training_subgraph(
 ) -> (Graph, Vec<NodeId>) {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
+    let _span = mcpb_trace::span("graph.sample_subgraph");
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let candidates: Vec<NodeId> = graph
         .nodes()

@@ -15,7 +15,9 @@
 //! 3. **Q-learning** — a DQN over [gcn score, degree, remaining budget]
 //!    features picks seeds from the pruned candidate set.
 
-use crate::common::{sample_training_subgraph, Checkpoint, RewardOracle, Task, TrainReport};
+use crate::common::{
+    mean_f32, sample_training_subgraph, Checkpoint, RewardOracle, Task, TrainReport, TrainScope,
+};
 use mcpb_gnn::adjacency::gcn_normalized;
 use mcpb_gnn::gcn::GcnEncoder;
 use mcpb_graph::{Graph, NodeId};
@@ -29,7 +31,6 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::rc::Rc;
-use std::time::Instant;
 
 /// GCOMB hyper-parameters, CPU-scaled.
 #[derive(Debug, Clone)]
@@ -248,7 +249,7 @@ impl Gcomb {
 
     /// Full training pipeline: supervised GCN, noise predictor, Q-learning.
     pub fn train(&mut self, train_graph: &Graph) -> TrainReport {
-        let started = Instant::now();
+        let scope = TrainScope::start("GCOMB");
         let mut report = TrainReport::default();
         let (tg, _) = sample_training_subgraph(
             train_graph,
@@ -341,6 +342,7 @@ impl Gcomb {
         let mut best_snapshot_score = f64::NEG_INFINITY;
         let mut epoch_losses = Vec::new();
         for ep in 0..self.cfg.rl_episodes {
+            let ep_loss_start = epoch_losses.len();
             let mut oracle =
                 RewardOracle::new(&tg, self.cfg.task, self.cfg.seed.wrapping_add(ep as u64));
             let cands = self.noise.candidates(&tg, self.cfg.train_budget);
@@ -394,6 +396,12 @@ impl Gcomb {
                     epoch_losses.push(self.agent.train_batch(&batch));
                 }
             }
+            scope.episode_end(
+                ep + 1,
+                mean_f32(&epoch_losses[ep_loss_start..]),
+                schedule.value(step_count),
+                oracle.total(),
+            );
             if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.rl_episodes {
                 let score = self.evaluate(&val_graph, self.cfg.train_budget);
                 let loss = if epoch_losses.is_empty() {
@@ -410,7 +418,7 @@ impl Gcomb {
                 best_snapshot_score = best_snapshot_score.max(score);
             }
         }
-        report.train_seconds = started.elapsed().as_secs_f64();
+        report.train_seconds = scope.elapsed_secs();
         report
     }
 

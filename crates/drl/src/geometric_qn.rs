@@ -10,7 +10,7 @@
 //! starts randomly, which is exactly why the paper observes high variance
 //! (§4.3 repeats each query 20 times).
 
-use crate::common::{Checkpoint, RewardOracle, Task, TrainReport};
+use crate::common::{mean_f32, Checkpoint, RewardOracle, Task, TrainReport, TrainScope};
 use mcpb_gnn::adjacency::gcn_normalized;
 use mcpb_gnn::deepwalk::{deepwalk_features, DeepWalkConfig};
 use mcpb_gnn::gcn::GcnEncoder;
@@ -27,7 +27,6 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::rc::Rc;
-use std::time::Instant;
 
 /// Geometric-QN hyper-parameters, CPU-scaled.
 #[derive(Debug, Clone, Copy)]
@@ -216,7 +215,7 @@ impl GeometricQn {
     /// Trains on `graphs` (the small datasets of Fig. 7b), validating on
     /// the last.
     pub fn train(&mut self, graphs: &[Graph]) -> TrainReport {
-        let started = Instant::now();
+        let scope = TrainScope::start("Geometric-QN");
         let mut report = TrainReport::default();
         if graphs.is_empty() {
             return report;
@@ -232,6 +231,7 @@ impl GeometricQn {
             if g.num_nodes() < 4 {
                 continue;
             }
+            let ep_loss_start = epoch_losses.len();
             let (discovered, trace) = self.explore(g, |s| schedule.value(s), step_base);
             step_base += trace.len();
             // Terminal reward: normalized objective of the seeds found in
@@ -264,6 +264,12 @@ impl GeometricQn {
                 let batch = replay.sample(8, &mut self.rng);
                 epoch_losses.push(self.agent.train_batch(&batch));
             }
+            scope.episode_end(
+                ep + 1,
+                mean_f32(&epoch_losses[ep_loss_start..]),
+                schedule.value(step_base),
+                f64::from(final_reward),
+            );
             if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.episodes {
                 let score = self.evaluate(val_graph, self.cfg.train_budget);
                 let loss = if epoch_losses.is_empty() {
@@ -279,7 +285,7 @@ impl GeometricQn {
                 });
             }
         }
-        report.train_seconds = started.elapsed().as_secs_f64();
+        report.train_seconds = scope.elapsed_secs();
         report
     }
 

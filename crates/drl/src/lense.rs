@@ -11,7 +11,9 @@
 //! the classical heuristic (Lazy Greedy for MCP, RIS greedy for IM — the
 //! Appendix C efficiency fix), which produces the final seed set.
 
-use crate::common::{sample_training_subgraph, Checkpoint, RewardOracle, Task, TrainReport};
+use crate::common::{
+    mean_f32, sample_training_subgraph, Checkpoint, RewardOracle, Task, TrainReport, TrainScope,
+};
 use mcpb_gnn::adjacency::gcn_normalized;
 use mcpb_gnn::gcn::GcnEncoder;
 use mcpb_graph::{Graph, NodeId};
@@ -27,7 +29,6 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::rc::Rc;
-use std::time::Instant;
 
 /// LeNSE hyper-parameters, CPU-scaled.
 #[derive(Debug, Clone, Copy)]
@@ -181,7 +182,7 @@ impl Lense {
 
     /// Full training pipeline on `train_graph`.
     pub fn train(&mut self, train_graph: &Graph) -> TrainReport {
-        let started = Instant::now();
+        let scope = TrainScope::start("LeNSE");
         let mut report = TrainReport::default();
         let n = train_graph.num_nodes();
         if n < self.cfg.subgraph_size {
@@ -241,6 +242,7 @@ impl Lense {
         let mut steps = 0usize;
         let mut epoch_losses = Vec::new();
         for ep in 0..self.cfg.nav_episodes {
+            let ep_loss_start = epoch_losses.len();
             let (_, mut nodes) = {
                 let (sub, order) = sample_training_subgraph(
                     train_graph,
@@ -297,6 +299,12 @@ impl Lense {
                     epoch_losses.push(self.agent.train_batch(&batch));
                 }
             }
+            scope.episode_end(
+                ep + 1,
+                mean_f32(&epoch_losses[ep_loss_start..]),
+                schedule.value(steps),
+                f64::from(quality),
+            );
             if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.nav_episodes {
                 let score = self.evaluate(train_graph, self.cfg.train_budget);
                 let loss = if epoch_losses.is_empty() {
@@ -312,7 +320,7 @@ impl Lense {
                 });
             }
         }
-        report.train_seconds = started.elapsed().as_secs_f64();
+        report.train_seconds = scope.elapsed_secs();
         report
     }
 

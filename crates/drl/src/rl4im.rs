@@ -8,7 +8,7 @@
 //! terminal reward). Both are config flags so the ablation bench can switch
 //! them off.
 
-use crate::common::{Checkpoint, RewardOracle, Task, TrainReport};
+use crate::common::{mean_f32, Checkpoint, RewardOracle, Task, TrainReport, TrainScope};
 use crate::s2v_dqn::S2vQNet;
 use mcpb_gnn::s2v::S2vGraph;
 use mcpb_graph::{Graph, NodeId};
@@ -22,7 +22,6 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::time::Instant;
 
 /// RL4IM hyper-parameters, CPU-scaled.
 #[derive(Debug, Clone, Copy)]
@@ -134,7 +133,7 @@ impl Rl4Im {
     /// Trains across `graphs` (the synthetic power-law pool of Fig. 7a),
     /// using the last graph as the validation instance.
     pub fn train(&mut self, graphs: &[Graph]) -> TrainReport {
-        let started = Instant::now();
+        let scope = TrainScope::start("RL4IM");
         let mut report = TrainReport::default();
         if graphs.is_empty() {
             return report;
@@ -159,6 +158,7 @@ impl Rl4Im {
             if n < 2 {
                 continue;
             }
+            let ep_loss_start = epoch_losses.len();
             let mut oracle =
                 RewardOracle::new(g, self.cfg.task, self.cfg.seed.wrapping_add(ep as u64));
             let mut tags = vec![0f32; n];
@@ -216,6 +216,13 @@ impl Rl4Im {
                 epoch_losses.push(loss);
             }
 
+            scope.episode_end(
+                ep + 1,
+                mean_f32(&epoch_losses[ep_loss_start..]),
+                schedule.value(global_step),
+                oracle.total(),
+            );
+
             if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.episodes {
                 let score = self.evaluate(val_graph, self.cfg.train_budget);
                 let loss = if epoch_losses.is_empty() {
@@ -237,7 +244,7 @@ impl Rl4Im {
         }
         self.online.load_snapshot(&best_snapshot);
         self.target.copy_values_from(&self.online);
-        report.train_seconds = started.elapsed().as_secs_f64();
+        report.train_seconds = scope.elapsed_secs();
         report
     }
 

@@ -8,7 +8,9 @@
 //! training graph (the paper trains on BrightKite for MCP); inference runs
 //! the greedy policy on the full test graph.
 
-use crate::common::{sample_training_subgraph, Checkpoint, RewardOracle, Task, TrainReport};
+use crate::common::{
+    mean_f32, sample_training_subgraph, Checkpoint, RewardOracle, Task, TrainReport, TrainScope,
+};
 use mcpb_gnn::s2v::{S2v, S2vGraph};
 use mcpb_graph::{Graph, NodeId};
 use mcpb_im::solver::{ImSolution, ImSolver};
@@ -21,7 +23,6 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::time::Instant;
 
 /// The S2V + Q-head network shared by S2V-DQN and RL4IM. Parameter ids are
 /// valid in both the online and target stores (identical registration
@@ -205,7 +206,7 @@ impl S2vDqn {
     /// subgraph. Keeps the best-validation checkpoint (the paper's
     /// protocol, §4.1).
     pub fn train(&mut self, train_graph: &Graph) -> TrainReport {
-        let started = Instant::now();
+        let scope = TrainScope::start("S2V-DQN");
         let mut report = TrainReport::default();
         let (val_graph, _) = sample_training_subgraph(
             train_graph,
@@ -230,6 +231,7 @@ impl S2vDqn {
             if g.num_nodes() < 2 {
                 continue;
             }
+            let ep_loss_start = epoch_losses.len();
             let sg = S2vGraph::new(&g);
             graphs.push(EpisodeGraph { graph: g, sg });
             let gi = graphs.len() - 1;
@@ -301,6 +303,13 @@ impl S2vDqn {
                 }
             }
 
+            scope.episode_end(
+                ep + 1,
+                mean_f32(&epoch_losses[ep_loss_start..]),
+                schedule.value(global_step),
+                oracle.total(),
+            );
+
             if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.episodes {
                 let score = self.evaluate(&val_graph, self.cfg.train_budget);
                 let loss = if epoch_losses.is_empty() {
@@ -322,7 +331,7 @@ impl S2vDqn {
         }
         self.online.load_snapshot(&best_snapshot);
         self.target.copy_values_from(&self.online);
-        report.train_seconds = started.elapsed().as_secs_f64();
+        report.train_seconds = scope.elapsed_secs();
         report
     }
 

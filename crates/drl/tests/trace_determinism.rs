@@ -1,0 +1,97 @@
+//! Tracing must be a pure observer: enabling the collector (memory sinks,
+//! spans, per-episode events) must not perturb seeded training in any way.
+//! Runs the same seeded S2V-DQN training with tracing off and on and
+//! demands bit-identical checkpoints, then checks the telemetry the traced
+//! run promised: one `EpisodeEnd` per episode and a span-tree profile with
+//! non-zero self-time for subgraph sampling, NN forward, and NN backward.
+//!
+//! Single `#[test]` on purpose: the collector is process-global, and this
+//! binary owns the whole process.
+
+use mcpb_drl::common::{Checkpoint, Task};
+use mcpb_drl::s2v_dqn::{S2vDqn, S2vDqnConfig};
+use mcpb_graph::generators;
+
+fn tiny_config() -> S2vDqnConfig {
+    S2vDqnConfig {
+        episodes: 6,
+        train_subgraph_nodes: 20,
+        train_budget: 3,
+        validate_every: 3,
+        task: Task::Mcp,
+        seed: 11,
+        ..S2vDqnConfig::default()
+    }
+}
+
+fn train_checkpoints() -> Vec<Checkpoint> {
+    let graph = generators::barabasi_albert(120, 3, 7);
+    let mut model = S2vDqn::new(tiny_config());
+    model.train(&graph).checkpoints
+}
+
+#[test]
+fn tracing_does_not_change_training_and_captures_episodes() {
+    mcpb_trace::set_enabled(false);
+    mcpb_trace::reset();
+    let baseline = train_checkpoints();
+    assert!(!baseline.is_empty(), "training produced no checkpoints");
+    assert!(
+        mcpb_trace::snapshot().is_empty(),
+        "disabled collector recorded data"
+    );
+
+    mcpb_trace::set_enabled(true);
+    mcpb_trace::reset();
+    let traced = train_checkpoints();
+    mcpb_trace::set_enabled(false);
+
+    // Bit-identical: same epochs, same scores, same losses.
+    assert_eq!(baseline.len(), traced.len());
+    for (b, t) in baseline.iter().zip(&traced) {
+        assert_eq!(b.epoch, t.epoch);
+        assert!(
+            b.validation_score.to_bits() == t.validation_score.to_bits(),
+            "validation diverged at epoch {}: {} vs {}",
+            b.epoch,
+            b.validation_score,
+            t.validation_score
+        );
+        assert!(
+            b.loss.to_bits() == t.loss.to_bits(),
+            "loss diverged at epoch {}: {} vs {}",
+            b.epoch,
+            b.loss,
+            t.loss
+        );
+    }
+
+    // Telemetry contract: >= 1 EpisodeEnd per training episode ...
+    let episodes = tiny_config().episodes as u64;
+    let episode_ends = mcpb_trace::recent_events(usize::MAX)
+        .iter()
+        .filter(|e| matches!(e, mcpb_trace::Event::EpisodeEnd { .. }))
+        .count() as u64;
+    assert!(
+        episode_ends >= episodes,
+        "expected >= {episodes} EpisodeEnd events, got {episode_ends}"
+    );
+
+    // ... and a span tree with non-zero self-times at the promised sites.
+    let summary = mcpb_trace::snapshot();
+    for site in ["graph.sample_subgraph", "nn.forward", "nn.backward"] {
+        let hit = summary
+            .spans
+            .iter()
+            .find(|s| s.path.ends_with(site))
+            .unwrap_or_else(|| panic!("no span recorded for {site}"));
+        assert!(hit.calls > 0, "{site}: zero calls");
+        assert!(hit.self_nanos > 0, "{site}: zero self time");
+    }
+    // The training root span exists and encloses its children.
+    let root = summary
+        .span("train.S2V-DQN")
+        .expect("root training span recorded");
+    assert!(root.total_nanos >= root.self_nanos);
+    mcpb_trace::reset();
+}

@@ -86,6 +86,7 @@ impl GcnEncoder {
         adj: Rc<SparseMatrix>,
         mut x: Var,
     ) -> Var {
+        let _span = mcpb_trace::span("nn.forward");
         for layer in &self.layers {
             x = layer.forward(tape, store, adj.clone(), x);
         }

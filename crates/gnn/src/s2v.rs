@@ -73,6 +73,7 @@ impl S2v {
     /// Runs the embedding recursion. `x` is the `n x 1` node-tag input
     /// already on the tape. Returns `n x dim` embeddings.
     pub fn embed(&self, tape: &mut Tape, store: &ParamStore, sg: &S2vGraph, x: Var) -> Var {
+        let _span = mcpb_trace::span("nn.forward");
         let t1 = tape.param(store, self.theta1);
         let t2 = tape.param(store, self.theta2);
         let t3 = tape.param(store, self.theta3);

@@ -124,6 +124,7 @@ impl SageEncoder {
         agg: Rc<SparseMatrix>,
         x: Var,
     ) -> Var {
+        let _span = mcpb_trace::span("nn.forward");
         let h = self.l1.forward(tape, store, agg.clone(), x);
         self.l2.forward(tape, store, agg, h)
     }

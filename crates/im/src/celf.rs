@@ -60,6 +60,7 @@ impl CelfGreedy {
 
     /// Runs CELF selection.
     pub fn run(&self, graph: &Graph, k: usize) -> ImSolution {
+        let _span = mcpb_trace::span("im.celf");
         let n = graph.num_nodes();
         if n == 0 || k == 0 {
             return ImSolution::seeds_only(Vec::new());

@@ -61,6 +61,7 @@ impl Imm {
     /// Runs IMM, returning the seed set, its spread estimate, and the RR
     /// collection used for selection (callers reuse it for scoring).
     pub fn run(&self, graph: &Graph, k: usize) -> (ImSolution, RrCollection) {
+        let _span = mcpb_trace::span("im.imm");
         let n = graph.num_nodes();
         let mut rr = RrCollection::new(n);
         if n == 0 || k == 0 {

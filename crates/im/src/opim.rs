@@ -64,6 +64,7 @@ impl Opim {
     /// Runs OPIM-C; returns the solution and the achieved approximation
     /// guarantee (lower/upper bound ratio at termination).
     pub fn run(&self, graph: &Graph, k: usize) -> (ImSolution, f64) {
+        let _span = mcpb_trace::span("im.opim");
         let n = graph.num_nodes();
         if n == 0 || k == 0 {
             return (ImSolution::seeds_only(Vec::new()), 0.0);

@@ -39,6 +39,8 @@ impl RrCollection {
         if target <= start {
             return;
         }
+        let _span = mcpb_trace::span("im.rr_sample");
+        mcpb_trace::counter_add("im.rr_sets_sampled", (target - start) as u64);
         let fresh: Vec<Vec<NodeId>> = (start..target)
             .into_par_iter()
             .map(|i| {
@@ -122,6 +124,8 @@ impl RrCollection {
     pub fn greedy_max_coverage(&self, k: usize) -> (Vec<NodeId>, usize) {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
+
+        let _span = mcpb_trace::span("im.rr_greedy");
 
         let mut covered = vec![false; self.sets.len()];
         let mut heap: BinaryHeap<(usize, Reverse<NodeId>, u32)> = (0..self.n as NodeId)

@@ -19,6 +19,7 @@ pub struct NormalGreedy;
 impl NormalGreedy {
     /// Runs the greedy selection directly, without the trait object.
     pub fn run(graph: &Graph, k: usize) -> McpSolution {
+        let _span = mcpb_trace::span("mcp.normal_greedy");
         let n = graph.num_nodes();
         let mut oracle = CoverageOracle::new(graph);
         let mut selected = vec![false; n];
@@ -73,6 +74,7 @@ type HeapEntry = (usize, Reverse<NodeId>, u32);
 impl LazyGreedy {
     /// Runs CELF selection directly.
     pub fn run(graph: &Graph, k: usize) -> McpSolution {
+        let _span = mcpb_trace::span("mcp.lazy_greedy");
         let n = graph.num_nodes();
         let mut oracle = CoverageOracle::new(graph);
         // (cached gain, node, round the gain was computed in). Initial

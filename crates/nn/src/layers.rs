@@ -84,6 +84,7 @@ impl Mlp {
 
     /// Forward pass: hidden activations between layers, linear final layer.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, mut x: Var) -> Var {
+        let _span = mcpb_trace::span("nn.forward");
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             x = layer.forward(tape, store, x);

@@ -416,6 +416,7 @@ impl Tape {
 
     /// Runs backpropagation from scalar node `root`.
     pub fn backward(&mut self, root: Var) {
+        let _span = mcpb_trace::span("nn.backward");
         assert_eq!(
             self.nodes[root.0].value.len(),
             1,

@@ -1,0 +1,56 @@
+//! Wall-clock primitives.
+//!
+//! [`Stopwatch`] is the *only* sanctioned way to read wall-clock time
+//! outside this crate and `bench-core::instrument`: the `mcpb-audit` rule
+//! MCPB007 flags every other direct `std::time::Instant` use. Unlike spans,
+//! a stopwatch is always live — it does not consult the collector — so
+//! results that must carry timing regardless of tracing state (e.g.
+//! `TrainReport.train_seconds`) keep their meaning when the collector is
+//! disabled.
+
+use std::time::Instant;
+
+/// A started wall-clock timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since start (saturating at `u64::MAX`).
+    pub fn elapsed_nanos(&self) -> u64 {
+        let nanos = self.start.elapsed().as_nanos();
+        u64::try_from(nanos).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds since start.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let w = Stopwatch::start();
+        let a = w.elapsed_nanos();
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc = acc.wrapping_add(i);
+        }
+        assert!(acc > 0);
+        let b = w.elapsed_nanos();
+        assert!(b >= a);
+        assert!(w.elapsed_secs() >= 0.0);
+    }
+}

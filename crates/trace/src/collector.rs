@@ -1,0 +1,235 @@
+//! The global collector: one process-wide sink for spans, counters,
+//! histograms, and events.
+//!
+//! Disabled by default. Every recording entry point begins with a single
+//! relaxed atomic load of the enable flag, so instrumented release hot
+//! paths pay essentially nothing until someone turns tracing on
+//! ([`set_enabled`], or [`init_from_env`] reading `MCPB_TRACE`).
+//!
+//! When enabled, aggregates live behind one `Mutex` (locked once per span
+//! close / counter update — instrumentation sites are batch-level, not
+//! per-element). Events additionally land in a bounded in-memory ring
+//! buffer and, when a JSONL path is configured, are appended to that file
+//! one object per line. All maps are `BTreeMap`s so snapshots iterate in a
+//! deterministic order, which the workspace's reproducibility gate
+//! (`mcpb-audit` MCPB005) also insists on.
+
+use crate::event::Event;
+use crate::metrics::Histogram;
+use crate::profile::{CounterSnapshot, SpanProfile, TraceSummary};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Default capacity of the in-memory event ring buffer.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SpanStat {
+    pub calls: u64,
+    pub total_nanos: u64,
+    pub self_nanos: u64,
+    pub heap_peak_bytes: usize,
+}
+
+#[derive(Default)]
+struct State {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    ring: VecDeque<Event>,
+    jsonl: Option<std::io::BufWriter<std::fs::File>>,
+    events_seen: u64,
+}
+
+fn state() -> MutexGuard<'static, State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    let lock = STATE.get_or_init(|| Mutex::new(State::default()));
+    // A panic while holding the lock poisons it; telemetry must keep
+    // working afterwards, so recover the inner state instead of unwinding.
+    match lock.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// True when the collector is recording. One relaxed atomic load.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the collector on or off. Disabling keeps accumulated data (take a
+/// [`snapshot`] afterwards, or [`reset`] to drop it).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+    if !on {
+        flush();
+    }
+}
+
+/// Reads the `MCPB_TRACE` environment variable: when set and non-empty,
+/// enables the collector and (unless set to `"1"`) opens the named JSONL
+/// sink. Returns whether tracing ended up enabled. Intended to be called
+/// once at binary startup.
+pub fn init_from_env() -> bool {
+    match std::env::var("MCPB_TRACE") {
+        Ok(path) if !path.is_empty() => {
+            if path != "1" {
+                if let Err(e) = set_jsonl_path(&path) {
+                    eprintln!("mcpb-trace: cannot open {path:?}: {e}; tracing to memory only");
+                }
+            }
+            set_enabled(true);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Opens (creating/truncating) a JSONL sink; subsequent events are appended
+/// to it one per line. Call [`flush`] (or [`set_enabled`]`(false)`) before
+/// reading the file.
+pub fn set_jsonl_path(path: &str) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    state().jsonl = Some(std::io::BufWriter::new(file));
+    Ok(())
+}
+
+/// Flushes the JSONL sink, if any.
+pub fn flush() {
+    let mut st = state();
+    if let Some(w) = st.jsonl.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Clears every aggregate, the event ring, and detaches the JSONL sink
+/// (flushing it first). The enable flag is left untouched.
+pub fn reset() {
+    let mut st = state();
+    if let Some(mut w) = st.jsonl.take() {
+        let _ = w.flush();
+    }
+    *st = State::default();
+}
+
+/// Records one event: ring buffer plus JSONL sink. No-op when disabled.
+pub fn emit(event: Event) {
+    if !is_enabled() {
+        return;
+    }
+    let mut st = state();
+    st.events_seen += 1;
+    if let Some(w) = st.jsonl.as_mut() {
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+    if st.ring.len() >= DEFAULT_RING_CAPACITY {
+        st.ring.pop_front();
+    }
+    st.ring.push_back(event);
+}
+
+/// Adds `delta` to the named monotonic counter. No-op when disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut st = state();
+    match st.counters.get_mut(name) {
+        Some(c) => *c = c.saturating_add(delta),
+        None => {
+            st.counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Records `value` into the named histogram. No-op when disabled.
+pub fn observe(name: &str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut st = state();
+    st.histograms.entry_or_default(name).observe(value);
+}
+
+/// Folds one closed span occurrence into the profile.
+pub(crate) fn record_span(path: &str, elapsed_nanos: u64, self_nanos: u64, heap_peak: usize) {
+    let mut st = state();
+    let stat = st.spans.entry_or_default(path);
+    stat.calls += 1;
+    stat.total_nanos = stat.total_nanos.saturating_add(elapsed_nanos);
+    stat.self_nanos = stat.self_nanos.saturating_add(self_nanos);
+    stat.heap_peak_bytes = stat.heap_peak_bytes.max(heap_peak);
+}
+
+/// Tiny helper: `BTreeMap::entry(..).or_default()` without cloning the key
+/// when it already exists.
+trait EntryOrDefault<V: Default> {
+    fn entry_or_default(&mut self, key: &str) -> &mut V;
+}
+
+impl<V: Default> EntryOrDefault<V> for BTreeMap<String, V> {
+    fn entry_or_default(&mut self, key: &str) -> &mut V {
+        if !self.contains_key(key) {
+            self.insert(key.to_string(), V::default());
+        }
+        self.get_mut(key)
+            .expect("invariant: key inserted just above")
+    }
+}
+
+/// Copies the most recent events out of the ring buffer (oldest first,
+/// up to `max`).
+pub fn recent_events(max: usize) -> Vec<Event> {
+    let st = state();
+    let skip = st.ring.len().saturating_sub(max);
+    st.ring.iter().skip(skip).cloned().collect()
+}
+
+/// Total events recorded since the last [`reset`] (including any evicted
+/// from the ring).
+pub fn events_seen() -> u64 {
+    state().events_seen
+}
+
+/// Snapshots every aggregate into an owned, deterministic summary.
+pub fn snapshot() -> TraceSummary {
+    let mut st = state();
+    if let Some(w) = st.jsonl.as_mut() {
+        let _ = w.flush();
+    }
+    let spans = st
+        .spans
+        .iter()
+        .map(|(path, s)| SpanProfile {
+            path: path.clone(),
+            calls: s.calls,
+            total_nanos: s.total_nanos,
+            self_nanos: s.self_nanos,
+            heap_peak_bytes: s.heap_peak_bytes,
+        })
+        .collect();
+    let counters = st
+        .counters
+        .iter()
+        .map(|(name, &value)| CounterSnapshot {
+            name: name.clone(),
+            value,
+        })
+        .collect();
+    let histograms = st
+        .histograms
+        .iter()
+        .map(|(name, h)| h.summarize(name))
+        .collect();
+    TraceSummary {
+        spans,
+        counters,
+        histograms,
+    }
+}

@@ -1,0 +1,533 @@
+//! The typed event stream and its JSONL codec.
+//!
+//! Events are flat records; each serializes to exactly one JSON object per
+//! line with a `type` discriminator, so a `MCPB_TRACE=file.jsonl` capture
+//! is greppable and trivially machine-readable. The codec is hand-rolled
+//! (this crate is zero-dependency): [`Event::to_json`] emits one line,
+//! [`Event::from_json`] parses one back, and the round trip is exact for
+//! finite floats (Rust's shortest-round-trip `Display`). Non-finite floats
+//! serialize as `null` and parse back as NaN, mirroring `serde_json`.
+
+/// One structured telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A Deep-RL training episode finished.
+    EpisodeEnd {
+        /// Solver name (e.g. `"S2V-DQN"`).
+        solver: String,
+        /// 1-based episode index.
+        episode: u64,
+        /// Mean TD / regression loss over the episode (0 before the first
+        /// optimizer step).
+        loss: f64,
+        /// Exploration rate in effect at the episode's end.
+        epsilon: f64,
+        /// Episode return: the normalized objective of the built seed set.
+        reward: f64,
+    },
+    /// One sweep cell (method x dataset x budget) was measured.
+    SweepPoint {
+        /// Method name.
+        method: String,
+        /// Dataset name.
+        dataset: String,
+        /// Budget `k`.
+        budget: u64,
+        /// Normalized objective in `[0, 1]`.
+        quality: f64,
+        /// Query wall-clock seconds.
+        runtime: f64,
+    },
+    /// A root span closed (nested spans only aggregate into the profile).
+    SpanClose {
+        /// Full `/`-separated span path.
+        path: String,
+        /// Wall-clock nanoseconds the span was open.
+        nanos: u64,
+    },
+    /// A free-form scalar metric, for one-off values that do not warrant
+    /// their own variant.
+    Metric {
+        /// Metric name.
+        name: String,
+        /// Metric value.
+        value: f64,
+    },
+}
+
+impl Event {
+    /// The `type` discriminator used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::EpisodeEnd { .. } => "episode_end",
+            Event::SweepPoint { .. } => "sweep_point",
+            Event::SpanClose { .. } => "span_close",
+            Event::Metric { .. } => "metric",
+        }
+    }
+
+    /// Renders the event as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push('{');
+        push_str_field(&mut out, "type", self.kind());
+        match self {
+            Event::EpisodeEnd {
+                solver,
+                episode,
+                loss,
+                epsilon,
+                reward,
+            } => {
+                push_str_field(&mut out, "solver", solver);
+                push_u64_field(&mut out, "episode", *episode);
+                push_f64_field(&mut out, "loss", *loss);
+                push_f64_field(&mut out, "epsilon", *epsilon);
+                push_f64_field(&mut out, "reward", *reward);
+            }
+            Event::SweepPoint {
+                method,
+                dataset,
+                budget,
+                quality,
+                runtime,
+            } => {
+                push_str_field(&mut out, "method", method);
+                push_str_field(&mut out, "dataset", dataset);
+                push_u64_field(&mut out, "budget", *budget);
+                push_f64_field(&mut out, "quality", *quality);
+                push_f64_field(&mut out, "runtime", *runtime);
+            }
+            Event::SpanClose { path, nanos } => {
+                push_str_field(&mut out, "path", path);
+                push_u64_field(&mut out, "nanos", *nanos);
+            }
+            Event::Metric { name, value } => {
+                push_str_field(&mut out, "name", name);
+                push_f64_field(&mut out, "value", *value);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSON line produced by [`Event::to_json`].
+    pub fn from_json(line: &str) -> Result<Event, ParseError> {
+        let fields = parse_flat_object(line)?;
+        let kind = get_str(&fields, "type")?;
+        match kind.as_str() {
+            "episode_end" => Ok(Event::EpisodeEnd {
+                solver: get_str(&fields, "solver")?,
+                episode: get_u64(&fields, "episode")?,
+                loss: get_f64(&fields, "loss")?,
+                epsilon: get_f64(&fields, "epsilon")?,
+                reward: get_f64(&fields, "reward")?,
+            }),
+            "sweep_point" => Ok(Event::SweepPoint {
+                method: get_str(&fields, "method")?,
+                dataset: get_str(&fields, "dataset")?,
+                budget: get_u64(&fields, "budget")?,
+                quality: get_f64(&fields, "quality")?,
+                runtime: get_f64(&fields, "runtime")?,
+            }),
+            "span_close" => Ok(Event::SpanClose {
+                path: get_str(&fields, "path")?,
+                nanos: get_u64(&fields, "nanos")?,
+            }),
+            "metric" => Ok(Event::Metric {
+                name: get_str(&fields, "name")?,
+                value: get_f64(&fields, "value")?,
+            }),
+            other => Err(ParseError::new(format!("unknown event type {other:?}"))),
+        }
+    }
+}
+
+/// A JSONL decode failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---- encoding helpers -------------------------------------------------
+
+fn push_key(out: &mut String, key: &str) {
+    if !out.ends_with('{') {
+        out.push(',');
+    }
+    push_json_string(out, key);
+    out.push(':');
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    push_key(out, key);
+    push_json_string(out, value);
+}
+
+fn push_u64_field(out: &mut String, key: &str, value: u64) {
+    push_key(out, key);
+    let _ = std::fmt::Write::write_fmt(out, format_args!("{value}"));
+}
+
+fn push_f64_field(out: &mut String, key: &str, value: f64) {
+    push_key(out, key);
+    if value.is_finite() {
+        let _ = std::fmt::Write::write_fmt(out, format_args!("{value}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", u32::from(c)));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- decoding helpers -------------------------------------------------
+
+/// A parsed scalar field value.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Str(String),
+    Num(f64),
+    Null,
+    Bool(bool),
+}
+
+fn get_str(fields: &[(String, Scalar)], key: &str) -> Result<String, ParseError> {
+    match lookup(fields, key)? {
+        Scalar::Str(s) => Ok(s.clone()),
+        other => Err(ParseError::new(format!(
+            "field {key:?}: expected string, found {other:?}"
+        ))),
+    }
+}
+
+fn get_f64(fields: &[(String, Scalar)], key: &str) -> Result<f64, ParseError> {
+    match lookup(fields, key)? {
+        Scalar::Num(n) => Ok(*n),
+        Scalar::Null => Ok(f64::NAN),
+        other => Err(ParseError::new(format!(
+            "field {key:?}: expected number, found {other:?}"
+        ))),
+    }
+}
+
+fn get_u64(fields: &[(String, Scalar)], key: &str) -> Result<u64, ParseError> {
+    match lookup(fields, key)? {
+        Scalar::Num(n) if *n >= 0.0 && n.fract() <= f64::EPSILON => Ok(*n as u64),
+        other => Err(ParseError::new(format!(
+            "field {key:?}: expected non-negative integer, found {other:?}"
+        ))),
+    }
+}
+
+fn lookup<'f>(fields: &'f [(String, Scalar)], key: &str) -> Result<&'f Scalar, ParseError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| ParseError::new(format!("missing field {key:?}")))
+}
+
+/// Parses a single flat JSON object of scalar fields.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, ParseError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect_byte(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect_byte(b':')?;
+            p.skip_ws();
+            let value = p.parse_scalar()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected ',' or '}}', found {other:?} at byte {}",
+                        p.pos
+                    )))
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ParseError::new(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, want: u8) -> Result<(), ParseError> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(ParseError::new(format!(
+                "expected {:?}, found {other:?} at byte {}",
+                want as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<Scalar, ParseError> {
+        match self.peek() {
+            Some(b'"') => self.parse_string().map(Scalar::Str),
+            Some(b'n') => self.parse_keyword("null").map(|_| Scalar::Null),
+            Some(b't') => self.parse_keyword("true").map(|_| Scalar::Bool(true)),
+            Some(b'f') => self.parse_keyword("false").map(|_| Scalar::Bool(false)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number().map(Scalar::Num),
+            other => Err(ParseError::new(format!(
+                "unexpected {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected {word:?} at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| ParseError::new(format!("invalid utf8 in number: {e}")))?;
+        text.parse::<f64>()
+            .map_err(|e| ParseError::new(format!("bad number {text:?}: {e}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(ParseError::new("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| ParseError::new("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| ParseError::new("bad \\u codepoint"))?,
+                        );
+                    }
+                    other => {
+                        return Err(ParseError::new(format!("bad escape {other:?}")));
+                    }
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-borrow the multi-byte UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|e| ParseError::new(format!("invalid utf8: {e}")))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first >= 0xF0 {
+        4
+    } else if first >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(e: Event) {
+        let line = e.to_json();
+        let back = Event::from_json(&line).expect("parses");
+        assert_eq!(back, e, "line: {line}");
+    }
+
+    #[test]
+    fn episode_end_round_trips() {
+        round_trip(Event::EpisodeEnd {
+            solver: "S2V-DQN".into(),
+            episode: 17,
+            loss: 0.12345678901234567,
+            epsilon: 0.05,
+            reward: 0.75,
+        });
+    }
+
+    #[test]
+    fn sweep_point_round_trips() {
+        round_trip(Event::SweepPoint {
+            method: "LazyGreedy".into(),
+            dataset: "BrightKite".into(),
+            budget: 50,
+            quality: 0.9231,
+            runtime: 1.5e-4,
+        });
+    }
+
+    #[test]
+    fn span_close_and_metric_round_trip() {
+        round_trip(Event::SpanClose {
+            path: "train/nn.forward".into(),
+            nanos: 123_456_789,
+        });
+        round_trip(Event::Metric {
+            name: "im.rr_sets".into(),
+            value: 2000.0,
+        });
+    }
+
+    #[test]
+    fn strings_with_specials_round_trip() {
+        round_trip(Event::Metric {
+            name: "weird \"name\"\\ with\nnewline\tand unicode é…".into(),
+            value: 1.0,
+        });
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        let e = Event::Metric {
+            name: "x".into(),
+            value: f64::INFINITY,
+        };
+        let line = e.to_json();
+        assert!(line.contains("null"), "{line}");
+        match Event::from_json(&line).expect("parses") {
+            Event::Metric { value, .. } => assert!(value.is_nan()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{\"type\":\"nope\"}",
+            "{\"type\":\"metric\",\"name\":\"x\"}",
+            "{\"type\":\"metric\",\"name\":\"x\",\"value\":1} trailing",
+            "{\"type\":\"span_close\",\"path\":\"p\",\"nanos\":-3}",
+        ] {
+            assert!(Event::from_json(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn wire_format_is_stable() {
+        let e = Event::SpanClose {
+            path: "root".into(),
+            nanos: 5,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"span_close\",\"path\":\"root\",\"nanos\":5}"
+        );
+    }
+}

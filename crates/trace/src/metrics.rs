@@ -1,0 +1,255 @@
+//! Counters and log-bucketed histograms.
+//!
+//! Histograms bucket positive values on a logarithmic grid with
+//! [`SUB_BUCKETS`] buckets per octave (relative bucket width `2^(1/4)`,
+//! ~19% worst-case quantile error), covering `2^-64 .. 2^64` — wide enough
+//! for nanosecond latencies, loss values, and byte counts alike. Zero and
+//! negative observations land in a dedicated underflow bucket that sorts
+//! below every finite bucket, so quantiles stay well-defined.
+
+/// Log-grid resolution: buckets per factor-of-two.
+pub const SUB_BUCKETS: usize = 4;
+/// Total bucket count (exponent range `-64..64` at [`SUB_BUCKETS`]).
+const BUCKETS: usize = 128 * SUB_BUCKETS;
+/// Index offset so exponent 0 maps to the middle of the grid.
+const OFFSET: i64 = (BUCKETS / 2) as i64;
+
+/// A log-bucketed histogram of `f64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            underflow: 0,
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index for a strictly positive finite value.
+    fn bucket_of(v: f64) -> usize {
+        let idx = (v.log2() * SUB_BUCKETS as f64).floor() as i64 + OFFSET;
+        idx.clamp(0, BUCKETS as i64 - 1) as usize
+    }
+
+    /// Inclusive-lower bound of bucket `i`.
+    fn bucket_lo(i: usize) -> f64 {
+        2f64.powf((i as i64 - OFFSET) as f64 / SUB_BUCKETS as f64)
+    }
+
+    /// Records one observation. Non-finite values are dropped; zero and
+    /// negative values count toward the underflow bucket.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if v > 0.0 {
+            self.counts[Self::bucket_of(v)] += 1;
+        } else {
+            self.underflow += 1;
+        }
+        self.total += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 <= q <= 1.0`): the geometric midpoint
+    /// of the bucket holding the rank-`ceil(q * n)` observation. Exact
+    /// `min`/`max` are substituted at the extremes so the estimate never
+    /// leaves the observed range.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return self.min();
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                let lo = Self::bucket_lo(i);
+                let hi = Self::bucket_lo(i + 1);
+                let mid = (lo * hi).sqrt();
+                return mid.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Condensed view for reports.
+    pub fn summarize(&self, name: &str) -> HistogramSummary {
+        HistogramSummary {
+            name: name.to_string(),
+            count: self.total,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+/// Quantile summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range_are_close() {
+        let mut h = Histogram::new();
+        for v in 1..=1000 {
+            h.observe(v as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        // Log-bucketed estimates carry up to ~19% relative error.
+        let p50 = h.quantile(0.50);
+        let p90 = h.quantile(0.90);
+        let p99 = h.quantile(0.99);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.25, "p50 = {p50}");
+        assert!((p90 - 900.0).abs() / 900.0 < 0.25, "p90 = {p90}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.25, "p99 = {p99}");
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone");
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1000.0);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exactish() {
+        let mut h = Histogram::new();
+        h.observe(42.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!((est - 42.0).abs() / 42.0 < 0.2, "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn tiny_and_huge_values_stay_in_range() {
+        let mut h = Histogram::new();
+        h.observe(1e-12);
+        h.observe(3.5e9);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.0) >= 1e-13);
+        assert!(h.quantile(1.0) <= 3.5e9 * 1.0001);
+    }
+
+    #[test]
+    fn zero_and_negative_go_to_underflow() {
+        let mut h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-5.0);
+        h.observe(10.0);
+        assert_eq!(h.count(), 3);
+        // The lowest third of the mass is underflow -> min.
+        assert_eq!(h.quantile(0.1), -5.0);
+        assert!(h.quantile(1.0) <= 10.0);
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        let s = h.summarize("x");
+        assert_eq!(s.name, "x");
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 3.75).abs() < 1e-12);
+        assert!(s.min == 1.0 && s.max == 8.0);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+    }
+}

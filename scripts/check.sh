@@ -14,4 +14,14 @@ cargo run -q -p mcpb-audit
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
 
-echo "OK: fmt, audit, and tests all green"
+echo "==> trace determinism + collector tests"
+cargo test -q -p mcpb-trace
+cargo test -q -p mcpb-drl --test trace_determinism
+
+echo "==> telemetry smoke (JSONL must round-trip through the typed decoder)"
+TRACE_OUT="target/check-trace-events.jsonl"
+rm -f "$TRACE_OUT"
+MCPB_TRACE="$TRACE_OUT" cargo run -q -- trace-smoke
+cargo run -q -- trace-validate "$TRACE_OUT"
+
+echo "OK: fmt, audit, tests, and telemetry smoke all green"

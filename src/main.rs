@@ -6,7 +6,14 @@
 //! cargo run --release -- tab1 fig4            # quick scale
 //! cargo run --release -- --full tab7          # bench scale
 //! cargo run --release -- all                  # every experiment (quick)
+//! MCPB_TRACE=episodes.jsonl cargo run --release -- fig4   # + telemetry
 //! ```
+//!
+//! Setting `MCPB_TRACE` enables the `mcpb-trace` collector for any
+//! invocation: `MCPB_TRACE=1` keeps events in memory and prints the span
+//! profile at exit; `MCPB_TRACE=<path>` additionally streams every event to
+//! `<path>` as JSONL. `trace-smoke` and `trace-validate` exercise that
+//! pipeline end to end.
 
 use mcpb_bench::experiments::{
     curves, datasets, distribution, memory, noise, overview, small_scale, training, ExpConfig,
@@ -60,12 +67,137 @@ fn run_spec(path: &str) {
     println!("{}", format_rating_table(&report.rating));
 }
 
+/// When tracing was active, flushes the JSONL sink and prints the
+/// aggregated span/counter/histogram profile.
+fn finish_trace() {
+    if !mcpb_trace::is_enabled() {
+        return;
+    }
+    mcpb_trace::flush();
+    let summary = mcpb_trace::snapshot();
+    if let Some(table) = mcpb_bench::results::profile_table(&summary) {
+        println!("\n{}", table.render());
+    }
+    println!("trace: {} event(s) recorded", mcpb_trace::events_seen());
+}
+
+/// `trace-smoke`: a seconds-scale end-to-end exercise of the telemetry
+/// pipeline — a tiny S2V-DQN training run (EpisodeEnd events, `nn.*` and
+/// `graph.*` spans) plus a mini MCP sweep (SweepPoint events, `sweep.*`
+/// spans) — then prints the profile. Combine with `MCPB_TRACE=<path>` to
+/// also produce a JSONL file for `trace-validate`.
+fn trace_smoke() {
+    use mcpb_drl::s2v_dqn::{S2vDqn, S2vDqnConfig};
+    mcpb_trace::set_enabled(true);
+
+    let train_graph = mcpb_graph::generators::barabasi_albert(150, 3, 7);
+    let cfg = S2vDqnConfig {
+        episodes: 4,
+        train_subgraph_nodes: 25,
+        train_budget: 3,
+        validate_every: 2,
+        seed: 7,
+        ..S2vDqnConfig::default()
+    };
+    let episodes = cfg.episodes;
+    let report = S2vDqn::new(cfg).train(&train_graph);
+    println!(
+        "smoke: trained S2V-DQN for {episodes} episodes ({} checkpoints)",
+        report.checkpoints.len()
+    );
+
+    let exp = ExpConfig::quick();
+    let dataset = exp.scaled(
+        mcpb_graph::catalog::by_name("BrightKite").expect("invariant: BrightKite in catalog"),
+    );
+    let records = mcpb_bench::sweep::run_mcp_sweep(
+        &[
+            mcpb_bench::registry::McpMethodKind::LazyGreedy,
+            mcpb_bench::registry::McpMethodKind::TopDegree,
+        ],
+        &[dataset],
+        &[5, 10],
+        &train_graph,
+        mcpb_bench::registry::Scale::Quick,
+        exp.seed,
+    );
+    println!("smoke: swept {} (method, budget) cells", records.len());
+
+    let summary = mcpb_trace::snapshot();
+    let mut missing = Vec::new();
+    for site in ["graph.sample_subgraph", "nn.forward", "nn.backward"] {
+        if !summary
+            .spans
+            .iter()
+            .any(|s| s.path.ends_with(site) && s.self_nanos > 0)
+        {
+            missing.push(site);
+        }
+    }
+    let episode_ends = mcpb_trace::recent_events(usize::MAX)
+        .iter()
+        .filter(|e| matches!(e, mcpb_trace::Event::EpisodeEnd { .. }))
+        .count();
+    finish_trace();
+    if !missing.is_empty() {
+        eprintln!("smoke FAILED: no self-time recorded for {missing:?}");
+        std::process::exit(1);
+    }
+    if episode_ends < episodes {
+        eprintln!("smoke FAILED: {episode_ends} EpisodeEnd event(s) for {episodes} episodes");
+        std::process::exit(1);
+    }
+    println!("smoke OK: {episode_ends} EpisodeEnd event(s), all required spans present");
+}
+
+/// `trace-validate <file>`: parses every line of a JSONL event file back
+/// through the typed decoder; exits non-zero on the first malformed line.
+fn trace_validate(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("trace-validate: cannot read {path:?}: {e}");
+        std::process::exit(1);
+    });
+    let mut count = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = mcpb_trace::Event::from_json(line) {
+            eprintln!("trace-validate: {path}:{}: malformed event: {e}", idx + 1);
+            std::process::exit(1);
+        }
+        count += 1;
+    }
+    if count == 0 {
+        eprintln!("trace-validate: {path}: no events");
+        std::process::exit(1);
+    }
+    println!("trace-validate: {path}: {count} valid event(s)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(|s| s.as_str()) == Some("run-spec") {
-        let path = args.get(1).expect("usage: mcpbench run-spec <spec.json>");
-        run_spec(path);
-        return;
+    mcpb_trace::init_from_env();
+    match args.first().map(|s| s.as_str()) {
+        Some("run-spec") => {
+            let path = args.get(1).expect("usage: mcpbench run-spec <spec.json>");
+            run_spec(path);
+            finish_trace();
+            return;
+        }
+        Some("trace-smoke") => {
+            trace_smoke();
+            return;
+        }
+        Some("trace-validate") => {
+            let path = args.get(1).unwrap_or_else(|| {
+                eprintln!("usage: mcpbench trace-validate <events.jsonl>");
+                std::process::exit(2);
+            });
+            trace_validate(path);
+            return;
+        }
+        _ => {}
     }
     let full = args.iter().any(|a| a == "--full");
     let mut ids: Vec<&str> = args
@@ -79,6 +211,11 @@ fn main() {
             println!("  {id:<9} {desc}");
         }
         println!("  all       run every experiment");
+        println!("\nutilities:");
+        println!("  run-spec <spec.json>        run a serialized BenchmarkSpec");
+        println!("  trace-smoke                 exercise the telemetry pipeline end to end");
+        println!("  trace-validate <file>       check a JSONL event file line by line");
+        println!("\nset MCPB_TRACE=1 (memory) or MCPB_TRACE=<path> (JSONL) to enable tracing");
         return;
     }
     if ids.contains(&"all") {
@@ -97,6 +234,7 @@ fn main() {
     for id in ids {
         run(id, &cfg);
     }
+    finish_trace();
 }
 
 fn run(id: &str, cfg: &ExpConfig) {
