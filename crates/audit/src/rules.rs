@@ -1,4 +1,4 @@
-//! The lint rules (MCPB001–MCPB006).
+//! The lint rules (MCPB001–MCPB008).
 //!
 //! Every rule is a line-oriented token scan over sanitized source (see
 //! [`crate::source`]), deliberately dependency-free: no `syn`, no type
@@ -101,6 +101,12 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Warn,
         fix_hint: "time through mcpb-trace (span()/Stopwatch) or bench-core's run_measured so profiles stay consistent; ad-hoc Instant timing bypasses the collector",
     },
+    Rule {
+        id: "MCPB008",
+        name: "panic-surface-in-solver",
+        severity: Severity::Warn,
+        fix_hint: "solver/harness crates execute inside fault-isolated sweep cells; return a typed error (even for documented invariants) so a bad cell becomes a Failed record instead of a panic",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -120,6 +126,7 @@ pub fn scan_file(file: &SourceFile) -> Vec<Finding> {
         check_hash_iter(file, lineno, line, &hash_idents, &mut findings);
         check_lossy_cast(file, lineno, line, &mut findings);
         check_raw_instant(file, lineno, line, &mut findings);
+        check_solver_panic_surface(file, lineno, line, &mut findings);
     }
     findings
 }
@@ -404,7 +411,10 @@ fn check_lossy_cast(file: &SourceFile, lineno: usize, line: &str, findings: &mut
 /// by hand fragments the profile. The two layers that *implement* timing
 /// are path-exempt.
 fn check_raw_instant(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec<Finding>) {
+    // `mcpb-resilience` is zero-dep by design (it sits below the trace
+    // crate) and implements the deadline/backoff timing itself.
     if file.rel_path.starts_with("crates/trace/")
+        || file.rel_path.starts_with("crates/resilience/")
         || file.rel_path == "crates/bench-core/src/instrument.rs"
     {
         return;
@@ -420,6 +430,41 @@ fn check_raw_instant(file: &SourceFile, lineno: usize, line: &str, findings: &mu
                 push(file, lineno, "MCPB007", findings);
                 return;
             }
+        }
+    }
+}
+
+/// Crates whose library code executes inside fault-isolated sweep cells.
+/// A panic there turns a whole cell into a `Failed` record, so *any*
+/// `.unwrap()` / `.expect(` — documented invariant or not — is flagged.
+const SOLVER_CRATE_PREFIXES: &[&str] = &[
+    "crates/bench-core/src/",
+    "crates/drl/src/",
+    "crates/im/src/",
+    "crates/mcp/src/",
+];
+
+/// MCPB008: unwrap/expect in the solver/harness crates. Stricter than
+/// MCPB001: the documented-invariant escape hatch does not apply, because
+/// an invariant violation inside a sweep cell should surface as a typed
+/// error, not a caught panic with a stringified payload.
+fn check_solver_panic_surface(
+    file: &SourceFile,
+    lineno: usize,
+    line: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if !SOLVER_CRATE_PREFIXES
+        .iter()
+        .any(|p| file.rel_path.starts_with(p))
+    {
+        return;
+    }
+    for pat in [".unwrap()", ".expect("] {
+        let mut from = 0;
+        while let Some(idx) = line[from..].find(pat) {
+            from += idx + pat.len();
+            push(file, lineno, "MCPB008", findings);
         }
     }
 }
@@ -525,6 +570,56 @@ mod tests {
             "let t = Instant::now();\n",
         ));
         assert_eq!(rules_of(&f), ["MCPB007"]);
+    }
+
+    #[test]
+    fn raw_instant_exempt_in_resilience() {
+        let f = scan_file(&SourceFile::parse(
+            "crates/resilience/src/cell.rs",
+            "let t = Instant::now();\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn solver_crate_panic_surface_flagged_even_when_documented() {
+        let src = "let a = x.unwrap();\nlet b = y.expect(\"invariant: always set\");\n";
+        for path in [
+            "crates/bench-core/src/sweep.rs",
+            "crates/drl/src/s2v_dqn.rs",
+            "crates/im/src/imm.rs",
+            "crates/mcp/src/greedy.rs",
+        ] {
+            let f = scan_file(&SourceFile::parse(path, src));
+            let hits: Vec<_> = rules_of(&f)
+                .into_iter()
+                .filter(|r| *r == "MCPB008")
+                .collect();
+            assert_eq!(hits.len(), 2, "{path}: {f:?}");
+        }
+        // The documented expect still dodges MCPB001 — MCPB008 is the only
+        // rule that sees it.
+        let f = scan_file(&SourceFile::parse(
+            "crates/drl/src/s2v_dqn.rs",
+            "let b = y.expect(\"invariant: always set\");\n",
+        ));
+        assert_eq!(rules_of(&f), ["MCPB008"]);
+    }
+
+    #[test]
+    fn solver_panic_surface_scoped_to_solver_crates() {
+        // The same source outside the solver crates only trips MCPB001.
+        let f = scan_file(&SourceFile::parse(
+            "crates/graph/src/io.rs",
+            "let a = x.unwrap();\n",
+        ));
+        assert_eq!(rules_of(&f), ["MCPB001"]);
+        // Test code inside a solver crate stays exempt entirely.
+        let f = scan_file(&SourceFile::parse(
+            "crates/drl/tests/helpers.rs",
+            "let a = x.unwrap();\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Positive fixture for MCPB008 (panic-surface-in-solver). Scanned under a
+//! synthetic solver-crate path (`crates/drl/src/fixture.rs`), where *every*
+//! `.unwrap()` / `.expect(` is a finding — including documented-invariant
+//! expects that MCPB001 would wave through. Lines that also trip MCPB001
+//! carry both tags.
+
+pub fn solver_panic_surface(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // FIRE:MCPB001 FIRE:MCPB008
+    let b = y.expect("oops"); // FIRE:MCPB001 FIRE:MCPB008
+    let c = x.expect("invariant: caller checked is_some"); // FIRE:MCPB008
+    a + b + c
+}

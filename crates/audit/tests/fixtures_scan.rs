@@ -1,8 +1,10 @@
-//! Golden-file tests for every rule: `fixtures/positive.rs` declares the
-//! expected finding on each flagged line with a `FIRE:<rule>` comment tag,
-//! and `fixtures/negative.rs` must scan clean. The fixtures directory is
-//! excluded from the workspace walk, so these patterns never reach the
-//! committed baseline.
+//! Golden-file tests for every rule: each positive fixture declares the
+//! expected findings on a flagged line with `FIRE:<rule>` comment tags
+//! (several tags when one line trips several rules), and
+//! `fixtures/negative.rs` must scan clean. `fixtures/solver_positive.rs`
+//! is scanned under a synthetic solver-crate path to exercise the
+//! path-scoped MCPB008. The fixtures directory is excluded from the
+//! workspace walk, so these patterns never reach the committed baseline.
 
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -17,44 +19,87 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-/// `(line, rule)` pairs declared by `FIRE:` tags in fixture comments.
+/// `(line, rule)` pairs declared by `FIRE:` tags in fixture comments. A
+/// line may carry several tags (`// FIRE:MCPB001 FIRE:MCPB008`) when one
+/// expression trips several rules.
 fn expected_findings(src: &str) -> BTreeSet<(usize, String)> {
-    src.lines()
-        .enumerate()
-        .filter_map(|(i, line)| {
-            line.split("FIRE:")
-                .nth(1)
-                .map(|tag| (i + 1, tag.trim().to_string()))
-        })
-        .collect()
+    let mut expected = BTreeSet::new();
+    for (i, line) in src.lines().enumerate() {
+        for tag in line.split("FIRE:").skip(1) {
+            let rule: String = tag
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if !rule.is_empty() {
+                expected.insert((i + 1, rule));
+            }
+        }
+    }
+    expected
+}
+
+/// Asserts the scan of `src` under `path` produces exactly the tagged
+/// findings.
+fn assert_fires_exactly(name: &str, path: &str) {
+    let src = fixture(name);
+    let expected = expected_findings(&src);
+    assert!(!expected.is_empty(), "{name} lost its FIRE tags?");
+    let file = SourceFile::parse(path, &src);
+    let actual: BTreeSet<(usize, String)> = scan_file(&file)
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    let missed: Vec<_> = expected.difference(&actual).collect();
+    let spurious: Vec<_> = actual.difference(&expected).collect();
+    assert!(
+        missed.is_empty(),
+        "{name}: tagged but not flagged: {missed:?}"
+    );
+    assert!(
+        spurious.is_empty(),
+        "{name}: flagged but not tagged: {spurious:?}"
+    );
 }
 
 #[test]
 fn positive_fixture_fires_exactly_the_tagged_findings() {
     let src = fixture("positive.rs");
-    let expected = expected_findings(&src);
-    assert!(expected.len() >= 12, "fixture lost its FIRE tags?");
-
-    // Forced lib-crate path: no path-based test exemption applies.
-    let file = SourceFile::parse("crates/fixture/src/lib.rs", &src);
-    let actual: BTreeSet<(usize, String)> = scan_file(&file)
-        .into_iter()
-        .map(|f| (f.line, f.rule.to_string()))
-        .collect();
-
-    let missed: Vec<_> = expected.difference(&actual).collect();
-    let spurious: Vec<_> = actual.difference(&expected).collect();
-    assert!(missed.is_empty(), "tagged but not flagged: {missed:?}");
-    assert!(spurious.is_empty(), "flagged but not tagged: {spurious:?}");
+    assert!(
+        expected_findings(&src).len() >= 12,
+        "fixture lost its FIRE tags?"
+    );
+    // Forced lib-crate path: no path-based test exemption applies, and the
+    // path sits outside the MCPB008 solver-crate scope.
+    assert_fires_exactly("positive.rs", "crates/fixture/src/lib.rs");
 }
 
 #[test]
-fn positive_fixture_has_every_rule_at_least_once() {
-    let src = fixture("positive.rs");
-    let fired: BTreeSet<String> = expected_findings(&src)
-        .into_iter()
-        .map(|(_, r)| r)
-        .collect();
+fn solver_fixture_fires_mcpb008_under_solver_path() {
+    assert_fires_exactly("solver_positive.rs", "crates/drl/src/fixture.rs");
+}
+
+#[test]
+fn solver_fixture_out_of_scope_path_drops_mcpb008() {
+    // The same source outside the solver crates must only fire the
+    // non-path-scoped rules (here: MCPB001 on undocumented unwrap/expect).
+    let src = fixture("solver_positive.rs");
+    let file = SourceFile::parse("crates/graph/src/fixture.rs", &src);
+    let rules: BTreeSet<&str> = scan_file(&file).into_iter().map(|f| f.rule).collect();
+    assert!(rules.contains("MCPB001"), "{rules:?}");
+    assert!(!rules.contains("MCPB008"), "{rules:?}");
+}
+
+#[test]
+fn positive_fixtures_cover_every_rule() {
+    let mut fired: BTreeSet<String> = BTreeSet::new();
+    for name in ["positive.rs", "solver_positive.rs"] {
+        fired.extend(
+            expected_findings(&fixture(name))
+                .into_iter()
+                .map(|(_, r)| r),
+        );
+    }
     for rule in mcpb_audit::rules::RULES {
         assert!(fired.contains(rule.id), "no positive case for {}", rule.id);
     }
@@ -72,8 +117,14 @@ fn negative_fixture_scans_clean() {
 
 #[test]
 fn test_path_exempts_the_whole_positive_fixture() {
-    // The same anti-pattern soup under a tests/ path is fully exempt.
-    let file = SourceFile::parse("crates/fixture/tests/helpers.rs", &fixture("positive.rs"));
-    let findings = scan_file(&file);
-    assert!(findings.is_empty(), "tests/ path not exempt: {findings:?}");
+    // The same anti-pattern soup under a tests/ path is fully exempt —
+    // even inside a solver crate.
+    for path in [
+        "crates/fixture/tests/helpers.rs",
+        "crates/drl/tests/helpers.rs",
+    ] {
+        let file = SourceFile::parse(path, &fixture("positive.rs"));
+        let findings = scan_file(&file);
+        assert!(findings.is_empty(), "{path} not exempt: {findings:?}");
+    }
 }

@@ -86,7 +86,12 @@ pub fn tab3_memory(cfg: &ExpConfig) -> (Vec<SweepRecord>, Vec<SweepRecord>) {
             cfg.seed,
         );
         for (name, wm) in &im_pairs {
-            let ds = cfg.scaled(catalog::by_name(name).expect("catalog name"));
+            // A name missing from the catalog drops that row rather than
+            // aborting the whole memory study.
+            let Ok(ds) = catalog::require(name) else {
+                continue;
+            };
+            let ds = cfg.scaled(ds);
             let graph = assign_weights(&ds.load(), *wm, cfg.seed);
             let (sol, m) = crate::instrument::run_measured(|| solver.solve(&graph, k));
             let peak = m

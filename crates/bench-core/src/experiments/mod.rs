@@ -88,18 +88,31 @@ impl ExpConfig {
         }
     }
 
+    /// The MCP training graph (the paper trains on BrightKite). Fallible
+    /// variant of [`Self::mcp_train_graph`] for callers that must report a
+    /// broken catalog instead of panicking.
+    pub fn try_mcp_train_graph(&self) -> Result<Graph, mcpb_graph::catalog::UnknownDataset> {
+        Ok(self
+            .scaled(mcpb_graph::catalog::require("BrightKite")?)
+            .load())
+    }
+
     /// The MCP training graph (the paper trains on BrightKite).
     pub fn mcp_train_graph(&self) -> Graph {
-        let ds =
-            self.scaled(mcpb_graph::catalog::by_name("BrightKite").expect("BrightKite in catalog"));
-        ds.load()
+        self.try_mcp_train_graph()
+            .expect("invariant: BrightKite ships in the static catalog")
+    }
+
+    /// Fallible variant of [`Self::im_train_graph`].
+    pub fn try_im_train_graph(&self) -> Result<Graph, mcpb_graph::catalog::UnknownDataset> {
+        let g = self.scaled(mcpb_graph::catalog::require("Youtube")?).load();
+        Ok(subsample_edges(&g, 0.15, self.seed))
     }
 
     /// The IM training graph: a 15%-edge subgraph of Youtube, as in §4.
     pub fn im_train_graph(&self) -> Graph {
-        let ds = self.scaled(mcpb_graph::catalog::by_name("Youtube").expect("Youtube in catalog"));
-        let g = ds.load();
-        subsample_edges(&g, 0.15, self.seed)
+        self.try_im_train_graph()
+            .expect("invariant: Youtube ships in the static catalog")
     }
 
     /// Picks the first `quick_n` (quick) or `full_n` (full) entries.

@@ -272,9 +272,11 @@ pub struct SizePoint {
 
 /// Figure 9: performance as the training-set size varies.
 pub fn fig9_training_size(cfg: &ExpConfig) -> Vec<SizePoint> {
-    let youtube = cfg
-        .scaled(catalog::by_name("Youtube").expect("Youtube in catalog"))
-        .load();
+    // No Youtube, no Fig. 9: return an empty point set instead of panicking.
+    let Ok(youtube_ds) = catalog::require("Youtube") else {
+        return Vec::new();
+    };
+    let youtube = cfg.scaled(youtube_ds).load();
     let youtube = assign_weights(&youtube, WeightModel::WeightedCascade, cfg.seed);
     let mut points = Vec::new();
     let budget = 5;

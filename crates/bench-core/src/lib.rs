@@ -25,12 +25,15 @@ pub mod sweep;
 
 pub use agreement::{jaccard, pairwise_agreements, summarize, Agreement, SolverAnswer};
 pub use experiments::ExpConfig;
-pub use instrument::{run_measured, Measurement};
+pub use instrument::{run_measured, run_measured_guarded, Measurement};
 pub use rating::{format_rating_table, rating_scale, Observation, RatingRow};
 pub use registry::{
     prepare_im, prepare_mcp, ImMethodKind, McpMethodKind, PreparedImSolver, PreparedMcpSolver,
     Scale,
 };
-pub use results::Table;
+pub use results::{failure_table, Table};
 pub use scorer::{ImScorer, McpScorer};
-pub use sweep::{run_im_sweep, run_mcp_sweep, SweepRecord};
+pub use sweep::{
+    run_im_sweep, run_im_sweep_resilient, run_mcp_sweep, run_mcp_sweep_resilient, CellFailure,
+    SweepOptions, SweepOutcome, SweepRecord,
+};

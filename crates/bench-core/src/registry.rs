@@ -174,6 +174,23 @@ impl ImMethodKind {
     }
 }
 
+/// Counts trainings that hit their divergence-recovery budget on the trace
+/// collector, so a sweep summary can surface "this model is partial"
+/// without failing the preparation (the best checkpoint is still usable).
+fn note_train_health(name: &str, report: &Option<TrainReport>) {
+    if !mcpb_trace::is_enabled() {
+        return;
+    }
+    if let Some(r) = report {
+        if r.error.is_some() {
+            mcpb_trace::counter_add(&format!("train.diverged/{name}"), 1);
+        }
+        if r.recoveries > 0 {
+            mcpb_trace::counter_add(&format!("train.recovered_runs/{name}"), 1);
+        }
+    }
+}
+
 /// A prepared (trained where applicable) MCP solver.
 pub struct PreparedMcpSolver {
     /// Method identity.
@@ -255,6 +272,7 @@ pub fn prepare_mcp(
             (Box::new(model), Some(report))
         }
     };
+    note_train_health(kind.name(), &train_report);
     PreparedMcpSolver {
         kind,
         solver,
@@ -366,6 +384,7 @@ pub fn prepare_im(
             (Box::new(model), Some(report))
         }
     };
+    note_train_health(kind.name(), &train_report);
     PreparedImSolver {
         kind,
         solver,

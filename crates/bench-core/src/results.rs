@@ -147,6 +147,29 @@ pub fn profile_table(summary: &mcpb_trace::TraceSummary) -> Option<Table> {
     Some(t)
 }
 
+/// Renders the failure summary of a resilient sweep: one row per cell that
+/// exhausted its retry policy, so partial grids surface what is missing
+/// instead of silently shrinking. Returns `None` when nothing failed.
+pub fn failure_table(failures: &[crate::sweep::CellFailure]) -> Option<Table> {
+    if failures.is_empty() {
+        return None;
+    }
+    let mut t = Table::new(
+        "Failures",
+        "cells that exhausted their retry policy",
+        &["Cell", "Error", "Attempts", "Elapsed"],
+    );
+    for f in failures {
+        t.push_row(vec![
+            f.key.clone(),
+            f.error.clone(),
+            f.attempts.to_string(),
+            fmt_secs(f.elapsed_secs),
+        ]);
+    }
+    Some(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +203,22 @@ mod tests {
         assert!(fmt_secs(0.5).ends_with("ms"));
         assert!(fmt_secs(2.0).ends_with('s'));
         assert_eq!(fmt_mib(1024 * 1024), "1.00MiB");
+    }
+
+    #[test]
+    fn failure_table_skips_empty_and_renders_failures() {
+        assert!(failure_table(&[]).is_none());
+        let t = failure_table(&[crate::sweep::CellFailure {
+            key: "mcp|LazyGreedy|Damascus|5".into(),
+            error: "panicked: injected fault".into(),
+            attempts: 3,
+            elapsed_secs: 0.25,
+        }])
+        .expect("non-empty");
+        let rendered = t.render();
+        assert!(rendered.contains("LazyGreedy"));
+        assert!(rendered.contains("injected fault"));
+        assert!(rendered.contains('3'));
     }
 
     #[test]

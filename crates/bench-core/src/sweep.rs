@@ -1,6 +1,14 @@
 //! Shared sweep runner: executes (method x dataset x budget) grids with
 //! uniform scoring and instrumentation. Figures 1/4/5/6, Tables 3/7 and the
 //! appendix curves are all views over these records.
+//!
+//! Execution is fault-isolated and resumable: every cell (and every solver
+//! preparation) runs under [`mcpb_resilience::run_cell`], so a panicking or
+//! overrunning cell becomes a typed [`CellFailure`] record while the rest
+//! of the grid completes. With a journal configured, each finished cell is
+//! durably appended to a crash-safe JSONL file; a resumed run verifies the
+//! header's config hash, replays completed cells from their stored
+//! payloads, and reruns only failed or missing cells.
 
 use crate::instrument::{run_measured, Measurement};
 use crate::registry::{
@@ -11,7 +19,13 @@ use crate::scorer::{ImScorer, McpScorer};
 use mcpb_graph::catalog::Dataset;
 use mcpb_graph::weights::{assign_weights, WeightModel};
 use mcpb_graph::Graph;
+use mcpb_resilience::journal::{
+    read_journal, EntryStatus, JournalEntry, JournalError, JournalHeader, JournalWriter,
+};
+use mcpb_resilience::{fnv1a64, run_cell, CellOutcome, CellPolicy};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// One sweep cell: a method answering one query on one dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +50,46 @@ pub struct SweepRecord {
     pub peak_bytes: Option<usize>,
 }
 
+/// One cell (or preparation) that exhausted its retry policy. The sweep
+/// records it and keeps going instead of aborting the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// Stable cell key, e.g. `mcp|LazyGreedy|Damascus|5`.
+    pub key: String,
+    /// Stringified terminal error (panic payload or deadline report).
+    pub error: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Total wall-clock seconds across all attempts.
+    pub elapsed_secs: f64,
+}
+
+/// Execution options for a resilient sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Per-cell retry/deadline policy (preparation reuses it without the
+    /// deadline — training is expected to be slow).
+    pub policy: CellPolicy,
+    /// Write a fresh crash-safe journal here (truncates).
+    pub journal: Option<PathBuf>,
+    /// Resume from this journal: completed cells are replayed from their
+    /// stored payloads, failed or missing cells rerun, and new outcomes are
+    /// appended to the same file. Takes precedence over `journal`.
+    pub resume: Option<PathBuf>,
+}
+
+/// Result of a resilient sweep: the partial (usually full) grid plus a
+/// summary of everything that failed or was replayed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepOutcome {
+    /// Completed cells, in grid order (replayed cells included).
+    pub records: Vec<SweepRecord>,
+    /// Cells and preparations that exhausted their retry policy.
+    pub failures: Vec<CellFailure>,
+    /// Cells replayed from the resume journal instead of rerun.
+    pub resumed: usize,
+}
+
 /// Emits the per-cell telemetry shared by both sweeps: a [`SweepPoint`]
 /// event plus a per-method query-latency histogram sample. Gated on the
 /// collector so the disabled path stays a single atomic load.
@@ -54,8 +108,217 @@ fn record_sweep_cell(rec: &SweepRecord) {
     mcpb_trace::counter_add("sweep.cells", 1);
 }
 
+fn push_joined<T>(spec: &mut String, items: &[T], f: impl Fn(&T) -> String) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            spec.push(',');
+        }
+        spec.push_str(&f(item));
+    }
+    spec.push(';');
+}
+
+/// Canonical config hash for an MCP sweep, stored in the journal header so
+/// a resume against a different grid is rejected instead of silently
+/// mixing records.
+pub fn mcp_config_hash(
+    methods: &[McpMethodKind],
+    datasets: &[Dataset],
+    budgets: &[usize],
+    scale: Scale,
+    seed: u64,
+) -> u64 {
+    let mut spec = format!("mcp;scale={scale:?};seed={seed};");
+    push_joined(&mut spec, methods, |m| m.name().to_string());
+    push_joined(&mut spec, datasets, |d| d.name.to_string());
+    push_joined(&mut spec, budgets, |k| k.to_string());
+    fnv1a64(spec.as_bytes())
+}
+
+/// Canonical config hash for an IM sweep.
+pub fn im_config_hash(
+    methods: &[ImMethodKind],
+    datasets: &[Dataset],
+    weight_models: &[WeightModel],
+    budgets: &[usize],
+    scorer_rr_sets: usize,
+    scale: Scale,
+    seed: u64,
+) -> u64 {
+    let mut spec = format!("im;scale={scale:?};seed={seed};rr={scorer_rr_sets};");
+    push_joined(&mut spec, methods, |m| m.name().to_string());
+    push_joined(&mut spec, datasets, |d| d.name.to_string());
+    push_joined(&mut spec, weight_models, |w| w.abbrev().to_string());
+    push_joined(&mut spec, budgets, |k| k.to_string());
+    fnv1a64(spec.as_bytes())
+}
+
+/// Per-run bookkeeping: the optional journal writer, the completed-cell
+/// map loaded on resume, and the failure accumulator.
+struct SweepSession {
+    writer: Option<JournalWriter>,
+    completed: HashMap<String, SweepRecord>,
+    resumed: usize,
+    failures: Vec<CellFailure>,
+}
+
+impl SweepSession {
+    fn open(
+        opts: &SweepOptions,
+        label: &str,
+        seed: u64,
+        config_hash: u64,
+    ) -> Result<SweepSession, JournalError> {
+        let mut completed = HashMap::new();
+        let writer = if let Some(path) = &opts.resume {
+            let journal = read_journal(path)?;
+            if journal.header.config_hash != config_hash {
+                return Err(JournalError::ConfigMismatch {
+                    expected: config_hash,
+                    found: journal.header.config_hash,
+                });
+            }
+            for entry in &journal.entries {
+                if entry.status != EntryStatus::Completed {
+                    continue;
+                }
+                let Some(payload) = &entry.payload else {
+                    continue;
+                };
+                // An unreadable payload degrades to a rerun of that cell.
+                if let Ok(rec) = serde_json::from_str::<SweepRecord>(payload) {
+                    completed.insert(entry.cell.clone(), rec);
+                }
+            }
+            Some(JournalWriter::append_to(path).map_err(|e| JournalError::Io(e.to_string()))?)
+        } else if let Some(path) = &opts.journal {
+            let header = JournalHeader {
+                seed,
+                config_hash,
+                label: label.to_string(),
+            };
+            Some(
+                JournalWriter::create(path, &header)
+                    .map_err(|e| JournalError::Io(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+        Ok(SweepSession {
+            writer,
+            completed,
+            resumed: 0,
+            failures: Vec::new(),
+        })
+    }
+
+    /// Replays a completed cell from the resume journal, if present.
+    fn replay(&mut self, key: &str) -> Option<SweepRecord> {
+        let rec = self.completed.get(key).cloned()?;
+        self.resumed += 1;
+        Some(rec)
+    }
+
+    /// Appends one entry to the journal. A journal write failure must not
+    /// kill the sweep: the run degrades to non-resumable and the error is
+    /// counted on the trace collector.
+    fn journal(&mut self, entry: &JournalEntry) {
+        if let Some(w) = &mut self.writer {
+            if w.append(entry).is_err() {
+                mcpb_trace::counter_add("sweep.journal_errors", 1);
+            }
+        }
+    }
+
+    fn record_ok(&mut self, key: &str, rec: &SweepRecord, attempts: u32, elapsed_secs: f64) {
+        let payload = serde_json::to_string(rec).ok();
+        self.journal(&JournalEntry {
+            cell: key.to_string(),
+            status: EntryStatus::Completed,
+            attempts,
+            elapsed_secs,
+            error: None,
+            payload,
+        });
+    }
+
+    fn record_failed(&mut self, key: &str, error: String, attempts: u32, elapsed_secs: f64) {
+        if mcpb_trace::is_enabled() {
+            mcpb_trace::emit(mcpb_trace::Event::CellFailed {
+                key: key.to_string(),
+                error: error.clone(),
+                attempts: u64::from(attempts),
+                elapsed: elapsed_secs,
+            });
+            mcpb_trace::counter_add("sweep.cells_failed", 1);
+        }
+        self.journal(&JournalEntry {
+            cell: key.to_string(),
+            status: EntryStatus::Failed,
+            attempts,
+            elapsed_secs,
+            error: Some(error.clone()),
+            payload: None,
+        });
+        self.failures.push(CellFailure {
+            key: key.to_string(),
+            error,
+            attempts,
+            elapsed_secs,
+        });
+    }
+}
+
+/// Preparation policy: the cell policy without its deadline — training is
+/// expected to be slow, and a retry covers transient panics.
+fn prep_policy(policy: &CellPolicy) -> CellPolicy {
+    CellPolicy {
+        deadline_secs: None,
+        ..*policy
+    }
+}
+
+/// Runs one query cell under the policy, journaling either outcome.
+fn run_query_cell(
+    session: &mut SweepSession,
+    policy: &CellPolicy,
+    key: &str,
+    span: &str,
+    records: &mut Vec<SweepRecord>,
+    solve_and_score: impl FnMut() -> SweepRecord,
+) {
+    if let Some(rec) = session.replay(key) {
+        records.push(rec);
+        return;
+    }
+    let _cell = if mcpb_trace::is_enabled() {
+        Some(mcpb_trace::span_named(span.to_string()))
+    } else {
+        None
+    };
+    match run_cell(policy, "sweep.cell", solve_and_score) {
+        CellOutcome::Completed {
+            value: rec,
+            attempts,
+            elapsed_secs,
+        } => {
+            session.record_ok(key, &rec, attempts, elapsed_secs);
+            record_sweep_cell(&rec);
+            records.push(rec);
+        }
+        CellOutcome::Failed {
+            error,
+            attempts,
+            elapsed_secs,
+        } => session.record_failed(key, error.to_string(), attempts, elapsed_secs),
+    }
+}
+
 /// The MCP sweep: trains each Deep-RL method once on `train_graph`
 /// (BrightKite in the paper), then answers every (dataset, budget) query.
+/// Infallible facade over [`run_mcp_sweep_resilient`] with default options
+/// (no journal, single attempt, no deadline); failed cells are simply
+/// absent from the returned grid.
 pub fn run_mcp_sweep(
     methods: &[McpMethodKind],
     datasets: &[Dataset],
@@ -64,45 +327,99 @@ pub fn run_mcp_sweep(
     scale: Scale,
     seed: u64,
 ) -> Vec<SweepRecord> {
+    match run_mcp_sweep_resilient(
+        methods,
+        datasets,
+        budgets,
+        train_graph,
+        scale,
+        seed,
+        &SweepOptions::default(),
+    ) {
+        Ok(out) => out.records,
+        // Unreachable: journal errors require a configured journal.
+        Err(_) => Vec::new(),
+    }
+}
+
+/// The MCP sweep with fault isolation, retries, and an optional crash-safe
+/// journal. See [`SweepOptions`] and [`SweepOutcome`].
+pub fn run_mcp_sweep_resilient(
+    methods: &[McpMethodKind],
+    datasets: &[Dataset],
+    budgets: &[usize],
+    train_graph: &Graph,
+    scale: Scale,
+    seed: u64,
+    opts: &SweepOptions,
+) -> Result<SweepOutcome, JournalError> {
+    let config_hash = mcp_config_hash(methods, datasets, budgets, scale, seed);
+    let mut session = SweepSession::open(opts, "mcp", seed, config_hash)?;
     let mut records = Vec::new();
     let scorer = McpScorer;
-    let mut prepared: Vec<PreparedMcpSolver> = methods
-        .iter()
-        .map(|&m| prepare_mcp(m, train_graph, scale, seed))
-        .collect();
+    // A method whose training panics becomes an `mcp|prepare|{name}`
+    // failure and is dropped from the grid (its cells are absent, not
+    // failed). Preparation is never journaled as completed — models are
+    // not serialized, so a resume retrains them.
+    let mut prepared: Vec<PreparedMcpSolver> = Vec::new();
+    for &m in methods {
+        match run_cell(&prep_policy(&opts.policy), "sweep.prepare", || {
+            prepare_mcp(m, train_graph, scale, seed)
+        }) {
+            CellOutcome::Completed { value, .. } => prepared.push(value),
+            CellOutcome::Failed {
+                error,
+                attempts,
+                elapsed_secs,
+            } => session.record_failed(
+                &format!("mcp|prepare|{}", m.name()),
+                error.to_string(),
+                attempts,
+                elapsed_secs,
+            ),
+        }
+    }
     for ds in datasets {
         let graph = ds.load();
         for &k in budgets {
             for solver in prepared.iter_mut() {
-                let _cell = if mcpb_trace::is_enabled() {
-                    Some(mcpb_trace::span_named(format!(
-                        "sweep.mcp/{}",
-                        solver.name()
-                    )))
-                } else {
-                    None
-                };
-                let (sol, m): (_, Measurement) = run_measured(|| solver.solve(&graph, k));
-                let rec = SweepRecord {
-                    method: solver.name().to_string(),
-                    dataset: ds.name.to_string(),
-                    weight_model: None,
-                    budget: k,
-                    quality: scorer.score(&graph, &sol.seeds),
-                    absolute: scorer.score_absolute(&graph, &sol.seeds) as f64,
-                    runtime: m.seconds,
-                    peak_bytes: m.peak_bytes,
-                };
-                record_sweep_cell(&rec);
-                records.push(rec);
+                let key = format!("mcp|{}|{}|{}", solver.name(), ds.name, k);
+                let span = format!("sweep.mcp/{}", solver.name());
+                let name = solver.name().to_string();
+                run_query_cell(
+                    &mut session,
+                    &opts.policy,
+                    &key,
+                    &span,
+                    &mut records,
+                    || {
+                        let (sol, m): (_, Measurement) = run_measured(|| solver.solve(&graph, k));
+                        SweepRecord {
+                            method: name.clone(),
+                            dataset: ds.name.to_string(),
+                            weight_model: None,
+                            budget: k,
+                            quality: scorer.score(&graph, &sol.seeds),
+                            absolute: scorer.score_absolute(&graph, &sol.seeds) as f64,
+                            runtime: m.seconds,
+                            peak_bytes: m.peak_bytes,
+                        }
+                    },
+                );
             }
         }
     }
-    records
+    Ok(SweepOutcome {
+        records,
+        failures: session.failures,
+        resumed: session.resumed,
+    })
 }
 
 /// The IM sweep: per weight model, trains Deep-RL methods on the weighted
 /// training graph, scores every solution with a shared [`ImScorer`].
+/// Infallible facade over [`run_im_sweep_resilient`], as with
+/// [`run_mcp_sweep`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_im_sweep(
     methods: &[ImMethodKind],
@@ -114,44 +431,105 @@ pub fn run_im_sweep(
     scale: Scale,
     seed: u64,
 ) -> Vec<SweepRecord> {
+    match run_im_sweep_resilient(
+        methods,
+        datasets,
+        weight_models,
+        budgets,
+        train_graph,
+        scorer_rr_sets,
+        scale,
+        seed,
+        &SweepOptions::default(),
+    ) {
+        Ok(out) => out.records,
+        // Unreachable: journal errors require a configured journal.
+        Err(_) => Vec::new(),
+    }
+}
+
+/// The IM sweep with fault isolation, retries, and an optional crash-safe
+/// journal.
+#[allow(clippy::too_many_arguments)]
+pub fn run_im_sweep_resilient(
+    methods: &[ImMethodKind],
+    datasets: &[Dataset],
+    weight_models: &[WeightModel],
+    budgets: &[usize],
+    train_graph: &Graph,
+    scorer_rr_sets: usize,
+    scale: Scale,
+    seed: u64,
+    opts: &SweepOptions,
+) -> Result<SweepOutcome, JournalError> {
+    let config_hash = im_config_hash(
+        methods,
+        datasets,
+        weight_models,
+        budgets,
+        scorer_rr_sets,
+        scale,
+        seed,
+    );
+    let mut session = SweepSession::open(opts, "im", seed, config_hash)?;
     let mut records = Vec::new();
     for &wm in weight_models {
         let weighted_train = assign_weights(train_graph, wm, seed);
-        let mut prepared: Vec<PreparedImSolver> = methods
-            .iter()
-            .map(|&m| prepare_im(m, &weighted_train, wm, scale, seed))
-            .collect();
+        let mut prepared: Vec<PreparedImSolver> = Vec::new();
+        for &m in methods {
+            match run_cell(&prep_policy(&opts.policy), "sweep.prepare", || {
+                prepare_im(m, &weighted_train, wm, scale, seed)
+            }) {
+                CellOutcome::Completed { value, .. } => prepared.push(value),
+                CellOutcome::Failed {
+                    error,
+                    attempts,
+                    elapsed_secs,
+                } => session.record_failed(
+                    &format!("im|prepare|{}", m.name()),
+                    error.to_string(),
+                    attempts,
+                    elapsed_secs,
+                ),
+            }
+        }
         for ds in datasets {
             let graph = assign_weights(&ds.load(), wm, seed ^ ds.seed);
             let scorer = ImScorer::new(&graph, scorer_rr_sets, seed ^ 0x5c0e);
             for &k in budgets {
                 for solver in prepared.iter_mut() {
-                    let _cell = if mcpb_trace::is_enabled() {
-                        Some(mcpb_trace::span_named(format!(
-                            "sweep.im/{}",
-                            solver.name()
-                        )))
-                    } else {
-                        None
-                    };
-                    let (sol, m) = run_measured(|| solver.solve(&graph, k));
-                    let rec = SweepRecord {
-                        method: solver.name().to_string(),
-                        dataset: ds.name.to_string(),
-                        weight_model: Some(wm.abbrev().to_string()),
-                        budget: k,
-                        quality: scorer.normalized(&sol.seeds),
-                        absolute: scorer.spread(&sol.seeds),
-                        runtime: m.seconds,
-                        peak_bytes: m.peak_bytes,
-                    };
-                    record_sweep_cell(&rec);
-                    records.push(rec);
+                    let key = format!("im|{}|{}|{}|{}", solver.name(), ds.name, wm.abbrev(), k);
+                    let span = format!("sweep.im/{}", solver.name());
+                    let name = solver.name().to_string();
+                    run_query_cell(
+                        &mut session,
+                        &opts.policy,
+                        &key,
+                        &span,
+                        &mut records,
+                        || {
+                            let (sol, m) = run_measured(|| solver.solve(&graph, k));
+                            SweepRecord {
+                                method: name.clone(),
+                                dataset: ds.name.to_string(),
+                                weight_model: Some(wm.abbrev().to_string()),
+                                budget: k,
+                                quality: scorer.normalized(&sol.seeds),
+                                absolute: scorer.spread(&sol.seeds),
+                                runtime: m.seconds,
+                                peak_bytes: m.peak_bytes,
+                            }
+                        },
+                    );
                 }
             }
         }
     }
-    records
+    Ok(SweepOutcome {
+        records,
+        failures: session.failures,
+        resumed: session.resumed,
+    })
 }
 
 /// Filters records by method.
@@ -165,7 +543,7 @@ mod tests {
     use mcpb_graph::catalog;
 
     fn tiny_dataset() -> Dataset {
-        let mut d = catalog::by_name("Damascus").expect("catalog entry");
+        let mut d = catalog::require("Damascus").expect("Damascus ships in the catalog");
         d.nodes = 300;
         d
     }
@@ -214,5 +592,84 @@ mod tests {
             assert_eq!(r.weight_model.as_deref(), Some("CONST"));
             assert!(r.absolute >= 3.0, "spread at least the seed count");
         }
+    }
+
+    #[test]
+    fn config_hash_is_order_and_content_sensitive() {
+        let ds = [tiny_dataset()];
+        let a = mcp_config_hash(
+            &[McpMethodKind::LazyGreedy, McpMethodKind::TopDegree],
+            &ds,
+            &[3, 6],
+            Scale::Quick,
+            1,
+        );
+        let b = mcp_config_hash(
+            &[McpMethodKind::TopDegree, McpMethodKind::LazyGreedy],
+            &ds,
+            &[3, 6],
+            Scale::Quick,
+            1,
+        );
+        let c = mcp_config_hash(
+            &[McpMethodKind::LazyGreedy, McpMethodKind::TopDegree],
+            &ds,
+            &[3, 6],
+            Scale::Quick,
+            2,
+        );
+        assert_ne!(a, b, "method order is part of the config");
+        assert_ne!(a, c, "seed is part of the config");
+        assert_eq!(
+            a,
+            mcp_config_hash(
+                &[McpMethodKind::LazyGreedy, McpMethodKind::TopDegree],
+                &ds,
+                &[3, 6],
+                Scale::Quick,
+                1,
+            ),
+            "hash is deterministic"
+        );
+    }
+
+    #[test]
+    fn journaled_sweep_round_trips_and_resumes_clean() {
+        let dir = std::env::temp_dir().join("mcpb-sweep-journal-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("mcp.jsonl");
+        let ds = [tiny_dataset()];
+        let train = mcpb_graph::generators::barabasi_albert(150, 3, 0);
+        let methods = [McpMethodKind::LazyGreedy, McpMethodKind::TopDegree];
+        let opts = SweepOptions {
+            journal: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        let first = run_mcp_sweep_resilient(&methods, &ds, &[3, 6], &train, Scale::Quick, 1, &opts)
+            .expect("journaled run");
+        assert_eq!(first.records.len(), 4);
+        assert!(first.failures.is_empty());
+        assert_eq!(first.resumed, 0);
+
+        // A resume of a fully completed journal replays everything.
+        let opts = SweepOptions {
+            resume: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        let second =
+            run_mcp_sweep_resilient(&methods, &ds, &[3, 6], &train, Scale::Quick, 1, &opts)
+                .expect("resumed run");
+        assert_eq!(second.resumed, 4);
+        assert_eq!(second.records, first.records, "replayed grid is identical");
+
+        // A resume against a different grid is rejected.
+        let opts = SweepOptions {
+            resume: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        let err = run_mcp_sweep_resilient(&methods, &ds, &[3, 7], &train, Scale::Quick, 1, &opts)
+            .expect_err("mismatched config must be rejected");
+        assert!(matches!(err, JournalError::ConfigMismatch { .. }));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,126 @@
+//! Fault-injection harness tests for the resilient sweep driver: an
+//! injected panic fails exactly its cell while the rest of the grid
+//! completes, the same plan always hits the same cells, and a journaled
+//! sweep interrupted by a fault resumes to a grid bit-identical to an
+//! uninterrupted run.
+
+use std::sync::{Mutex, MutexGuard};
+
+use mcpb_bench::registry::{McpMethodKind, Scale};
+use mcpb_bench::{run_mcp_sweep_resilient, SweepOptions, SweepOutcome};
+use mcpb_graph::catalog::{self, Dataset};
+use mcpb_resilience::{fault, FaultPlan};
+
+/// The fault plan is process-global; these tests must not interleave.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Projection of a grid onto its deterministic fields — wall-clock
+/// (`runtime`, `peak_bytes`) legitimately varies between runs.
+fn solutions(out: &SweepOutcome) -> Vec<(String, String, usize, f64, f64)> {
+    out.records
+        .iter()
+        .map(|r| {
+            (
+                r.method.clone(),
+                r.dataset.clone(),
+                r.budget,
+                r.quality,
+                r.absolute,
+            )
+        })
+        .collect()
+}
+
+fn tiny_dataset() -> Dataset {
+    let mut d = catalog::require("Damascus").expect("Damascus ships in the catalog");
+    d.nodes = 300;
+    d
+}
+
+/// Runs the reference 2x1x2 grid (LazyGreedy/TopDegree x Damascus x {3, 6})
+/// with stateless solvers only, so reruns are bit-identical.
+fn run_grid(opts: &SweepOptions) -> SweepOutcome {
+    let ds = [tiny_dataset()];
+    let train = mcpb_graph::generators::barabasi_albert(150, 3, 0);
+    let methods = [McpMethodKind::LazyGreedy, McpMethodKind::TopDegree];
+    run_mcp_sweep_resilient(&methods, &ds, &[3, 6], &train, Scale::Quick, 1, opts)
+        .expect("sweep runs")
+}
+
+#[test]
+fn injected_panic_fails_one_cell_and_the_rest_complete() {
+    let _g = serial();
+    fault::install(FaultPlan::parse("panic@sweep.cell:3").unwrap());
+    let out = run_grid(&SweepOptions::default());
+    fault::clear();
+
+    assert_eq!(out.records.len(), 3, "three cells still complete");
+    assert_eq!(out.failures.len(), 1);
+    let f = &out.failures[0];
+    // Grid order is dataset > budget > method, so the 3rd arm is
+    // LazyGreedy at budget 6.
+    assert_eq!(f.key, "mcp|LazyGreedy|Damascus|6");
+    assert!(f.error.contains("injected fault"), "{}", f.error);
+    assert_eq!(f.attempts, 1);
+    assert!(!out
+        .records
+        .iter()
+        .any(|r| r.method == "LazyGreedy" && r.budget == 6));
+}
+
+#[test]
+fn fault_plans_are_deterministic_across_runs() {
+    let _g = serial();
+    let plan = FaultPlan::parse("panic@sweep.cell:2; panic@sweep.cell:4").unwrap();
+
+    fault::install(plan.clone());
+    let a = run_grid(&SweepOptions::default());
+    // Reinstalling resets the occurrence counters: the rerun sees the
+    // exact same schedule.
+    fault::install(plan);
+    let b = run_grid(&SweepOptions::default());
+    fault::clear();
+
+    assert_eq!(solutions(&a), solutions(&b), "completed cells identical");
+    let keys = |o: &SweepOutcome| o.failures.iter().map(|f| f.key.clone()).collect::<Vec<_>>();
+    assert_eq!(keys(&a), keys(&b), "failed cells identical");
+    assert_eq!(keys(&a).len(), 2);
+}
+
+#[test]
+fn kill_and_resume_matches_an_uninterrupted_run() {
+    let _g = serial();
+    let dir = std::env::temp_dir().join("mcpb-fault-injection-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("resume.jsonl");
+
+    // Uninterrupted reference run, no journal.
+    fault::clear();
+    let reference = run_grid(&SweepOptions::default());
+    assert_eq!(reference.records.len(), 4);
+
+    // Faulted journaled run: one cell dies, three land in the journal.
+    fault::install(FaultPlan::parse("panic@sweep.cell:3").unwrap());
+    let faulted = run_grid(&SweepOptions {
+        journal: Some(path.clone()),
+        ..SweepOptions::default()
+    });
+    fault::clear();
+    assert_eq!(faulted.records.len(), 3);
+    assert_eq!(faulted.failures.len(), 1);
+
+    // Resume with the fault gone: only the failed cell reruns, and the
+    // merged grid is bit-identical to the uninterrupted run.
+    let resumed = run_grid(&SweepOptions {
+        resume: Some(path.clone()),
+        ..SweepOptions::default()
+    });
+    assert_eq!(resumed.resumed, 3, "completed cells replayed, not rerun");
+    assert!(resumed.failures.is_empty());
+    assert_eq!(solutions(&resumed), solutions(&reference));
+    std::fs::remove_file(&path).ok();
+}

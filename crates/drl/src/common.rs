@@ -173,6 +173,132 @@ pub struct TrainReport {
     pub checkpoints: Vec<Checkpoint>,
     /// Wall-clock seconds spent training.
     pub train_seconds: f64,
+    /// Divergence recoveries (rollback + LR halving) performed.
+    pub recoveries: u32,
+    /// Set when training aborted after exhausting the recovery budget; the
+    /// report still carries every checkpoint up to the failure, so partial
+    /// results survive (failure is data, not a crash).
+    pub error: Option<TrainError>,
+}
+
+/// Typed training failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The loop kept diverging after spending its recovery budget.
+    Diverged {
+        /// Solver name.
+        solver: &'static str,
+        /// 1-based episode at which the budget ran out.
+        episode: usize,
+        /// Recoveries performed before giving up.
+        recoveries: u32,
+        /// The final divergent loss.
+        loss: f64,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Diverged {
+                solver,
+                episode,
+                recoveries,
+                loss,
+            } => write!(
+                f,
+                "{solver} training diverged at episode {episode} \
+                 (loss {loss}, {recoveries} recoveries spent)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// How [`RecoveryHarness::observe`] classified an episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpisodeHealth {
+    /// Numerically sound — checkpoint/record as usual.
+    Healthy,
+    /// Divergence detected; parameters were rolled back and the learning
+    /// rate halved. Skip checkpointing this episode.
+    Recovered,
+}
+
+/// Per-run divergence recovery shared by all five training loops.
+///
+/// The harness owns the [`DivergenceGuard`] bookkeeping and the telemetry;
+/// the *mechanism* of rolling back (which parameter store, which optimizer)
+/// differs per solver and is supplied as a closure returning the new
+/// learning rate. It is also the loops' NaN fault-injection point: a
+/// `nan@train.<solver>` entry in `MCPB_FAULTS` poisons the observed loss,
+/// so the whole rollback path runs in CI.
+pub struct RecoveryHarness {
+    solver: &'static str,
+    site: String,
+    guard: mcpb_resilience::DivergenceGuard,
+}
+
+impl RecoveryHarness {
+    /// A harness with the default thresholds and recovery budget.
+    pub fn new(solver: &'static str) -> Self {
+        Self::with_config(solver, mcpb_resilience::DivergenceConfig::default())
+    }
+
+    /// A harness with explicit thresholds/budget.
+    pub fn with_config(solver: &'static str, cfg: mcpb_resilience::DivergenceConfig) -> Self {
+        RecoveryHarness {
+            solver,
+            site: format!("train.{solver}"),
+            guard: mcpb_resilience::DivergenceGuard::new(cfg),
+        }
+    }
+
+    /// Recoveries performed so far (stored in [`TrainReport::recoveries`]).
+    pub fn recoveries(&self) -> u32 {
+        self.guard.recoveries()
+    }
+
+    /// Classifies one episode from its mean loss (and optional gradient
+    /// norm). On divergence, runs `rollback` — which must restore the last
+    /// good parameters, halve the learning rate, and return the new rate —
+    /// and emits a [`mcpb_trace::Event::Recovery`]. Returns the typed error
+    /// once the budget is spent.
+    pub fn observe(
+        &mut self,
+        episode: usize,
+        loss: f64,
+        grad_norm: Option<f64>,
+        rollback: impl FnOnce() -> f64,
+    ) -> Result<EpisodeHealth, TrainError> {
+        let loss = match mcpb_resilience::fault::arm(&self.site) {
+            Some(mcpb_resilience::FaultKind::Nan) => f64::NAN,
+            _ => loss,
+        };
+        match self.guard.observe(loss, grad_norm) {
+            mcpb_resilience::Verdict::Healthy => Ok(EpisodeHealth::Healthy),
+            mcpb_resilience::Verdict::Recover { .. } => {
+                let lr = rollback();
+                if mcpb_trace::is_enabled() {
+                    mcpb_trace::emit(mcpb_trace::Event::Recovery {
+                        solver: self.solver.to_string(),
+                        episode: episode as u64,
+                        loss,
+                        lr,
+                    });
+                    mcpb_trace::counter_add(&format!("train.recoveries/{}", self.solver), 1);
+                }
+                Ok(EpisodeHealth::Recovered)
+            }
+            mcpb_resilience::Verdict::Exhausted => Err(TrainError::Diverged {
+                solver: self.solver,
+                episode,
+                recoveries: self.guard.recoveries(),
+                loss,
+            }),
+        }
+    }
 }
 
 /// Shared instrumentation for every method's `train()`: the wall clock
@@ -246,6 +372,17 @@ impl TrainReport {
             })
             .map_or(0, |c| c.epoch)
     }
+}
+
+/// L2 norm of a merged gradient set, fed to the [`RecoveryHarness`] as the
+/// explosion signal alongside the loss.
+pub fn grad_l2_norm(grads: &[(mcpb_nn::ParamId, mcpb_nn::Tensor)]) -> f64 {
+    grads
+        .iter()
+        .flat_map(|(_, g)| g.data.iter())
+        .map(|&x| f64::from(x) * f64::from(x))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Mean of an `f32` loss slice as `f64` (0 when empty). Shared by the
@@ -383,6 +520,7 @@ mod tests {
                 },
             ],
             train_seconds: 1.0,
+            ..TrainReport::default()
         };
         assert_eq!(r.best_epoch(), 5);
         assert!((r.best_score() - 0.4).abs() < 1e-12);

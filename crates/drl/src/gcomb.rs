@@ -16,7 +16,8 @@
 //!    features picks seeds from the pruned candidate set.
 
 use crate::common::{
-    mean_f32, sample_training_subgraph, Checkpoint, RewardOracle, Task, TrainReport, TrainScope,
+    mean_f32, sample_training_subgraph, Checkpoint, EpisodeHealth, RecoveryHarness, RewardOracle,
+    Task, TrainReport, TrainScope,
 };
 use mcpb_gnn::adjacency::gcn_normalized;
 use mcpb_gnn::gcn::GcnEncoder;
@@ -341,6 +342,8 @@ impl Gcomb {
         let mut step_count = 0usize;
         let mut best_snapshot_score = f64::NEG_INFINITY;
         let mut epoch_losses = Vec::new();
+        let mut harness = RecoveryHarness::new("GCOMB");
+        let mut last_good = self.agent.snapshot();
         for ep in 0..self.cfg.rl_episodes {
             let ep_loss_start = epoch_losses.len();
             let mut oracle =
@@ -396,12 +399,22 @@ impl Gcomb {
                     epoch_losses.push(self.agent.train_batch(&batch));
                 }
             }
-            scope.episode_end(
-                ep + 1,
-                mean_f32(&epoch_losses[ep_loss_start..]),
-                schedule.value(step_count),
-                oracle.total(),
-            );
+            let ep_loss = mean_f32(&epoch_losses[ep_loss_start..]);
+            match harness.observe(ep + 1, ep_loss, None, || {
+                self.agent.restore(&last_good);
+                f64::from(self.agent.scale_lr(0.5))
+            }) {
+                Ok(EpisodeHealth::Healthy) => last_good = self.agent.snapshot(),
+                Ok(EpisodeHealth::Recovered) => {
+                    epoch_losses.truncate(ep_loss_start);
+                    continue;
+                }
+                Err(e) => {
+                    report.error = Some(e);
+                    break;
+                }
+            }
+            scope.episode_end(ep + 1, ep_loss, schedule.value(step_count), oracle.total());
             if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.rl_episodes {
                 let score = self.evaluate(&val_graph, self.cfg.train_budget);
                 let loss = if epoch_losses.is_empty() {
@@ -418,6 +431,7 @@ impl Gcomb {
                 best_snapshot_score = best_snapshot_score.max(score);
             }
         }
+        report.recoveries = harness.recoveries();
         report.train_seconds = scope.elapsed_secs();
         report
     }

@@ -10,7 +10,10 @@
 //! starts randomly, which is exactly why the paper observes high variance
 //! (§4.3 repeats each query 20 times).
 
-use crate::common::{mean_f32, Checkpoint, RewardOracle, Task, TrainReport, TrainScope};
+use crate::common::{
+    mean_f32, Checkpoint, EpisodeHealth, RecoveryHarness, RewardOracle, Task, TrainReport,
+    TrainScope,
+};
 use mcpb_gnn::adjacency::gcn_normalized;
 use mcpb_gnn::deepwalk::{deepwalk_features, DeepWalkConfig};
 use mcpb_gnn::gcn::GcnEncoder;
@@ -225,6 +228,8 @@ impl GeometricQn {
         let mut replay: ReplayBuffer<Transition> = ReplayBuffer::new(2_000);
         let mut step_base = 0usize;
         let mut epoch_losses = Vec::new();
+        let mut harness = RecoveryHarness::new("Geometric-QN");
+        let mut last_good = self.agent.snapshot();
 
         for ep in 0..self.cfg.episodes {
             let g = &graphs[ep % graphs.len()];
@@ -264,9 +269,24 @@ impl GeometricQn {
                 let batch = replay.sample(8, &mut self.rng);
                 epoch_losses.push(self.agent.train_batch(&batch));
             }
+            let ep_loss = mean_f32(&epoch_losses[ep_loss_start..]);
+            match harness.observe(ep + 1, ep_loss, None, || {
+                self.agent.restore(&last_good);
+                f64::from(self.agent.scale_lr(0.5))
+            }) {
+                Ok(EpisodeHealth::Healthy) => last_good = self.agent.snapshot(),
+                Ok(EpisodeHealth::Recovered) => {
+                    epoch_losses.truncate(ep_loss_start);
+                    continue;
+                }
+                Err(e) => {
+                    report.error = Some(e);
+                    break;
+                }
+            }
             scope.episode_end(
                 ep + 1,
-                mean_f32(&epoch_losses[ep_loss_start..]),
+                ep_loss,
                 schedule.value(step_base),
                 f64::from(final_reward),
             );
@@ -285,6 +305,7 @@ impl GeometricQn {
                 });
             }
         }
+        report.recoveries = harness.recoveries();
         report.train_seconds = scope.elapsed_secs();
         report
     }

@@ -12,7 +12,8 @@
 //! Appendix C efficiency fix), which produces the final seed set.
 
 use crate::common::{
-    mean_f32, sample_training_subgraph, Checkpoint, RewardOracle, Task, TrainReport, TrainScope,
+    mean_f32, sample_training_subgraph, Checkpoint, EpisodeHealth, RecoveryHarness, RewardOracle,
+    Task, TrainReport, TrainScope,
 };
 use mcpb_gnn::adjacency::gcn_normalized;
 use mcpb_gnn::gcn::GcnEncoder;
@@ -241,6 +242,8 @@ impl Lense {
         let mut replay: ReplayBuffer<Transition> = ReplayBuffer::new(1_000);
         let mut steps = 0usize;
         let mut epoch_losses = Vec::new();
+        let mut harness = RecoveryHarness::new("LeNSE");
+        let mut last_good = self.agent.snapshot();
         for ep in 0..self.cfg.nav_episodes {
             let ep_loss_start = epoch_losses.len();
             let (_, mut nodes) = {
@@ -299,12 +302,22 @@ impl Lense {
                     epoch_losses.push(self.agent.train_batch(&batch));
                 }
             }
-            scope.episode_end(
-                ep + 1,
-                mean_f32(&epoch_losses[ep_loss_start..]),
-                schedule.value(steps),
-                f64::from(quality),
-            );
+            let ep_loss = mean_f32(&epoch_losses[ep_loss_start..]);
+            match harness.observe(ep + 1, ep_loss, None, || {
+                self.agent.restore(&last_good);
+                f64::from(self.agent.scale_lr(0.5))
+            }) {
+                Ok(EpisodeHealth::Healthy) => last_good = self.agent.snapshot(),
+                Ok(EpisodeHealth::Recovered) => {
+                    epoch_losses.truncate(ep_loss_start);
+                    continue;
+                }
+                Err(e) => {
+                    report.error = Some(e);
+                    break;
+                }
+            }
+            scope.episode_end(ep + 1, ep_loss, schedule.value(steps), f64::from(quality));
             if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.nav_episodes {
                 let score = self.evaluate(train_graph, self.cfg.train_budget);
                 let loss = if epoch_losses.is_empty() {
@@ -320,6 +333,7 @@ impl Lense {
                 });
             }
         }
+        report.recoveries = harness.recoveries();
         report.train_seconds = scope.elapsed_secs();
         report
     }

@@ -8,7 +8,10 @@
 //! terminal reward). Both are config flags so the ablation bench can switch
 //! them off.
 
-use crate::common::{mean_f32, Checkpoint, RewardOracle, Task, TrainReport, TrainScope};
+use crate::common::{
+    grad_l2_norm, mean_f32, Checkpoint, EpisodeHealth, RecoveryHarness, RewardOracle, Task,
+    TrainReport, TrainScope,
+};
 use crate::s2v_dqn::S2vQNet;
 use mcpb_gnn::s2v::S2vGraph;
 use mcpb_graph::{Graph, NodeId};
@@ -150,6 +153,8 @@ impl Rl4Im {
         let mut best_score = f64::NEG_INFINITY;
         let mut global_step = 0usize;
         let mut epoch_losses: Vec<f32> = Vec::new();
+        let mut harness = RecoveryHarness::new("RL4IM");
+        let mut last_good = self.online.snapshot();
 
         for ep in 0..self.cfg.episodes {
             let gi = self.rng.gen_range(0..train_pool.len());
@@ -211,17 +216,32 @@ impl Rl4Im {
             for t in pending {
                 replay.push(t);
             }
+            let mut ep_grad_norm = 0f64;
             if replay.len() >= self.cfg.batch_size {
-                let loss = self.update(&replay, &sgs);
+                let (loss, gnorm) = self.update(&replay, &sgs);
                 epoch_losses.push(loss);
+                ep_grad_norm = gnorm;
             }
 
-            scope.episode_end(
-                ep + 1,
-                mean_f32(&epoch_losses[ep_loss_start..]),
-                schedule.value(global_step),
-                oracle.total(),
-            );
+            let ep_loss = mean_f32(&epoch_losses[ep_loss_start..]);
+            match harness.observe(ep + 1, ep_loss, Some(ep_grad_norm), || {
+                self.online.load_snapshot(&last_good);
+                self.target.copy_values_from(&self.online);
+                self.optimizer.lr *= 0.5;
+                f64::from(self.optimizer.lr)
+            }) {
+                Ok(EpisodeHealth::Healthy) => last_good = self.online.snapshot(),
+                Ok(EpisodeHealth::Recovered) => {
+                    epoch_losses.truncate(ep_loss_start);
+                    continue;
+                }
+                Err(e) => {
+                    report.error = Some(e);
+                    break;
+                }
+            }
+
+            scope.episode_end(ep + 1, ep_loss, schedule.value(global_step), oracle.total());
 
             if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.episodes {
                 let score = self.evaluate(val_graph, self.cfg.train_budget);
@@ -244,11 +264,13 @@ impl Rl4Im {
         }
         self.online.load_snapshot(&best_snapshot);
         self.target.copy_values_from(&self.online);
+        report.recoveries = harness.recoveries();
         report.train_seconds = scope.elapsed_secs();
         report
     }
 
-    fn update(&mut self, replay: &ReplayBuffer<Rl4ImTransition>, sgs: &[S2vGraph]) -> f32 {
+    /// One optimizer step; returns mean loss and merged-gradient L2 norm.
+    fn update(&mut self, replay: &ReplayBuffer<Rl4ImTransition>, sgs: &[S2vGraph]) -> (f32, f64) {
         let batch = replay.sample(self.cfg.batch_size, &mut self.rng);
         let mut grads = Vec::new();
         let mut total_loss = 0.0f32;
@@ -279,11 +301,12 @@ impl Rl4Im {
             grads.extend(tape.param_grads());
         }
         let merged = merge_grads(grads);
+        let gnorm = grad_l2_norm(&merged);
         self.optimizer.step(&mut self.online, &merged);
         if self.optimizer.t % self.cfg.target_sync as u64 == 0 {
             self.target.copy_values_from(&self.online);
         }
-        total_loss / batch.len().max(1) as f32
+        (total_loss / batch.len().max(1) as f32, gnorm)
     }
 
     /// Normalized objective of a greedy rollout on `graph`.

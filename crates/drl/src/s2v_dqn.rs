@@ -9,7 +9,8 @@
 //! the greedy policy on the full test graph.
 
 use crate::common::{
-    mean_f32, sample_training_subgraph, Checkpoint, RewardOracle, Task, TrainReport, TrainScope,
+    grad_l2_norm, mean_f32, sample_training_subgraph, Checkpoint, EpisodeHealth, RecoveryHarness,
+    RewardOracle, Task, TrainReport, TrainScope,
 };
 use mcpb_gnn::s2v::{S2v, S2vGraph};
 use mcpb_graph::{Graph, NodeId};
@@ -220,6 +221,8 @@ impl S2vDqn {
         let mut best_score = f64::NEG_INFINITY;
         let mut global_step = 0usize;
         let mut epoch_losses: Vec<f32> = Vec::new();
+        let mut harness = RecoveryHarness::new("S2V-DQN");
+        let mut last_good = self.online.snapshot();
 
         for ep in 0..self.cfg.episodes {
             // Fresh training subgraph per episode (recycled into the pool).
@@ -232,6 +235,7 @@ impl S2vDqn {
                 continue;
             }
             let ep_loss_start = epoch_losses.len();
+            let mut ep_grad_norm = 0f64;
             let sg = S2vGraph::new(&g);
             graphs.push(EpisodeGraph { graph: g, sg });
             let gi = graphs.len() - 1;
@@ -298,17 +302,33 @@ impl S2vDqn {
                     done: horizon == len,
                 });
                 if replay.len() >= self.cfg.batch_size {
-                    let loss = self.update(&replay, &graphs);
+                    let (loss, gnorm) = self.update(&replay, &graphs);
                     epoch_losses.push(loss);
+                    ep_grad_norm = ep_grad_norm.max(gnorm);
                 }
             }
 
-            scope.episode_end(
-                ep + 1,
-                mean_f32(&epoch_losses[ep_loss_start..]),
-                schedule.value(global_step),
-                oracle.total(),
-            );
+            let ep_loss = mean_f32(&epoch_losses[ep_loss_start..]);
+            match harness.observe(ep + 1, ep_loss, Some(ep_grad_norm), || {
+                self.online.load_snapshot(&last_good);
+                self.target.copy_values_from(&self.online);
+                self.optimizer.lr *= 0.5;
+                f64::from(self.optimizer.lr)
+            }) {
+                Ok(EpisodeHealth::Healthy) => last_good = self.online.snapshot(),
+                Ok(EpisodeHealth::Recovered) => {
+                    // Drop the poisoned losses so the next checkpoint's mean
+                    // stays finite, and skip checkpointing this episode.
+                    epoch_losses.truncate(ep_loss_start);
+                    continue;
+                }
+                Err(e) => {
+                    report.error = Some(e);
+                    break;
+                }
+            }
+
+            scope.episode_end(ep + 1, ep_loss, schedule.value(global_step), oracle.total());
 
             if (ep + 1) % self.cfg.validate_every == 0 || ep + 1 == self.cfg.episodes {
                 let score = self.evaluate(&val_graph, self.cfg.train_budget);
@@ -331,11 +351,18 @@ impl S2vDqn {
         }
         self.online.load_snapshot(&best_snapshot);
         self.target.copy_values_from(&self.online);
+        report.recoveries = harness.recoveries();
         report.train_seconds = scope.elapsed_secs();
         report
     }
 
-    fn update(&mut self, replay: &ReplayBuffer<S2vTransition>, graphs: &[EpisodeGraph]) -> f32 {
+    /// One optimizer step over a replay batch; returns the mean loss and
+    /// the merged-gradient L2 norm (the divergence guard's two signals).
+    fn update(
+        &mut self,
+        replay: &ReplayBuffer<S2vTransition>,
+        graphs: &[EpisodeGraph],
+    ) -> (f32, f64) {
         let batch = replay.sample(self.cfg.batch_size, &mut self.rng);
         let mut all_grads = Vec::new();
         let mut total_loss = 0.0f32;
@@ -370,11 +397,12 @@ impl S2vDqn {
             all_grads.extend(tape.param_grads());
         }
         let merged = merge_grads(all_grads);
+        let gnorm = grad_l2_norm(&merged);
         self.optimizer.step(&mut self.online, &merged);
         if self.optimizer.t % self.cfg.target_sync as u64 == 0 {
             self.target.copy_values_from(&self.online);
         }
-        total_loss / batch.len().max(1) as f32
+        (total_loss / batch.len().max(1) as f32, gnorm)
     }
 
     /// Greedy rollout value on `graph` with budget `k` (normalized

@@ -1,0 +1,216 @@
+//! Divergence recovery across all five training loops: an injected NaN
+//! loss (`nan@train.<solver>` in the fault plan) must trigger a rollback
+//! to the last good parameters plus an LR halving — visible as
+//! `TrainReport::recoveries` — and training must still finish with usable
+//! checkpoints. Exhausting the recovery budget must surface as a typed
+//! `TrainError::Diverged`, not a panic.
+
+use std::sync::{Mutex, MutexGuard};
+
+use mcpb_drl::common::{Task, TrainError, TrainReport};
+use mcpb_drl::gcomb::{Gcomb, GcombConfig};
+use mcpb_drl::geometric_qn::{GeometricQn, GeometricQnConfig};
+use mcpb_drl::lense::{Lense, LenseConfig};
+use mcpb_drl::rl4im::{Rl4Im, Rl4ImConfig};
+use mcpb_drl::s2v_dqn::{S2vDqn, S2vDqnConfig};
+use mcpb_graph::generators;
+use mcpb_graph::Graph;
+use mcpb_resilience::{fault, FaultPlan};
+
+/// The fault plan is process-global; these tests must not interleave.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn train_graph() -> Graph {
+    generators::barabasi_albert(120, 3, 7)
+}
+
+/// Trains `solver` under a one-shot NaN injection at its site and asserts
+/// the loop recovered instead of crashing or aborting.
+fn assert_recovers(site: &str, train: impl FnOnce(&Graph) -> TrainReport) {
+    fault::install(FaultPlan::parse(&format!("nan@{site}:2")).unwrap());
+    let report = train(&train_graph());
+    fault::clear();
+    assert!(
+        report.recoveries >= 1,
+        "{site}: injected NaN not recovered (recoveries = {})",
+        report.recoveries
+    );
+    assert!(report.error.is_none(), "{site}: {:?}", report.error);
+    assert!(
+        !report.checkpoints.is_empty(),
+        "{site}: training produced no checkpoints"
+    );
+    for cp in &report.checkpoints {
+        assert!(
+            cp.loss.is_finite(),
+            "{site}: poisoned loss leaked into checkpoint"
+        );
+    }
+}
+
+#[test]
+fn s2v_dqn_recovers_from_injected_nan() {
+    let _g = serial();
+    assert_recovers("train.S2V-DQN", |g| {
+        S2vDqn::new(S2vDqnConfig {
+            episodes: 6,
+            train_subgraph_nodes: 20,
+            train_budget: 3,
+            validate_every: 3,
+            task: Task::Mcp,
+            seed: 11,
+            ..S2vDqnConfig::default()
+        })
+        .train(g)
+    });
+}
+
+#[test]
+fn gcomb_recovers_from_injected_nan() {
+    let _g = serial();
+    assert_recovers("train.GCOMB", |g| {
+        Gcomb::new(GcombConfig {
+            supervised_epochs: 10,
+            prob_greedy_runs: 3,
+            train_subgraph_nodes: 60,
+            rl_episodes: 5,
+            train_budget: 3,
+            validate_every: 2,
+            task: Task::Mcp,
+            seed: 3,
+            ..GcombConfig::default()
+        })
+        .train(g)
+    });
+}
+
+#[test]
+fn rl4im_recovers_from_injected_nan() {
+    let _g = serial();
+    assert_recovers("train.RL4IM", |g| {
+        Rl4Im::new(Rl4ImConfig {
+            episodes: 6,
+            train_budget: 3,
+            batch_size: 4,
+            eps_decay_steps: 30,
+            validate_every: 3,
+            task: Task::Mcp,
+            seed: 5,
+            ..Rl4ImConfig::default()
+        })
+        .train(std::slice::from_ref(g))
+    });
+}
+
+#[test]
+fn geometric_qn_recovers_from_injected_nan() {
+    let _g = serial();
+    assert_recovers("train.Geometric-QN", |g| {
+        GeometricQn::new(GeometricQnConfig {
+            episodes: 6,
+            explore_steps: 6,
+            train_budget: 3,
+            validate_every: 3,
+            task: Task::Mcp,
+            seed: 7,
+            ..GeometricQnConfig::default()
+        })
+        .train(std::slice::from_ref(g))
+    });
+}
+
+#[test]
+fn lense_recovers_from_injected_nan() {
+    let _g = serial();
+    assert_recovers("train.LeNSE", |g| {
+        Lense::new(LenseConfig {
+            subgraph_size: 40,
+            num_labeled: 8,
+            encoder_epochs: 10,
+            nav_episodes: 6,
+            nav_steps: 6,
+            train_budget: 3,
+            validate_every: 3,
+            task: Task::Mcp,
+            seed: 13,
+            ..LenseConfig::default()
+        })
+        .train(g)
+    });
+}
+
+#[test]
+fn s2v_dqn_still_converges_after_recovery() {
+    let _g = serial();
+    let cfg = S2vDqnConfig {
+        episodes: 8,
+        train_subgraph_nodes: 20,
+        train_budget: 3,
+        validate_every: 2,
+        task: Task::Mcp,
+        seed: 11,
+        ..S2vDqnConfig::default()
+    };
+
+    fault::install(FaultPlan::parse("nan@train.S2V-DQN:2").unwrap());
+    let report = S2vDqn::new(cfg).train(&train_graph());
+    fault::clear();
+
+    assert!(report.recoveries >= 1);
+    let best = report
+        .checkpoints
+        .iter()
+        .map(|c| c.validation_score)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best > 0.0,
+        "post-recovery training never reached a useful policy (best = {best})"
+    );
+}
+
+#[test]
+fn exhausted_recovery_budget_is_a_typed_error() {
+    let _g = serial();
+    // Default budget is 3 recoveries; four consecutive poisoned episodes
+    // must end the run with a typed error, keeping earlier checkpoints.
+    fault::install(
+        FaultPlan::parse(
+            "nan@train.S2V-DQN:2; nan@train.S2V-DQN:3; \
+             nan@train.S2V-DQN:4; nan@train.S2V-DQN:5",
+        )
+        .unwrap(),
+    );
+    let report = S2vDqn::new(S2vDqnConfig {
+        episodes: 8,
+        train_subgraph_nodes: 20,
+        train_budget: 3,
+        validate_every: 1,
+        task: Task::Mcp,
+        seed: 11,
+        ..S2vDqnConfig::default()
+    })
+    .train(&train_graph());
+    fault::clear();
+
+    match report.error {
+        Some(TrainError::Diverged {
+            solver,
+            episode,
+            recoveries,
+            ..
+        }) => {
+            assert_eq!(solver, "S2V-DQN");
+            assert_eq!(recoveries, 3, "budget spent before giving up");
+            assert!(episode >= 2);
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+    assert!(
+        !report.checkpoints.is_empty(),
+        "partial results survive a diverged run"
+    );
+}

@@ -440,6 +440,35 @@ pub fn by_name(name: &str) -> Option<Dataset> {
         .find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
+/// A catalog lookup that failed; carries the requested name so callers can
+/// report it instead of panicking on a bare `Option`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownDataset {
+    /// The name that was requested.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown dataset `{}` (see catalog::catalog())",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for UnknownDataset {}
+
+/// Like [`by_name`], but returns a typed error naming the missing dataset.
+/// Prefer this in harness code paths that would otherwise `expect` the
+/// lookup.
+pub fn require(name: &str) -> Result<Dataset, UnknownDataset> {
+    by_name(name).ok_or_else(|| UnknownDataset {
+        name: name.to_string(),
+    })
+}
+
 /// The 17 datasets of the MCP evaluation (§4.2).
 pub fn mcp_datasets() -> Vec<Dataset> {
     catalog().into_iter().filter(|d| d.used_in_mcp).collect()

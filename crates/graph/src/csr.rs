@@ -416,6 +416,9 @@ pub enum GraphError {
     Parse {
         /// 1-based line number.
         line: usize,
+        /// 1-based byte column of the offending token (0 when the error is
+        /// not tied to a position, e.g. an underlying read failure).
+        column: usize,
         /// Description of the problem.
         message: String,
     },
@@ -435,8 +438,16 @@ impl std::fmt::Display for GraphError {
             GraphError::NonFiniteWeight { src, dst } => {
                 write!(f, "edge ({src}, {dst}) has a non-finite weight")
             }
-            GraphError::Parse { line, message } => {
-                write!(f, "parse error on line {line}: {message}")
+            GraphError::Parse {
+                line,
+                column,
+                message,
+            } => {
+                if *column > 0 {
+                    write!(f, "parse error on line {line}, column {column}: {message}")
+                } else {
+                    write!(f, "parse error on line {line}: {message}")
+                }
             }
             GraphError::Corrupt { detail } => {
                 write!(f, "corrupt CSR graph: {detail}")

@@ -20,6 +20,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
         let lineno = idx + 1;
         let line = line.map_err(|e| GraphError::Parse {
             line: lineno,
+            column: 0,
             message: format!("io error: {e}"),
         })?;
         let trimmed = line.trim();
@@ -35,12 +36,13 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
             }
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let src: u32 = parse_field(parts.next(), lineno, "src")?;
-        let dst: u32 = parse_field(parts.next(), lineno, "dst")?;
+        let mut parts = tokens_with_columns(&line);
+        let src: u32 = parse_field(parts.next(), lineno, line.len() + 1, "src")?;
+        let dst: u32 = parse_field(parts.next(), lineno, line.len() + 1, "dst")?;
         let weight: f32 = match parts.next() {
-            Some(w) => w.parse().map_err(|_| GraphError::Parse {
+            Some((col, w)) => w.parse().map_err(|_| GraphError::Parse {
                 line: lineno,
+                column: col,
                 message: format!("invalid weight {w:?}"),
             })?,
             None => 1.0,
@@ -69,13 +71,28 @@ pub fn write_edge_list<W: IoWrite>(graph: &Graph, mut writer: W) -> std::io::Res
     Ok(())
 }
 
-fn parse_field(field: Option<&str>, line: usize, what: &str) -> Result<u32, GraphError> {
-    let raw = field.ok_or_else(|| GraphError::Parse {
+/// Whitespace tokens of `line` paired with their 1-based byte columns.
+/// `split_whitespace` yields subslices of `line`, so each token's offset is
+/// recovered from its pointer without a second scan.
+fn tokens_with_columns(line: &str) -> impl Iterator<Item = (usize, &str)> {
+    line.split_whitespace()
+        .map(move |tok| (tok.as_ptr() as usize - line.as_ptr() as usize + 1, tok))
+}
+
+fn parse_field(
+    field: Option<(usize, &str)>,
+    line: usize,
+    end_column: usize,
+    what: &str,
+) -> Result<u32, GraphError> {
+    let (column, raw) = field.ok_or_else(|| GraphError::Parse {
         line,
+        column: end_column,
         message: format!("missing {what}"),
     })?;
     raw.parse().map_err(|_| GraphError::Parse {
         line,
+        column,
         message: format!("invalid {what} {raw:?}"),
     })
 }
@@ -109,11 +126,39 @@ mod tests {
     }
 
     #[test]
-    fn rejects_garbage() {
+    fn rejects_garbage_with_line_and_column() {
         let err = read_edge_list("0 x\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        assert!(matches!(
+            err,
+            GraphError::Parse {
+                line: 1,
+                column: 3,
+                ..
+            }
+        ));
         let err = read_edge_list("0\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        assert!(matches!(
+            err,
+            GraphError::Parse {
+                line: 1,
+                column: 2,
+                ..
+            }
+        ));
+        let err = read_edge_list("0 1\n2 3 oops\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse {
+                line: 2,
+                column: 5,
+                ref message,
+            } => assert!(message.contains("oops"), "{message}"),
+            other => panic!("expected weight error, got {other:?}"),
+        }
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("line 2, column 5"),
+            "position must render: {rendered}"
+        );
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] names *sites* (string labels like `sweep.cell` or
+//! `train.S2V-DQN`) and the occurrence index at which a fault fires. Code
+//! under test calls [`arm`] once per unit of work; the plan keeps one
+//! monotonically increasing counter per site, so the same plan always fires
+//! at the same points — faults are reproducible by construction.
+//!
+//! Plan grammar (entries separated by `;` or `,`):
+//!
+//! ```text
+//! panic@sweep.cell:3          panic on the 3rd arm() of site sweep.cell
+//! nan@train.S2V-DQN:2         NaN loss on the 2nd training episode
+//! stall@sweep.cell:1=0.25     sleep 0.25s on the 1st cell (deadline test)
+//! chaos@17:5                  seed-17 schedule: ~5% of all arms panic
+//! ```
+//!
+//! The plan is installed process-wide ([`install`], [`init_from_env`] via
+//! `MCPB_FAULTS`) so injection reaches deep call sites without threading a
+//! handle through every API. When no plan is installed, [`arm`] is a single
+//! relaxed atomic load.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable holding the fault plan.
+pub const ENV_VAR: &str = "MCPB_FAULTS";
+
+/// What an armed fault should do at its site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Panic with an "injected fault" message (exercises `catch_unwind`).
+    Panic,
+    /// Replace the site's loss with NaN (exercises divergence recovery).
+    Nan,
+    /// Sleep for the given number of seconds (exercises deadlines).
+    Stall(f64),
+}
+
+/// One parsed plan entry: fire `kind` on the `occurrence`-th arm of `site`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Site label, matched exactly.
+    pub site: String,
+    /// 1-based occurrence index of [`arm`] calls for this site.
+    pub occurrence: u64,
+    /// Fault to fire.
+    pub kind: FaultKind,
+}
+
+/// A deterministic injection schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Explicit per-site entries.
+    pub entries: Vec<FaultSpec>,
+    /// Optional seed-driven chaos schedule: `(seed, percent)` panics on
+    /// roughly `percent`% of arm calls, chosen by a hash of
+    /// (seed, site, occurrence) — identical across runs for the same seed.
+    pub chaos: Option<(u64, u64)>,
+}
+
+impl FaultPlan {
+    /// Parses the `MCPB_FAULTS` grammar. Returns a typed error naming the
+    /// offending entry; an empty/whitespace string parses to an empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for raw in spec.split([';', ',']) {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (kind_s, rest) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry `{entry}` is missing `@`"))?;
+            let (site, tail) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("fault entry `{entry}` is missing `:<occurrence>`"))?;
+            if kind_s == "chaos" {
+                let seed: u64 = site
+                    .parse()
+                    .map_err(|_| format!("chaos seed `{site}` is not a u64"))?;
+                let pct: u64 = tail
+                    .parse()
+                    .map_err(|_| format!("chaos percent `{tail}` is not a u64"))?;
+                plan.chaos = Some((seed, pct.min(100)));
+                continue;
+            }
+            let (occ_s, param) = match tail.split_once('=') {
+                Some((o, p)) => (o, Some(p)),
+                None => (tail, None),
+            };
+            let occurrence: u64 = occ_s
+                .parse()
+                .map_err(|_| format!("occurrence `{occ_s}` in `{entry}` is not a u64"))?;
+            if occurrence == 0 {
+                return Err(format!("occurrence in `{entry}` is 1-based; 0 never fires"));
+            }
+            let kind = match kind_s {
+                "panic" => FaultKind::Panic,
+                "nan" => FaultKind::Nan,
+                "stall" => {
+                    let secs = param
+                        .unwrap_or("0.1")
+                        .parse::<f64>()
+                        .map_err(|_| format!("stall duration in `{entry}` is not a float"))?;
+                    FaultKind::Stall(secs)
+                }
+                other => return Err(format!("unknown fault kind `{other}` in `{entry}`")),
+            };
+            if param.is_some() && !matches!(kind, FaultKind::Stall(_)) {
+                return Err(format!(
+                    "`=param` is only valid for stall faults: `{entry}`"
+                ));
+            }
+            plan.entries.push(FaultSpec {
+                site: site.to_string(),
+                occurrence,
+                kind,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Parses the plan from `MCPB_FAULTS`, if set. `Ok(None)` when unset.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var(ENV_VAR) {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.chaos.is_none()
+    }
+}
+
+struct ActivePlan {
+    plan: FaultPlan,
+    counters: HashMap<String, u64>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ACTIVE: Mutex<Option<ActivePlan>> = Mutex::new(None);
+
+/// Installs `plan` process-wide, resetting all site counters. An empty plan
+/// disables injection entirely.
+pub fn install(plan: FaultPlan) {
+    let mut guard = ACTIVE.lock().unwrap_or_else(|p| p.into_inner());
+    ENABLED.store(!plan.is_empty(), Ordering::Release);
+    *guard = Some(ActivePlan {
+        plan,
+        counters: HashMap::new(),
+    });
+}
+
+/// Removes any installed plan (restores the no-op fast path).
+pub fn clear() {
+    let mut guard = ACTIVE.lock().unwrap_or_else(|p| p.into_inner());
+    ENABLED.store(false, Ordering::Release);
+    *guard = None;
+}
+
+/// Installs the plan from `MCPB_FAULTS` if the variable is set. Returns the
+/// installed plan (for logging) or a parse error message.
+pub fn init_from_env() -> Result<Option<FaultPlan>, String> {
+    match FaultPlan::from_env()? {
+        Some(plan) => {
+            install(plan.clone());
+            Ok(Some(plan))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Arms one unit of work at `site`: increments the site counter and returns
+/// the fault scheduled for this occurrence, if any. Call exactly once per
+/// cell / episode / stage so occurrence indices are stable. When no plan is
+/// installed this is a single atomic load.
+pub fn arm(site: &str) -> Option<FaultKind> {
+    if !ENABLED.load(Ordering::Acquire) {
+        return None;
+    }
+    let mut guard = ACTIVE.lock().unwrap_or_else(|p| p.into_inner());
+    let active = guard.as_mut()?;
+    let counter = active.counters.entry(site.to_string()).or_insert(0);
+    *counter += 1;
+    let occurrence = *counter;
+    for spec in &active.plan.entries {
+        if spec.occurrence == occurrence && spec.site == site {
+            return Some(spec.kind);
+        }
+    }
+    if let Some((seed, pct)) = active.plan.chaos {
+        let mut key = Vec::with_capacity(site.len() + 16);
+        key.extend_from_slice(&seed.to_le_bytes());
+        key.extend_from_slice(site.as_bytes());
+        key.extend_from_slice(&occurrence.to_le_bytes());
+        if crate::fnv1a64(&key) % 100 < pct {
+            return Some(FaultKind::Panic);
+        }
+    }
+    None
+}
+
+/// Applies a disruptive fault at its site: panics for [`FaultKind::Panic`],
+/// sleeps for [`FaultKind::Stall`]. [`FaultKind::Nan`] is a no-op here —
+/// training loops consume it by poisoning their loss instead.
+pub fn apply_disruptive(kind: FaultKind, site: &str) {
+    match kind {
+        FaultKind::Panic => panic!("injected fault: panic at site `{site}`"),
+        FaultKind::Stall(secs) => {
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.0)));
+        }
+        FaultKind::Nan => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as TestMutex, MutexGuard};
+
+    /// Global-plan tests must not interleave.
+    static SERIAL: TestMutex<()> = TestMutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn parses_all_kinds() {
+        let plan =
+            FaultPlan::parse("panic@sweep.cell:3; nan@train.S2V-DQN:2, stall@prep:1=0.5").unwrap();
+        assert_eq!(plan.entries.len(), 3);
+        assert_eq!(plan.entries[0].kind, FaultKind::Panic);
+        assert_eq!(plan.entries[0].site, "sweep.cell");
+        assert_eq!(plan.entries[0].occurrence, 3);
+        assert_eq!(plan.entries[1].kind, FaultKind::Nan);
+        assert_eq!(plan.entries[2].kind, FaultKind::Stall(0.5));
+        assert!(plan.chaos.is_none());
+    }
+
+    #[test]
+    fn parses_chaos_and_empty() {
+        let plan = FaultPlan::parse("chaos@17:5").unwrap();
+        assert_eq!(plan.chaos, Some((17, 5)));
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" ; ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        for bad in [
+            "panic",
+            "panic@site",
+            "panic@site:zero",
+            "panic@site:0",
+            "explode@site:1",
+            "panic@site:1=0.5",
+            "stall@site:1=fast",
+            "chaos@x:5",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn arm_counts_occurrences_per_site() {
+        let _g = serial();
+        install(FaultPlan::parse("panic@a:2; nan@b:1").unwrap());
+        assert_eq!(arm("a"), None);
+        assert_eq!(arm("b"), Some(FaultKind::Nan));
+        assert_eq!(arm("a"), Some(FaultKind::Panic));
+        assert_eq!(arm("a"), None);
+        clear();
+        assert_eq!(arm("a"), None);
+    }
+
+    #[test]
+    fn chaos_schedule_is_deterministic_and_seed_sensitive() {
+        let _g = serial();
+        let sequence = |seed: u64| -> Vec<bool> {
+            install(FaultPlan {
+                entries: vec![],
+                chaos: Some((seed, 30)),
+            });
+            let hits = (0..64).map(|_| arm("site").is_some()).collect();
+            clear();
+            hits
+        };
+        let a1 = sequence(7);
+        let a2 = sequence(7);
+        let b = sequence(8);
+        assert_eq!(a1, a2, "same seed must give the same schedule");
+        assert_ne!(a1, b, "different seeds should differ");
+        let fired = a1.iter().filter(|&&h| h).count();
+        assert!(
+            fired > 0 && fired < 64,
+            "rate ~30% expected, got {fired}/64"
+        );
+    }
+
+    #[test]
+    fn install_resets_counters() {
+        let _g = serial();
+        let plan = FaultPlan::parse("nan@s:1").unwrap();
+        install(plan.clone());
+        assert_eq!(arm("s"), Some(FaultKind::Nan));
+        assert_eq!(arm("s"), None);
+        install(plan);
+        assert_eq!(arm("s"), Some(FaultKind::Nan));
+        clear();
+    }
+}

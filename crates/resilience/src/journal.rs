@@ -1,0 +1,510 @@
+//! Crash-safe JSONL run journal.
+//!
+//! One header line records the run's seed, a config hash, and a label; each
+//! subsequent line is one cell outcome. Lines are appended and fsync'd per
+//! cell, so after a crash the journal holds every durably completed cell
+//! plus at most one torn final line, which the reader drops. A resumed run
+//! verifies the header hash, replays completed cells from their stored
+//! payloads, and reruns only failed or missing cells.
+//!
+//! The codec is hand-rolled (this crate is dependency-free) and the field
+//! order is fixed. `payload` is deliberately the *last* field: the parser
+//! slices the raw remainder of the line, so payloads can be arbitrary JSON
+//! produced by a richer serializer upstream.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Journal file header: identifies the run a journal belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalHeader {
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// FNV-1a hash of the sweep configuration (methods, datasets, budgets…).
+    pub config_hash: u64,
+    /// Human-readable run label, e.g. `mcp-quick`.
+    pub label: String,
+}
+
+/// Terminal state of one journaled cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// The cell produced a payload.
+    Completed,
+    /// The cell failed; `error` holds the reason.
+    Failed,
+}
+
+impl EntryStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            EntryStatus::Completed => "completed",
+            EntryStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One journaled cell outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Stable cell key, e.g. `mcp|LazyGreedy|Damascus|5`.
+    pub cell: String,
+    /// Terminal state.
+    pub status: EntryStatus,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Total wall-clock seconds for the cell.
+    pub elapsed_secs: f64,
+    /// Failure reason for [`EntryStatus::Failed`] entries.
+    pub error: Option<String>,
+    /// Raw JSON payload for [`EntryStatus::Completed`] entries.
+    pub payload: Option<String>,
+}
+
+/// A parsed journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    /// The run header.
+    pub header: JournalHeader,
+    /// Durable entries, in append order.
+    pub entries: Vec<JournalEntry>,
+    /// True when the final line was torn (crash mid-append) and dropped.
+    pub torn_tail: bool,
+}
+
+/// Errors from reading or parsing a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalError {
+    /// Filesystem error, stringified.
+    Io(String),
+    /// The file has no parseable header line.
+    MissingHeader,
+    /// A non-final line failed to parse (corruption, not a torn tail).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Resume attempted against a journal from a different configuration.
+    ConfigMismatch {
+        /// Hash the resuming run computed.
+        expected: u64,
+        /// Hash stored in the journal header.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io error: {e}"),
+            JournalError::MissingHeader => write!(f, "journal has no parseable header line"),
+            JournalError::Malformed { line, detail } => {
+                write!(f, "journal line {line} is corrupt: {detail}")
+            }
+            JournalError::ConfigMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different run: config hash {found:016x} != {expected:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+// -- encoding -------------------------------------------------------------
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl JournalHeader {
+    /// Encodes the header as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut s = String::from("{\"journal\":\"mcpb-sweep\",\"version\":1,\"seed\":");
+        s.push_str(&self.seed.to_string());
+        s.push_str(",\"config_hash\":\"");
+        s.push_str(&format!("{:016x}", self.config_hash));
+        s.push_str("\",\"label\":");
+        push_json_string(&mut s, &self.label);
+        s.push('}');
+        s
+    }
+}
+
+impl JournalEntry {
+    /// Encodes the entry as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut s = String::from("{\"cell\":");
+        push_json_string(&mut s, &self.cell);
+        s.push_str(",\"status\":\"");
+        s.push_str(self.status.as_str());
+        s.push_str("\",\"attempts\":");
+        s.push_str(&self.attempts.to_string());
+        s.push_str(",\"elapsed_secs\":");
+        if self.elapsed_secs.is_finite() {
+            s.push_str(&format!("{}", self.elapsed_secs));
+        } else {
+            s.push_str("null");
+        }
+        s.push_str(",\"error\":");
+        match &self.error {
+            Some(e) => push_json_string(&mut s, e),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"payload\":");
+        match &self.payload {
+            Some(p) => s.push_str(p),
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+// -- decoding -------------------------------------------------------------
+
+fn expect_lit<'a>(rest: &'a str, lit: &str) -> Result<&'a str, String> {
+    rest.strip_prefix(lit)
+        .ok_or_else(|| format!("expected `{lit}` at `{}`", truncate(rest)))
+}
+
+fn truncate(s: &str) -> &str {
+    &s[..s.len().min(24)]
+}
+
+fn parse_string(rest: &str) -> Result<(String, &str), String> {
+    let rest = expect_lit(rest, "\"")?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &rest[i + 1..])),
+            '\\' => match chars.next().map(|(_, e)| e) {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Parses digits/number chars up to the next `,` or `}`.
+fn parse_number(rest: &str) -> Result<(&str, &str), String> {
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated number at `{}`", truncate(rest)))?;
+    let (num, tail) = rest.split_at(end);
+    if num.is_empty() {
+        return Err("empty number".to_string());
+    }
+    Ok((num, tail))
+}
+
+fn parse_header_line(line: &str) -> Result<JournalHeader, String> {
+    let rest = expect_lit(line, "{\"journal\":\"mcpb-sweep\",\"version\":1,\"seed\":")?;
+    let (seed_s, rest) = parse_number(rest)?;
+    let seed: u64 = seed_s.parse().map_err(|_| "seed is not a u64")?;
+    let rest = expect_lit(rest, ",\"config_hash\":")?;
+    let (hash_s, rest) = parse_string(rest)?;
+    let config_hash =
+        u64::from_str_radix(&hash_s, 16).map_err(|_| "config_hash is not hex".to_string())?;
+    let rest = expect_lit(rest, ",\"label\":")?;
+    let (label, rest) = parse_string(rest)?;
+    if rest != "}" {
+        return Err(format!("trailing data after header: `{}`", truncate(rest)));
+    }
+    Ok(JournalHeader {
+        seed,
+        config_hash,
+        label,
+    })
+}
+
+fn parse_entry_line(line: &str) -> Result<JournalEntry, String> {
+    let rest = expect_lit(line, "{\"cell\":")?;
+    let (cell, rest) = parse_string(rest)?;
+    let rest = expect_lit(rest, ",\"status\":")?;
+    let (status_s, rest) = parse_string(rest)?;
+    let status = match status_s.as_str() {
+        "completed" => EntryStatus::Completed,
+        "failed" => EntryStatus::Failed,
+        other => return Err(format!("unknown status `{other}`")),
+    };
+    let rest = expect_lit(rest, ",\"attempts\":")?;
+    let (attempts_s, rest) = parse_number(rest)?;
+    let attempts: u32 = attempts_s.parse().map_err(|_| "attempts is not a u32")?;
+    let rest = expect_lit(rest, ",\"elapsed_secs\":")?;
+    let (elapsed_s, rest) = parse_number(rest)?;
+    let elapsed_secs: f64 = if elapsed_s == "null" {
+        f64::NAN
+    } else {
+        elapsed_s
+            .parse()
+            .map_err(|_| "elapsed_secs is not a float")?
+    };
+    let rest = expect_lit(rest, ",\"error\":")?;
+    let (error, rest) = if let Some(tail) = rest.strip_prefix("null") {
+        (None, tail)
+    } else {
+        let (e, tail) = parse_string(rest)?;
+        (Some(e), tail)
+    };
+    let rest = expect_lit(rest, ",\"payload\":")?;
+    let body = rest
+        .strip_suffix('}')
+        .ok_or_else(|| "line does not end with `}`".to_string())?;
+    let payload = if body == "null" {
+        None
+    } else if body.is_empty() {
+        return Err("empty payload".to_string());
+    } else if !payload_is_balanced(body) {
+        return Err("payload is truncated or unbalanced".to_string());
+    } else {
+        Some(body.to_string())
+    };
+    Ok(JournalEntry {
+        cell,
+        status,
+        attempts,
+        elapsed_secs,
+        error,
+        payload,
+    })
+}
+
+/// True when every brace/bracket outside string literals is balanced — the
+/// cheap structural check that distinguishes a stored payload from one cut
+/// short by a crash mid-append.
+fn payload_is_balanced(p: &str) -> bool {
+    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+    for c in p.chars() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        if depth < 0 {
+            return false;
+        }
+    }
+    depth == 0 && !in_str
+}
+
+/// Parses journal text. The final line, if unparseable, is treated as a
+/// torn tail (crash mid-append) and dropped; unparseable *earlier* lines
+/// are corruption and error out.
+pub fn parse_journal(text: &str) -> Result<Journal, JournalError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let Some((first, rest)) = lines.split_first() else {
+        return Err(JournalError::MissingHeader);
+    };
+    let header = parse_header_line(first).map_err(|_| JournalError::MissingHeader)?;
+    let mut entries = Vec::new();
+    let mut torn_tail = false;
+    for (i, line) in rest.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_entry_line(line) {
+            Ok(entry) => entries.push(entry),
+            Err(detail) => {
+                if i + 1 == rest.len() {
+                    torn_tail = true;
+                } else {
+                    return Err(JournalError::Malformed {
+                        line: i + 2,
+                        detail,
+                    });
+                }
+            }
+        }
+    }
+    Ok(Journal {
+        header,
+        entries,
+        torn_tail,
+    })
+}
+
+/// Reads and parses a journal file.
+pub fn read_journal(path: &Path) -> Result<Journal, JournalError> {
+    let text = std::fs::read_to_string(path).map_err(|e| JournalError::Io(e.to_string()))?;
+    parse_journal(&text)
+}
+
+/// Append-only journal writer; every line is flushed and fsync'd so a
+/// killed process loses at most the line being written.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal and durably writes its header.
+    pub fn create(path: &Path, header: &JournalHeader) -> std::io::Result<JournalWriter> {
+        let mut file = File::create(path)?;
+        file.write_all(header.to_line().as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Reopens an existing journal for appending (resume). The caller is
+    /// expected to have validated the header via [`read_journal`].
+    pub fn append_to(path: &Path) -> std::io::Result<JournalWriter> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Durably appends one cell outcome.
+    pub fn append(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
+        self.file.write_all(entry.to_line().as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            seed: 42,
+            config_hash: 0xdead_beef_0102_0304,
+            label: "mcp-quick".to_string(),
+        }
+    }
+
+    fn entry(cell: &str, ok: bool) -> JournalEntry {
+        JournalEntry {
+            cell: cell.to_string(),
+            status: if ok {
+                EntryStatus::Completed
+            } else {
+                EntryStatus::Failed
+            },
+            attempts: if ok { 1 } else { 3 },
+            elapsed_secs: 0.125,
+            error: (!ok).then(|| "panicked: injected \"quote\"\nline2".to_string()),
+            payload: ok.then(|| "{\"quality\":0.5,\"k\":10}".to_string()),
+        }
+    }
+
+    #[test]
+    fn header_and_entries_round_trip() {
+        let mut text = header().to_line();
+        text.push('\n');
+        for (i, ok) in [(0, true), (1, false), (2, true)] {
+            text.push_str(&entry(&format!("mcp|Lazy|DS|{i}"), ok).to_line());
+            text.push('\n');
+        }
+        let j = parse_journal(&text).expect("parses");
+        assert_eq!(j.header, header());
+        assert_eq!(j.entries.len(), 3);
+        assert!(!j.torn_tail);
+        assert_eq!(j.entries[0], entry("mcp|Lazy|DS|0", true));
+        assert_eq!(j.entries[1], entry("mcp|Lazy|DS|1", false));
+        assert_eq!(
+            j.entries[0].payload.as_deref(),
+            Some("{\"quality\":0.5,\"k\":10}")
+        );
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let full = entry("mcp|Lazy|DS|5", true).to_line();
+        for cut in [1, full.len() / 2, full.len() - 1] {
+            let mut text = header().to_line();
+            text.push('\n');
+            text.push_str(&entry("mcp|Lazy|DS|1", true).to_line());
+            text.push('\n');
+            text.push_str(&full[..cut]);
+            let j = parse_journal(&text).expect("torn tail tolerated");
+            assert_eq!(j.entries.len(), 1, "cut at {cut}");
+            assert!(j.torn_tail, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_before_the_tail_errors() {
+        let mut text = header().to_line();
+        text.push('\n');
+        text.push_str("{\"cell\":garbage\n");
+        text.push_str(&entry("mcp|Lazy|DS|1", true).to_line());
+        text.push('\n');
+        assert!(matches!(
+            parse_journal(&text),
+            Err(JournalError::Malformed { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_or_bad_header_is_typed() {
+        assert_eq!(parse_journal(""), Err(JournalError::MissingHeader));
+        assert_eq!(
+            parse_journal("{\"not\":\"a header\"}\n"),
+            Err(JournalError::MissingHeader)
+        );
+    }
+
+    #[test]
+    fn writer_fsyncs_lines_readable_by_reader() {
+        let dir = std::env::temp_dir().join("mcpb-resilience-journal-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("run.jsonl");
+        {
+            let mut w = JournalWriter::create(&path, &header()).expect("create");
+            w.append(&entry("a", true)).expect("append");
+            w.append(&entry("b", false)).expect("append");
+        }
+        {
+            let mut w = JournalWriter::append_to(&path).expect("reopen");
+            w.append(&entry("c", true)).expect("append");
+        }
+        let j = read_journal(&path).expect("read");
+        assert_eq!(j.header, header());
+        let cells: Vec<&str> = j.entries.iter().map(|e| e.cell.as_str()).collect();
+        assert_eq!(cells, ["a", "b", "c"]);
+        std::fs::remove_file(&path).ok();
+    }
+}

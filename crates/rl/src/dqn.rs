@@ -201,6 +201,30 @@ impl DqnAgent {
     pub fn sync_target(&mut self) {
         self.target.copy_values_from(&self.online);
     }
+
+    /// Clones the online parameters (for divergence rollback points).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.online.snapshot()
+    }
+
+    /// Restores online parameters from a [`DqnAgent::snapshot`] and re-syncs
+    /// the target network so both sides agree on the rolled-back weights.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        self.online.load_snapshot(snapshot);
+        self.sync_target();
+    }
+
+    /// Current optimizer learning rate.
+    pub fn lr(&self) -> f32 {
+        self.optimizer.lr
+    }
+
+    /// Scales the learning rate (divergence recovery halves it) and returns
+    /// the new value.
+    pub fn scale_lr(&mut self, factor: f32) -> f32 {
+        self.optimizer.lr *= factor;
+        self.optimizer.lr
+    }
 }
 
 /// Index of the maximum value (first on ties).

@@ -53,6 +53,30 @@ pub enum Event {
         /// Metric value.
         value: f64,
     },
+    /// A training loop detected divergence, rolled parameters back to the
+    /// last good snapshot, and halved the learning rate.
+    Recovery {
+        /// Solver name (e.g. `"S2V-DQN"`).
+        solver: String,
+        /// 1-based episode at which divergence was detected.
+        episode: u64,
+        /// The divergent loss value (NaN serializes as `null`).
+        loss: f64,
+        /// Learning rate in effect *after* the halving.
+        lr: f64,
+    },
+    /// A sweep cell exhausted its retry policy and was recorded as failed
+    /// instead of aborting the run.
+    CellFailed {
+        /// Stable cell key, e.g. `mcp|LazyGreedy|Damascus|5`.
+        key: String,
+        /// Stringified failure reason (panic payload or deadline report).
+        error: String,
+        /// Attempts consumed.
+        attempts: u64,
+        /// Total wall-clock seconds across attempts.
+        elapsed: f64,
+    },
 }
 
 impl Event {
@@ -63,6 +87,8 @@ impl Event {
             Event::SweepPoint { .. } => "sweep_point",
             Event::SpanClose { .. } => "span_close",
             Event::Metric { .. } => "metric",
+            Event::Recovery { .. } => "recovery",
+            Event::CellFailed { .. } => "cell_failed",
         }
     }
 
@@ -106,6 +132,28 @@ impl Event {
                 push_str_field(&mut out, "name", name);
                 push_f64_field(&mut out, "value", *value);
             }
+            Event::Recovery {
+                solver,
+                episode,
+                loss,
+                lr,
+            } => {
+                push_str_field(&mut out, "solver", solver);
+                push_u64_field(&mut out, "episode", *episode);
+                push_f64_field(&mut out, "loss", *loss);
+                push_f64_field(&mut out, "lr", *lr);
+            }
+            Event::CellFailed {
+                key,
+                error,
+                attempts,
+                elapsed,
+            } => {
+                push_str_field(&mut out, "key", key);
+                push_str_field(&mut out, "error", error);
+                push_u64_field(&mut out, "attempts", *attempts);
+                push_f64_field(&mut out, "elapsed", *elapsed);
+            }
         }
         out.push('}');
         out
@@ -137,6 +185,18 @@ impl Event {
             "metric" => Ok(Event::Metric {
                 name: get_str(&fields, "name")?,
                 value: get_f64(&fields, "value")?,
+            }),
+            "recovery" => Ok(Event::Recovery {
+                solver: get_str(&fields, "solver")?,
+                episode: get_u64(&fields, "episode")?,
+                loss: get_f64(&fields, "loss")?,
+                lr: get_f64(&fields, "lr")?,
+            }),
+            "cell_failed" => Ok(Event::CellFailed {
+                key: get_str(&fields, "key")?,
+                error: get_str(&fields, "error")?,
+                attempts: get_u64(&fields, "attempts")?,
+                elapsed: get_f64(&fields, "elapsed")?,
             }),
             other => Err(ParseError::new(format!("unknown event type {other:?}"))),
         }
@@ -483,6 +543,42 @@ mod tests {
     }
 
     #[test]
+    fn recovery_round_trips_including_nan_loss() {
+        round_trip(Event::Recovery {
+            solver: "GCOMB".into(),
+            episode: 9,
+            loss: 123.5,
+            lr: 0.0005,
+        });
+        // NaN loss is the common case for this event: null on the wire.
+        let e = Event::Recovery {
+            solver: "S2V-DQN".into(),
+            episode: 3,
+            loss: f64::NAN,
+            lr: 0.001,
+        };
+        let line = e.to_json();
+        assert!(line.contains("\"loss\":null"), "{line}");
+        match Event::from_json(&line).expect("parses") {
+            Event::Recovery { loss, lr, .. } => {
+                assert!(loss.is_nan());
+                assert_eq!(lr, 0.001);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cell_failed_round_trips() {
+        round_trip(Event::CellFailed {
+            key: "mcp|LazyGreedy|Damascus|5".into(),
+            error: "panicked: injected fault: panic at site `sweep.cell`".into(),
+            attempts: 3,
+            elapsed: 0.125,
+        });
+    }
+
+    #[test]
     fn strings_with_specials_round_trip() {
         round_trip(Event::Metric {
             name: "weird \"name\"\\ with\nnewline\tand unicode é…".into(),
@@ -514,6 +610,8 @@ mod tests {
             "{\"type\":\"metric\",\"name\":\"x\"}",
             "{\"type\":\"metric\",\"name\":\"x\",\"value\":1} trailing",
             "{\"type\":\"span_close\",\"path\":\"p\",\"nanos\":-3}",
+            "{\"type\":\"recovery\",\"solver\":\"S2V-DQN\",\"episode\":1,\"loss\":null}",
+            "{\"type\":\"cell_failed\",\"key\":\"k\",\"error\":\"e\",\"attempts\":-1,\"elapsed\":0.1}",
         ] {
             assert!(Event::from_json(bad).is_err(), "accepted: {bad:?}");
         }
@@ -528,6 +626,17 @@ mod tests {
         assert_eq!(
             e.to_json(),
             "{\"type\":\"span_close\",\"path\":\"root\",\"nanos\":5}"
+        );
+        let r = Event::CellFailed {
+            key: "mcp|M|D|5".into(),
+            error: "panicked: boom".into(),
+            attempts: 2,
+            elapsed: 0.5,
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"type\":\"cell_failed\",\"key\":\"mcp|M|D|5\",\"error\":\"panicked: boom\",\
+             \"attempts\":2,\"elapsed\":0.5}"
         );
     }
 }

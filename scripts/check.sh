@@ -24,4 +24,17 @@ rm -f "$TRACE_OUT"
 MCPB_TRACE="$TRACE_OUT" cargo run -q -- trace-smoke
 cargo run -q -- trace-validate "$TRACE_OUT"
 
-echo "OK: fmt, audit, tests, and telemetry smoke all green"
+echo "==> resilience tests (journal, fault isolation, divergence recovery)"
+cargo test -q -p mcpb-resilience
+cargo test -q -p mcpb-bench --test fault_injection
+cargo test -q -p mcpb-drl --test divergence_recovery
+
+echo "==> fault-injection smoke (injected panic -> partial grid -> clean resume)"
+SWEEP_JOURNAL="target/check-sweep-journal.jsonl"
+rm -f "$SWEEP_JOURNAL"
+MCPB_FAULTS="panic@sweep.cell:3" cargo run -q -- sweep --journal "$SWEEP_JOURNAL" \
+  | tee /dev/stderr | grep -q "failed=1"
+cargo run -q -- sweep --resume "$SWEEP_JOURNAL" \
+  | tee /dev/stderr | grep -q "failed=0 resumed=5"
+
+echo "OK: fmt, audit, tests, telemetry smoke, and fault-injection smoke all green"

@@ -107,9 +107,13 @@ fn trace_smoke() {
     );
 
     let exp = ExpConfig::quick();
-    let dataset = exp.scaled(
-        mcpb_graph::catalog::by_name("BrightKite").expect("invariant: BrightKite in catalog"),
-    );
+    let dataset = match mcpb_graph::catalog::require("BrightKite") {
+        Ok(d) => exp.scaled(d),
+        Err(e) => {
+            eprintln!("smoke FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
     let records = mcpb_bench::sweep::run_mcp_sweep(
         &[
             mcpb_bench::registry::McpMethodKind::LazyGreedy,
@@ -150,6 +154,98 @@ fn trace_smoke() {
     println!("smoke OK: {episode_ends} EpisodeEnd event(s), all required spans present");
 }
 
+/// `sweep [--journal <path>] [--resume <path>] [--retries <n>]
+/// [--deadline <secs>]`: a small fixed MCP sweep (LazyGreedy, NormalGreedy,
+/// TopDegree x BrightKite x budgets {5, 10}) under fault isolation — the
+/// driver for the resilience smoke and the crash-resume workflow. Combine
+/// with `MCPB_FAULTS` (e.g. `panic@sweep.cell:3`) to exercise failure
+/// paths; the summary line is machine-greppable.
+fn sweep_cmd(args: &[String]) {
+    use mcpb_bench::registry::{McpMethodKind, Scale};
+    use mcpb_bench::sweep::{run_mcp_sweep_resilient, SweepOptions};
+    use mcpb_resilience::CellPolicy;
+
+    fn usage() -> ! {
+        eprintln!(
+            "usage: mcpbench sweep [--journal <path>] [--resume <path>] \
+             [--retries <n>] [--deadline <secs>]"
+        );
+        std::process::exit(2);
+    }
+    let mut opts = SweepOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            usage()
+        };
+        match flag {
+            "--journal" => opts.journal = Some(std::path::PathBuf::from(value)),
+            "--resume" => opts.resume = Some(std::path::PathBuf::from(value)),
+            "--retries" => match value.parse::<u32>() {
+                Ok(n) => opts.policy = CellPolicy::retrying(n),
+                Err(_) => usage(),
+            },
+            "--deadline" => match value.parse::<f64>() {
+                Ok(secs) => opts.policy.deadline_secs = Some(secs),
+                Err(_) => usage(),
+            },
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let exp = ExpConfig::quick();
+    let dataset = match mcpb_graph::catalog::require("BrightKite") {
+        Ok(d) => exp.scaled(d),
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(1);
+        }
+    };
+    let train_graph = mcpb_graph::generators::barabasi_albert(150, 3, 7);
+    let methods = [
+        McpMethodKind::LazyGreedy,
+        McpMethodKind::NormalGreedy,
+        McpMethodKind::TopDegree,
+    ];
+    let outcome = match run_mcp_sweep_resilient(
+        &methods,
+        &[dataset],
+        &[5, 10],
+        &train_graph,
+        Scale::Quick,
+        exp.seed,
+        &opts,
+    ) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            std::process::exit(1);
+        }
+    };
+    for rec in &outcome.records {
+        println!(
+            "cell mcp|{}|{}|{}: quality={:.4} runtime={}",
+            rec.method,
+            rec.dataset,
+            rec.budget,
+            rec.quality,
+            mcpb_bench::results::fmt_secs(rec.runtime)
+        );
+    }
+    if let Some(table) = mcpb_bench::results::failure_table(&outcome.failures) {
+        println!("\n{}", table.render());
+    }
+    println!(
+        "sweep summary: cells={} completed={} failed={} resumed={}",
+        outcome.records.len() + outcome.failures.len(),
+        outcome.records.len(),
+        outcome.failures.len(),
+        outcome.resumed
+    );
+}
+
 /// `trace-validate <file>`: parses every line of a JSONL event file back
 /// through the typed decoder; exits non-zero on the first malformed line.
 fn trace_validate(path: &str) {
@@ -178,6 +274,10 @@ fn trace_validate(path: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     mcpb_trace::init_from_env();
+    if let Err(e) = mcpb_resilience::fault::init_from_env() {
+        eprintln!("mcpbench: invalid MCPB_FAULTS: {e}");
+        std::process::exit(2);
+    }
     match args.first().map(|s| s.as_str()) {
         Some("run-spec") => {
             let path = args.get(1).expect("usage: mcpbench run-spec <spec.json>");
@@ -187,6 +287,11 @@ fn main() {
         }
         Some("trace-smoke") => {
             trace_smoke();
+            return;
+        }
+        Some("sweep") => {
+            sweep_cmd(&args[1..]);
+            finish_trace();
             return;
         }
         Some("trace-validate") => {
@@ -215,7 +320,11 @@ fn main() {
         println!("  run-spec <spec.json>        run a serialized BenchmarkSpec");
         println!("  trace-smoke                 exercise the telemetry pipeline end to end");
         println!("  trace-validate <file>       check a JSONL event file line by line");
+        println!("  sweep [--journal <path>] [--resume <path>] [--retries <n>] [--deadline <s>]");
+        println!("                              fault-isolated mini MCP sweep; --resume skips");
+        println!("                              cells already completed in a crash-safe journal");
         println!("\nset MCPB_TRACE=1 (memory) or MCPB_TRACE=<path> (JSONL) to enable tracing");
+        println!("set MCPB_FAULTS (e.g. panic@sweep.cell:3; nan@train.S2V-DQN:2) to inject faults");
         return;
     }
     if ids.contains(&"all") {
