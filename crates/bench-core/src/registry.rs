@@ -195,7 +195,7 @@ fn note_train_health(name: &str, report: &Option<TrainReport>) {
 pub struct PreparedMcpSolver {
     /// Method identity.
     pub kind: McpMethodKind,
-    solver: Box<dyn McpSolver>,
+    solver: Box<dyn McpSolver + Send>,
     /// Training report for Deep-RL methods (None for traditional solvers).
     pub train_report: Option<TrainReport>,
 }
@@ -221,7 +221,7 @@ pub fn prepare_mcp(
     seed: u64,
 ) -> PreparedMcpSolver {
     let m = scale.mult();
-    let (solver, train_report): (Box<dyn McpSolver>, Option<TrainReport>) = match kind {
+    let (solver, train_report): (Box<dyn McpSolver + Send>, Option<TrainReport>) = match kind {
         McpMethodKind::NormalGreedy => (Box::new(NormalGreedy), None),
         McpMethodKind::LazyGreedy => (Box::new(LazyGreedy), None),
         McpMethodKind::TopDegree => (Box::new(TopDegree), None),
@@ -284,7 +284,7 @@ pub fn prepare_mcp(
 pub struct PreparedImSolver {
     /// Method identity.
     pub kind: ImMethodKind,
-    solver: Box<dyn ImSolver>,
+    solver: Box<dyn ImSolver + Send>,
     /// Training report for Deep-RL methods.
     pub train_report: Option<TrainReport>,
 }
@@ -314,7 +314,7 @@ pub fn prepare_im(
 ) -> PreparedImSolver {
     let m = scale.mult();
     let rr_task = Task::Im { rr_sets: 1_000 };
-    let (solver, train_report): (Box<dyn ImSolver>, Option<TrainReport>) = match kind {
+    let (solver, train_report): (Box<dyn ImSolver + Send>, Option<TrainReport>) = match kind {
         ImMethodKind::Imm => (Box::new(Imm::paper_default(seed)), None),
         ImMethodKind::Opim => (Box::new(Opim::paper_default(seed)), None),
         ImMethodKind::DDiscount => (Box::new(DegreeDiscount), None),

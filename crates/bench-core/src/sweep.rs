@@ -9,6 +9,16 @@
 //! durably appended to a crash-safe JSONL file; a resumed run verifies the
 //! header's config hash, replays completed cells from their stored
 //! payloads, and reruns only failed or missing cells.
+//!
+//! Independent cells execute concurrently on the `mcpb-par` pool, yet the
+//! grid stays bit-identical at any thread count (see DESIGN.md, "Parallel
+//! execution"): each dataset block runs in three phases — a sequential
+//! *plan* pass that resolves replays and arms fault-injection sites in grid
+//! order, a parallel *execute* pass where each worker lane owns one solver
+//! exclusively and answers its budgets in ascending order (so stateful
+//! solvers consume their RNG streams exactly as a sequential run would),
+//! and a sequential *commit* pass that journals outcomes and emits
+//! telemetry in grid order. Solver preparation fans out the same way.
 
 use crate::instrument::{run_measured, Measurement};
 use crate::registry::{
@@ -22,7 +32,7 @@ use mcpb_graph::Graph;
 use mcpb_resilience::journal::{
     read_journal, EntryStatus, JournalEntry, JournalError, JournalHeader, JournalWriter,
 };
-use mcpb_resilience::{fnv1a64, run_cell, CellOutcome, CellPolicy};
+use mcpb_resilience::{fault, fnv1a64, run_cell_armed, CellOutcome, CellPolicy, FaultKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -278,39 +288,136 @@ fn prep_policy(policy: &CellPolicy) -> CellPolicy {
     }
 }
 
-/// Runs one query cell under the policy, journaling either outcome.
-fn run_query_cell(
+/// Prepares every solver lane concurrently. Fault sites are armed
+/// sequentially in method order *before* the fan-out, so the
+/// `sweep.prepare` occurrence counter advances exactly as in a sequential
+/// run; outcomes are committed back in method order afterwards.
+fn prepare_lanes<S: Send>(
     session: &mut SweepSession,
     policy: &CellPolicy,
-    key: &str,
-    span: &str,
-    records: &mut Vec<SweepRecord>,
-    solve_and_score: impl FnMut() -> SweepRecord,
-) {
-    if let Some(rec) = session.replay(key) {
-        records.push(rec);
-        return;
-    }
-    let _cell = if mcpb_trace::is_enabled() {
-        Some(mcpb_trace::span_named(span.to_string()))
-    } else {
-        None
-    };
-    match run_cell(policy, "sweep.cell", solve_and_score) {
-        CellOutcome::Completed {
-            value: rec,
-            attempts,
-            elapsed_secs,
-        } => {
-            session.record_ok(key, &rec, attempts, elapsed_secs);
-            record_sweep_cell(&rec);
-            records.push(rec);
+    count: usize,
+    key_of: impl Fn(usize) -> String,
+    prep: impl Fn(usize) -> S + Sync,
+) -> Vec<S> {
+    let armed: Vec<Option<FaultKind>> = (0..count).map(|_| fault::arm("sweep.prepare")).collect();
+    let armed = &armed;
+    let prep = &prep;
+    let outcomes = mcpb_par::map_indexed(count, |i| {
+        run_cell_armed(policy, armed[i], "sweep.prepare", || prep(i))
+    });
+    let mut prepared = Vec::with_capacity(count);
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            CellOutcome::Completed { value, .. } => prepared.push(value),
+            CellOutcome::Failed {
+                error,
+                attempts,
+                elapsed_secs,
+            } => session.record_failed(&key_of(i), error.to_string(), attempts, elapsed_secs),
         }
-        CellOutcome::Failed {
-            error,
-            attempts,
-            elapsed_secs,
-        } => session.record_failed(key, error.to_string(), attempts, elapsed_secs),
+    }
+    prepared
+}
+
+/// The plan pass's verdict for one (budget, solver) cell.
+enum CellPlan {
+    /// Replayed from the resume journal; the solver is not run.
+    Replay(SweepRecord),
+    /// Run live, with the fault decision pre-armed in grid order.
+    Run(Option<FaultKind>),
+}
+
+/// Executes one dataset block of the grid — every (budget, solver) cell —
+/// with solver lanes running concurrently.
+///
+/// Three passes keep the result bit-identical at any thread count:
+///
+/// 1. **Plan** (sequential, grid order — budget-major, solver-minor, same
+///    as the historical loop nest): resolve journal replays and arm the
+///    `sweep.cell` fault site, so replay counts and fault occurrence
+///    counters match a sequential run.
+/// 2. **Execute** (parallel): each lane owns one solver exclusively and
+///    answers its budgets in ascending order, so a stateful solver
+///    consumes its RNG stream exactly as it would sequentially.
+/// 3. **Commit** (sequential, grid order): journal entries, telemetry, and
+///    `records` are emitted in the same order a sequential run produces.
+fn run_grid_block<S: Send>(
+    session: &mut SweepSession,
+    policy: &CellPolicy,
+    budgets: &[usize],
+    solvers: &mut [S],
+    records: &mut Vec<SweepRecord>,
+    key_of: impl Fn(&S, usize) -> String,
+    span_of: impl Fn(&S) -> String + Sync,
+    cell: impl Fn(&mut S, usize) -> SweepRecord + Sync,
+) {
+    let mut plans: Vec<Vec<CellPlan>> = Vec::with_capacity(budgets.len());
+    for &k in budgets.iter() {
+        let mut row = Vec::with_capacity(solvers.len());
+        for solver in solvers.iter() {
+            let key = key_of(solver, k);
+            row.push(match session.replay(&key) {
+                Some(rec) => CellPlan::Replay(rec),
+                None => CellPlan::Run(fault::arm("sweep.cell")),
+            });
+        }
+        plans.push(row);
+    }
+
+    let plans_ref = &plans;
+    let cell = &cell;
+    let span_of = &span_of;
+    let mut outcomes: Vec<Vec<Option<CellOutcome<SweepRecord>>>> =
+        mcpb_par::for_each_mut(solvers, |si, solver| {
+            budgets
+                .iter()
+                .enumerate()
+                .map(|(ki, &k)| match &plans_ref[ki][si] {
+                    CellPlan::Replay(_) => None,
+                    CellPlan::Run(armed) => {
+                        let _cell_span = if mcpb_trace::is_enabled() {
+                            Some(mcpb_trace::span_named(span_of(solver)))
+                        } else {
+                            None
+                        };
+                        Some(run_cell_armed(policy, *armed, "sweep.cell", || {
+                            cell(solver, k)
+                        }))
+                    }
+                })
+                .collect()
+        });
+
+    for (ki, row) in plans.into_iter().enumerate() {
+        let k = budgets[ki];
+        for (si, plan) in row.into_iter().enumerate() {
+            match plan {
+                CellPlan::Replay(rec) => records.push(rec),
+                CellPlan::Run(_) => {
+                    let key = key_of(&solvers[si], k);
+                    match outcomes[si][ki].take() {
+                        Some(CellOutcome::Completed {
+                            value: rec,
+                            attempts,
+                            elapsed_secs,
+                        }) => {
+                            session.record_ok(&key, &rec, attempts, elapsed_secs);
+                            record_sweep_cell(&rec);
+                            records.push(rec);
+                        }
+                        Some(CellOutcome::Failed {
+                            error,
+                            attempts,
+                            elapsed_secs,
+                        }) => {
+                            session.record_failed(&key, error.to_string(), attempts, elapsed_secs)
+                        }
+                        // Unreachable: every planned Run executes exactly once.
+                        None => {}
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -361,53 +468,38 @@ pub fn run_mcp_sweep_resilient(
     // failure and is dropped from the grid (its cells are absent, not
     // failed). Preparation is never journaled as completed — models are
     // not serialized, so a resume retrains them.
-    let mut prepared: Vec<PreparedMcpSolver> = Vec::new();
-    for &m in methods {
-        match run_cell(&prep_policy(&opts.policy), "sweep.prepare", || {
-            prepare_mcp(m, train_graph, scale, seed)
-        }) {
-            CellOutcome::Completed { value, .. } => prepared.push(value),
-            CellOutcome::Failed {
-                error,
-                attempts,
-                elapsed_secs,
-            } => session.record_failed(
-                &format!("mcp|prepare|{}", m.name()),
-                error.to_string(),
-                attempts,
-                elapsed_secs,
-            ),
-        }
-    }
+    let mut prepared: Vec<PreparedMcpSolver> = prepare_lanes(
+        &mut session,
+        &prep_policy(&opts.policy),
+        methods.len(),
+        |i| format!("mcp|prepare|{}", methods[i].name()),
+        |i| prepare_mcp(methods[i], train_graph, scale, seed),
+    );
     for ds in datasets {
         let graph = ds.load();
-        for &k in budgets {
-            for solver in prepared.iter_mut() {
-                let key = format!("mcp|{}|{}|{}", solver.name(), ds.name, k);
-                let span = format!("sweep.mcp/{}", solver.name());
+        run_grid_block(
+            &mut session,
+            &opts.policy,
+            budgets,
+            &mut prepared,
+            &mut records,
+            |solver, k| format!("mcp|{}|{}|{}", solver.name(), ds.name, k),
+            |solver| format!("sweep.mcp/{}", solver.name()),
+            |solver, k| {
                 let name = solver.name().to_string();
-                run_query_cell(
-                    &mut session,
-                    &opts.policy,
-                    &key,
-                    &span,
-                    &mut records,
-                    || {
-                        let (sol, m): (_, Measurement) = run_measured(|| solver.solve(&graph, k));
-                        SweepRecord {
-                            method: name.clone(),
-                            dataset: ds.name.to_string(),
-                            weight_model: None,
-                            budget: k,
-                            quality: scorer.score(&graph, &sol.seeds),
-                            absolute: scorer.score_absolute(&graph, &sol.seeds) as f64,
-                            runtime: m.seconds,
-                            peak_bytes: m.peak_bytes,
-                        }
-                    },
-                );
-            }
-        }
+                let (sol, m): (_, Measurement) = run_measured(|| solver.solve(&graph, k));
+                SweepRecord {
+                    method: name,
+                    dataset: ds.name.to_string(),
+                    weight_model: None,
+                    budget: k,
+                    quality: scorer.score(&graph, &sol.seeds),
+                    absolute: scorer.score_absolute(&graph, &sol.seeds) as f64,
+                    runtime: m.seconds,
+                    peak_bytes: m.peak_bytes,
+                }
+            },
+        );
     }
     Ok(SweepOutcome {
         records,
@@ -475,54 +567,40 @@ pub fn run_im_sweep_resilient(
     let mut records = Vec::new();
     for &wm in weight_models {
         let weighted_train = assign_weights(train_graph, wm, seed);
-        let mut prepared: Vec<PreparedImSolver> = Vec::new();
-        for &m in methods {
-            match run_cell(&prep_policy(&opts.policy), "sweep.prepare", || {
-                prepare_im(m, &weighted_train, wm, scale, seed)
-            }) {
-                CellOutcome::Completed { value, .. } => prepared.push(value),
-                CellOutcome::Failed {
-                    error,
-                    attempts,
-                    elapsed_secs,
-                } => session.record_failed(
-                    &format!("im|prepare|{}", m.name()),
-                    error.to_string(),
-                    attempts,
-                    elapsed_secs,
-                ),
-            }
-        }
+        let weighted_train = &weighted_train;
+        let mut prepared: Vec<PreparedImSolver> = prepare_lanes(
+            &mut session,
+            &prep_policy(&opts.policy),
+            methods.len(),
+            |i| format!("im|prepare|{}", methods[i].name()),
+            |i| prepare_im(methods[i], weighted_train, wm, scale, seed),
+        );
         for ds in datasets {
             let graph = assign_weights(&ds.load(), wm, seed ^ ds.seed);
             let scorer = ImScorer::new(&graph, scorer_rr_sets, seed ^ 0x5c0e);
-            for &k in budgets {
-                for solver in prepared.iter_mut() {
-                    let key = format!("im|{}|{}|{}|{}", solver.name(), ds.name, wm.abbrev(), k);
-                    let span = format!("sweep.im/{}", solver.name());
+            run_grid_block(
+                &mut session,
+                &opts.policy,
+                budgets,
+                &mut prepared,
+                &mut records,
+                |solver, k| format!("im|{}|{}|{}|{}", solver.name(), ds.name, wm.abbrev(), k),
+                |solver| format!("sweep.im/{}", solver.name()),
+                |solver, k| {
                     let name = solver.name().to_string();
-                    run_query_cell(
-                        &mut session,
-                        &opts.policy,
-                        &key,
-                        &span,
-                        &mut records,
-                        || {
-                            let (sol, m) = run_measured(|| solver.solve(&graph, k));
-                            SweepRecord {
-                                method: name.clone(),
-                                dataset: ds.name.to_string(),
-                                weight_model: Some(wm.abbrev().to_string()),
-                                budget: k,
-                                quality: scorer.normalized(&sol.seeds),
-                                absolute: scorer.spread(&sol.seeds),
-                                runtime: m.seconds,
-                                peak_bytes: m.peak_bytes,
-                            }
-                        },
-                    );
-                }
-            }
+                    let (sol, m) = run_measured(|| solver.solve(&graph, k));
+                    SweepRecord {
+                        method: name,
+                        dataset: ds.name.to_string(),
+                        weight_model: Some(wm.abbrev().to_string()),
+                        budget: k,
+                        quality: scorer.normalized(&sol.seeds),
+                        absolute: scorer.spread(&sol.seeds),
+                        runtime: m.seconds,
+                        peak_bytes: m.peak_bytes,
+                    }
+                },
+            );
         }
     }
     Ok(SweepOutcome {

@@ -1,0 +1,198 @@
+//! Sweep-level thread-count invariance: the full resilient sweep — solver
+//! preparation (including Deep-RL training), query cells, and the crash
+//! journal — must produce bit-identical results at `MCPB_THREADS=1`, `2`,
+//! and `8`. Only wall-clock fields (`runtime`, `peak_bytes`,
+//! `elapsed_secs`) may differ, and the journal comparison is exactly
+//! [`diff_journals_modulo_timing`].
+
+use mcpb_bench::registry::{ImMethodKind, McpMethodKind, Scale};
+use mcpb_bench::sweep::{
+    run_im_sweep_resilient, run_mcp_sweep_resilient, SweepOptions, SweepRecord,
+};
+use mcpb_graph::catalog;
+use mcpb_graph::catalog::Dataset;
+use mcpb_graph::weights::WeightModel;
+use mcpb_par::set_thread_override;
+use mcpb_resilience::{diff_journals_modulo_timing, read_journal};
+use std::sync::{Mutex, MutexGuard};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    set_thread_override(Some(threads));
+    let out = f();
+    set_thread_override(None);
+    out
+}
+
+fn tiny_dataset() -> Dataset {
+    let mut d = catalog::require("Damascus").expect("Damascus ships in the catalog");
+    d.nodes = 250;
+    d
+}
+
+/// Everything except the wall-clock fields.
+fn result_view(records: &[SweepRecord]) -> Vec<(String, String, Option<String>, usize, u64, u64)> {
+    records
+        .iter()
+        .map(|r| {
+            (
+                r.method.clone(),
+                r.dataset.clone(),
+                r.weight_model.clone(),
+                r.budget,
+                r.quality.to_bits(),
+                r.absolute.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn mcp_sweep_with_drl_training_is_thread_count_invariant() {
+    let _g = serial();
+    let ds = [tiny_dataset()];
+    let train = mcpb_graph::generators::barabasi_albert(120, 3, 0);
+    // S2vDqn exercises the parallel prepare lanes with real training.
+    let methods = [
+        McpMethodKind::LazyGreedy,
+        McpMethodKind::TopDegree,
+        McpMethodKind::S2vDqn,
+    ];
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            run_mcp_sweep_resilient(
+                &methods,
+                &ds,
+                &[2, 4],
+                &train,
+                Scale::Quick,
+                7,
+                &SweepOptions::default(),
+            )
+            .expect("unjournaled sweep cannot fail")
+        })
+    };
+    let base = run(1);
+    assert_eq!(base.records.len(), 6);
+    assert!(base.failures.is_empty());
+    for threads in [2, 8] {
+        let par = run(threads);
+        assert_eq!(
+            result_view(&base.records),
+            result_view(&par.records),
+            "MCP sweep results diverged at {threads} threads"
+        );
+        assert!(par.failures.is_empty());
+    }
+}
+
+#[test]
+fn im_sweep_is_thread_count_invariant() {
+    let _g = serial();
+    let ds = [tiny_dataset()];
+    let train = mcpb_graph::generators::barabasi_albert(120, 3, 0);
+    let methods = [
+        ImMethodKind::DDiscount,
+        ImMethodKind::Imm,
+        ImMethodKind::CelfRis,
+    ];
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            run_im_sweep_resilient(
+                &methods,
+                &ds,
+                &[WeightModel::Constant, WeightModel::WeightedCascade],
+                &[3],
+                &train,
+                1_500,
+                Scale::Quick,
+                7,
+                &SweepOptions::default(),
+            )
+            .expect("unjournaled sweep cannot fail")
+        })
+    };
+    let base = run(1);
+    assert_eq!(base.records.len(), 6);
+    for threads in [2, 8] {
+        let par = run(threads);
+        assert_eq!(
+            result_view(&base.records),
+            result_view(&par.records),
+            "IM sweep results diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn sweep_journals_diff_clean_across_thread_counts() {
+    let _g = serial();
+    let dir = std::env::temp_dir().join("mcpb-thread-invariance-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let ds = [tiny_dataset()];
+    let train = mcpb_graph::generators::barabasi_albert(120, 3, 0);
+    let methods = [McpMethodKind::LazyGreedy, McpMethodKind::NormalGreedy];
+    let journal_at = |threads: usize| {
+        let path = dir.join(format!("mcp-t{threads}.jsonl"));
+        let opts = SweepOptions {
+            journal: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        with_threads(threads, || {
+            run_mcp_sweep_resilient(&methods, &ds, &[2, 5], &train, Scale::Quick, 3, &opts)
+                .expect("journaled run")
+        });
+        let journal = read_journal(&path).expect("journal readable");
+        std::fs::remove_file(&path).ok();
+        journal
+    };
+    let base = journal_at(1);
+    assert_eq!(base.entries.len(), 4);
+    for threads in [2, 8] {
+        let par = journal_at(threads);
+        let diffs = diff_journals_modulo_timing(&base, &par);
+        assert!(
+            diffs.is_empty(),
+            "journal at {threads} threads differs from sequential:\n{}",
+            diffs.join("\n")
+        );
+    }
+}
+
+#[test]
+fn resume_written_at_one_thread_count_replays_at_another() {
+    let _g = serial();
+    let dir = std::env::temp_dir().join("mcpb-thread-invariance-resume-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("resume.jsonl");
+    let ds = [tiny_dataset()];
+    let train = mcpb_graph::generators::barabasi_albert(120, 3, 0);
+    let methods = [McpMethodKind::LazyGreedy, McpMethodKind::TopDegree];
+    let first = with_threads(8, || {
+        let opts = SweepOptions {
+            journal: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        run_mcp_sweep_resilient(&methods, &ds, &[2, 5], &train, Scale::Quick, 3, &opts)
+            .expect("journaled run")
+    });
+    let second = with_threads(1, || {
+        let opts = SweepOptions {
+            resume: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        run_mcp_sweep_resilient(&methods, &ds, &[2, 5], &train, Scale::Quick, 3, &opts)
+            .expect("resumed run")
+    });
+    assert_eq!(second.resumed, 4, "all cells replay from the journal");
+    assert_eq!(
+        second.records, first.records,
+        "a journal written at 8 threads replays byte-for-byte at 1"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -31,7 +31,7 @@ use mcpb_rl::schedule::EpsilonSchedule;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// GCOMB hyper-parameters, CPU-scaled.
 #[derive(Debug, Clone)]
@@ -205,7 +205,7 @@ impl Gcomb {
         if n == 0 {
             return Vec::new();
         }
-        let adj = Rc::new(gcn_normalized(graph));
+        let adj = Arc::new(gcn_normalized(graph));
         let mut tape = Tape::new();
         let x = tape.input(Self::node_features(graph));
         let h = self.gcn.forward(&mut tape, &self.store, adj, x);
@@ -297,7 +297,7 @@ impl Gcomb {
             .collect();
 
         // Supervised GCN regression.
-        let adj = Rc::new(gcn_normalized(&tg));
+        let adj = Arc::new(gcn_normalized(&tg));
         let feats = Self::node_features(&tg);
         let mut adam = Adam::new(self.cfg.lr);
         let mut sup_loss = 0.0;

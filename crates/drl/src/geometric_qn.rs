@@ -29,7 +29,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Geometric-QN hyper-parameters, CPU-scaled.
 #[derive(Debug, Clone, Copy)]
@@ -131,7 +131,7 @@ impl GeometricQn {
                 seed: self.cfg.seed,
             },
         );
-        let adj = Rc::new(gcn_normalized(sub));
+        let adj = Arc::new(gcn_normalized(sub));
         let mut tape = Tape::new();
         let x = tape.input(feats);
         let h = self.encoder.forward(&mut tape, &self.store, adj, x);

@@ -29,7 +29,7 @@ use mcpb_rl::schedule::EpsilonSchedule;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// LeNSE hyper-parameters, CPU-scaled.
 #[derive(Debug, Clone, Copy)]
@@ -143,7 +143,7 @@ impl Lense {
         if sub.num_nodes() == 0 {
             return 0.0;
         }
-        let adj = Rc::new(gcn_normalized(sub));
+        let adj = Arc::new(gcn_normalized(sub));
         let mut tape = Tape::new();
         let x = tape.input(Self::sub_features(sub));
         let h = self.encoder.forward(&mut tape, &self.store, adj, x);
@@ -223,7 +223,7 @@ impl Lense {
         for _ in 0..self.cfg.encoder_epochs {
             let mut grads = Vec::new();
             for (sub, ratio) in &subs {
-                let adj = Rc::new(gcn_normalized(sub));
+                let adj = Arc::new(gcn_normalized(sub));
                 let mut tape = Tape::new();
                 let x = tape.input(Self::sub_features(sub));
                 let h = self.encoder.forward(&mut tape, &self.store, adj, x);

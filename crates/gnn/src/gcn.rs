@@ -2,7 +2,7 @@
 //! used by GCOMB, Geometric-QN, and LeNSE.
 
 use mcpb_nn::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One GCN layer: `H' = act(Â H W + b)`.
 #[derive(Debug, Clone, Copy)]
@@ -31,7 +31,7 @@ impl GcnLayer {
         &self,
         tape: &mut Tape,
         store: &ParamStore,
-        adj: Rc<SparseMatrix>,
+        adj: Arc<SparseMatrix>,
         h: Var,
     ) -> Var {
         let agg = tape.spmm(adj, h);
@@ -83,7 +83,7 @@ impl GcnEncoder {
         &self,
         tape: &mut Tape,
         store: &ParamStore,
-        adj: Rc<SparseMatrix>,
+        adj: Arc<SparseMatrix>,
         mut x: Var,
     ) -> Var {
         let _span = mcpb_trace::span("nn.forward");
@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn forward_shapes() {
         let g = generators::barabasi_albert(30, 2, 1);
-        let adj = Rc::new(gcn_normalized(&g));
+        let adj = Arc::new(gcn_normalized(&g));
         let mut store = ParamStore::new(0);
         let enc = GcnEncoder::new(&mut store, "enc", &[4, 8, 5]);
         let mut tape = Tape::new();
@@ -146,7 +146,7 @@ mod tests {
         // Train a 2-layer GCN to predict (normalized) node degree from a
         // constant input feature — a task solvable from the adjacency alone.
         let g = generators::barabasi_albert(40, 2, 3);
-        let adj = Rc::new(gcn_normalized(&g));
+        let adj = Arc::new(gcn_normalized(&g));
         let n = g.num_nodes();
         let target: Vec<f32> = (0..n as u32).map(|v| g.degree(v) as f32 / 10.0).collect();
         let target = Tensor::column(&target);

@@ -15,15 +15,15 @@
 use crate::adjacency::{in_edge_incidence, neighbor_sum};
 use mcpb_graph::Graph;
 use mcpb_nn::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Per-graph fixed operators the S2V forward pass needs.
 #[derive(Debug, Clone)]
 pub struct S2vGraph {
     /// Undirected neighbor-sum operator (`n x n`).
-    pub nsum: Rc<SparseMatrix>,
+    pub nsum: Arc<SparseMatrix>,
     /// In-edge incidence operator (`n x E`).
-    pub incidence: Rc<SparseMatrix>,
+    pub incidence: Arc<SparseMatrix>,
     /// Edge weights (`E x 1`) aligned with the incidence columns.
     pub edge_weights: Tensor,
     /// Node count.
@@ -35,8 +35,8 @@ impl S2vGraph {
     pub fn new(g: &Graph) -> Self {
         let (incidence, weights) = in_edge_incidence(g);
         Self {
-            nsum: Rc::new(neighbor_sum(g)),
-            incidence: Rc::new(incidence),
+            nsum: Arc::new(neighbor_sum(g)),
+            incidence: Arc::new(incidence),
             edge_weights: Tensor::column(&weights),
             n: g.num_nodes(),
         }

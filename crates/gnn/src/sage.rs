@@ -9,7 +9,7 @@
 use crate::adjacency::neighbor_sum;
 use mcpb_graph::Graph;
 use mcpb_nn::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Precomputed mean-aggregation operator: neighbor sum rows scaled by
 /// 1/degree (isolated nodes aggregate zeros).
@@ -66,7 +66,7 @@ impl SageLayer {
         &self,
         tape: &mut Tape,
         store: &ParamStore,
-        agg: Rc<SparseMatrix>,
+        agg: Arc<SparseMatrix>,
         h: Var,
     ) -> Var {
         let own = self.w_self.forward(tape, store, h);
@@ -121,7 +121,7 @@ impl SageEncoder {
         &self,
         tape: &mut Tape,
         store: &ParamStore,
-        agg: Rc<SparseMatrix>,
+        agg: Arc<SparseMatrix>,
         x: Var,
     ) -> Var {
         let _span = mcpb_trace::span("nn.forward");
@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn encoder_shapes() {
         let g = generators::barabasi_albert(40, 2, 1);
-        let agg = Rc::new(mean_aggregator(&g));
+        let agg = Arc::new(mean_aggregator(&g));
         let mut store = ParamStore::new(0);
         let enc = SageEncoder::new(&mut store, "sage", 3, 8, 4);
         let mut tape = Tape::new();
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn sage_learns_degree_regression() {
         let g = generators::barabasi_albert(50, 3, 2);
-        let agg = Rc::new(mean_aggregator(&g));
+        let agg = Arc::new(mean_aggregator(&g));
         let n = g.num_nodes();
         let target: Vec<f32> = (0..n as NodeId)
             .map(|v| g.degree(v) as f32 / 20.0)
@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn isolated_nodes_do_not_nan() {
         let g = mcpb_graph::Graph::from_edges(4, &[mcpb_graph::Edge::unweighted(0, 1)]).unwrap();
-        let agg = Rc::new(mean_aggregator(&g));
+        let agg = Arc::new(mean_aggregator(&g));
         let mut store = ParamStore::new(0);
         let enc = SageEncoder::new(&mut store, "sage", 2, 4, 2);
         let mut tape = Tape::new();

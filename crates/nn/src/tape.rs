@@ -9,7 +9,7 @@
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::{SparseMatrix, Tensor};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a tape node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,20 +23,20 @@ enum Op {
     Mul(Var, Var),
     Scale(Var, f32),
     MatMul(Var, Var),
-    SpMM(Rc<SparseMatrix>, Var),
+    SpMM(Arc<SparseMatrix>, Var),
     Relu(Var),
     LeakyRelu(Var, f32),
     Sigmoid(Var),
     Tanh(Var),
     AddBias(Var, Var),
-    GatherRows(Var, Rc<Vec<usize>>),
+    GatherRows(Var, Arc<Vec<usize>>),
     ConcatCols(Var, Var),
     SumRows(Var),
     RepeatRow(Var),
     MeanAll(Var),
     SumAll(Var),
-    Mse(Var, Rc<Tensor>),
-    Huber(Var, Rc<Tensor>, f32),
+    Mse(Var, Arc<Tensor>),
+    Huber(Var, Arc<Tensor>, f32),
 }
 
 impl Op {
@@ -250,7 +250,7 @@ impl Tape {
     }
 
     /// Sparse-dense product `adj * x`; only `x` receives gradients.
-    pub fn spmm(&mut self, adj: Rc<SparseMatrix>, x: Var) -> Var {
+    pub fn spmm(&mut self, adj: Arc<SparseMatrix>, x: Var) -> Var {
         let out = adj.matmul_dense(&self.nodes[x.0].value);
         self.push(out, Op::SpMM(adj, x))
     }
@@ -313,7 +313,7 @@ impl Tape {
             assert!(r < t.rows, "gather row {r} out of range {}", t.rows);
             out.data[i * t.cols..(i + 1) * t.cols].copy_from_slice(t.row_slice(r));
         }
-        self.push(out, Op::GatherRows(a, Rc::new(rows)))
+        self.push(out, Op::GatherRows(a, Arc::new(rows)))
     }
 
     /// Horizontal concatenation `[a | b]` (same row count).
@@ -382,7 +382,7 @@ impl Tape {
             .map(|(&p, &y)| (p - y) * (p - y))
             .sum::<f32>()
             / n;
-        self.push(Tensor::scalar(loss), Op::Mse(pred, Rc::new(target)))
+        self.push(Tensor::scalar(loss), Op::Mse(pred, Arc::new(target)))
     }
 
     /// Huber (smooth-L1) loss against a constant target -> scalar.
@@ -410,7 +410,7 @@ impl Tape {
             / n;
         self.push(
             Tensor::scalar(loss),
-            Op::Huber(pred, Rc::new(target), delta),
+            Op::Huber(pred, Arc::new(target), delta),
         )
     }
 
@@ -696,7 +696,7 @@ mod tests {
 
     #[test]
     fn gradcheck_spmm() {
-        let adj = Rc::new(SparseMatrix::from_triplets(
+        let adj = Arc::new(SparseMatrix::from_triplets(
             3,
             3,
             &[(0, 1, 0.5), (1, 0, 2.0), (1, 2, 1.0), (2, 2, 0.25)],

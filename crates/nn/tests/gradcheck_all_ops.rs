@@ -8,7 +8,7 @@
 //! this suite fails CI.
 
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mcpb_nn::tape::OP_KINDS;
 use mcpb_nn::{grad_check, SparseMatrix, Tape, Tensor, Var};
@@ -73,7 +73,7 @@ fn cases() -> Vec<(&'static str, Vec<Tensor>, Build)> {
             "spmm",
             vec![a32.clone()],
             Box::new(|t: &mut Tape, v: &[Var]| {
-                let adj = Rc::new(SparseMatrix::from_triplets(
+                let adj = Arc::new(SparseMatrix::from_triplets(
                     2,
                     3,
                     &[(0, 0, 0.5), (0, 2, 1.2), (1, 1, -0.7), (1, 0, 0.3)],

@@ -1,0 +1,81 @@
+//! Thread-count resolution: programmatic override, `MCPB_THREADS`, then
+//! hardware parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable naming the worker-thread count. `1` forces
+/// sequential execution; unset or invalid values fall back to
+/// [`std::thread::available_parallelism`].
+pub const ENV_VAR: &str = "MCPB_THREADS";
+
+/// `0` encodes "no override" so the slot fits one atomic.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or clears, with `None`) a process-wide thread-count override
+/// that takes precedence over `MCPB_THREADS`. Used by `mcpbench --threads`
+/// and by the thread-invariance tests, which must vary the count within a
+/// single process where the environment is already fixed.
+pub fn set_thread_override(threads: Option<usize>) {
+    OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The current programmatic override, if any.
+pub fn thread_override() -> Option<usize> {
+    match OVERRIDE.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Resolves the worker-thread count: override, then `MCPB_THREADS`, then
+/// [`std::thread::available_parallelism`]; always at least 1. The result
+/// may only influence *scheduling* — chunk contents and reduction order are
+/// fixed by the caller, so outputs do not depend on this value.
+pub fn effective_threads() -> usize {
+    if let Some(n) = thread_override() {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var(ENV_VAR) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Override-mutating tests must not interleave.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn override_wins_and_clears() {
+        let _g = serial();
+        set_thread_override(Some(3));
+        assert_eq!(thread_override(), Some(3));
+        assert_eq!(effective_threads(), 3);
+        set_thread_override(None);
+        assert_eq!(thread_override(), None);
+        assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn zero_override_clamps_to_one() {
+        let _g = serial();
+        set_thread_override(Some(0));
+        // 0 is the "no override" encoding, so this clears instead.
+        assert_eq!(thread_override(), None);
+        set_thread_override(None);
+    }
+}

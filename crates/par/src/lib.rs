@@ -1,0 +1,32 @@
+//! `mcpb-par` — the workspace's parallel executor.
+//!
+//! A zero-dependency work-sharing pool built on [`std::thread::scope`]:
+//! callers hand over a count of independent *chunks* and a `Sync` closure;
+//! workers claim chunk indices from a shared atomic cursor and results are
+//! reassembled in chunk order. Because every caller in this workspace
+//! already derives its randomness from the chunk (or item) index — never
+//! from execution order — the reassembled output is **bit-identical at any
+//! thread count**, which the thread-invariance test suites in `mcpb-im` and
+//! `mcpb-bench` enforce.
+//!
+//! Thread count resolution (first match wins):
+//! 1. [`set_thread_override`] — programmatic, for tests and `--threads`;
+//! 2. the `MCPB_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Panic contract: a panicking chunk aborts further claims, and the
+//! *lowest-index* panic payload is re-raised on the calling thread via
+//! [`std::panic::resume_unwind`] — so `catch_unwind`-based supervisors
+//! (`mcpb_resilience::run_cell`) observe the same payload they would have
+//! seen sequentially. Nested calls from inside a pool worker run inline
+//! (sequentially) instead of oversubscribing the machine.
+
+#![warn(missing_docs)]
+
+mod config;
+mod ops;
+mod pool;
+
+pub use config::{effective_threads, set_thread_override, thread_override, ENV_VAR};
+pub use ops::{for_each_mut, map_chunked, map_indexed, DEFAULT_CHUNK};
+pub use pool::{in_pool, run_chunks};

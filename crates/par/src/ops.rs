@@ -1,0 +1,76 @@
+//! Deterministic map helpers layered on [`run_chunks`].
+
+use crate::pool::run_chunks;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// The fixed chunk width used for order-sensitive reductions (sums). It
+/// must never depend on the thread count: partial reductions are computed
+/// per fixed chunk and folded in chunk order, so the grouping — and with it
+/// any non-associative rounding — is identical at every thread count.
+pub const DEFAULT_CHUNK: usize = 64;
+
+/// Splits `0..n` into contiguous ranges of `chunk` items (the last may be
+/// short) and evaluates `f` on each range in parallel, returning results in
+/// range order.
+pub fn map_chunked<T: Send>(
+    n: usize,
+    chunk: usize,
+    f: impl Fn(Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    let chunk = chunk.max(1);
+    let units = n.div_ceil(chunk);
+    run_chunks(units, |u| {
+        let lo = u * chunk;
+        f(lo..(lo + chunk).min(n))
+    })
+}
+
+/// Unit size for [`map_indexed`]: aim for several units per worker so the
+/// cursor can load-balance uneven items. Output placement is positional, so
+/// unlike [`DEFAULT_CHUNK`] this may depend on the thread count without
+/// affecting results.
+fn adaptive_chunk(n: usize) -> usize {
+    let threads = crate::effective_threads().max(1);
+    n.div_ceil(threads.saturating_mul(8)).max(1)
+}
+
+/// Evaluates `f(0) .. f(n - 1)` in parallel, returning results in index
+/// order. `f` must derive any randomness from its index argument, never
+/// from call order — the workspace's per-index seeding rule.
+pub fn map_indexed<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = map_chunked(n, adaptive_chunk(n), |range| {
+        range.map(&f).collect::<Vec<T>>()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Runs `f(i, &mut items[i])` for every item on the pool, one item per
+/// chunk, and returns the closure results in index order. This is the
+/// sweep-grid primitive: each lane owns one `&mut` solver for its whole
+/// run, so stateful solvers see the same call sequence as a sequential
+/// loop over that lane.
+pub fn for_each_mut<T: Send, R: Send>(
+    items: &mut [T],
+    f: impl Fn(usize, &mut T) -> R + Sync,
+) -> Vec<R> {
+    // Hand each exclusive borrow to exactly one worker through a take-once
+    // slot; `run_chunks` claims every index exactly once, so the take
+    // cannot observe an empty slot.
+    let slots: Vec<Mutex<Option<&mut T>>> = items.iter_mut().map(|r| Mutex::new(Some(r))).collect();
+    run_chunks(slots.len(), |i| {
+        let item = slots[i]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .expect("invariant: run_chunks claims each chunk index exactly once");
+        f(i, item)
+    })
+}

@@ -1,0 +1,106 @@
+//! The executor core: scoped workers pulling chunk indices from a shared
+//! cursor.
+//!
+//! [`run_chunks`] is the one primitive everything else reduces to. Workers
+//! are spawned per call with [`std::thread::scope`] so the closure may
+//! borrow from the caller's stack (prepared solvers, graphs, RR
+//! collections) without `'static` bounds. Each worker claims chunk indices
+//! from an atomic cursor — cheap dynamic load balancing with no queues to
+//! maintain — and collects `(index, value)` pairs locally; the caller
+//! reassembles them in index order, so scheduling cannot influence output
+//! order.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is a pool worker. Nested [`run_chunks`]
+/// calls from such a thread run inline instead of spawning a second layer
+/// of workers — parallelism is applied at the outermost call site only.
+pub fn in_pool() -> bool {
+    IN_POOL.with(|flag| flag.get())
+}
+
+type PanicPayload = Box<dyn std::any::Any + Send>;
+
+/// Records the panic with the lowest chunk index — the one a sequential run
+/// would have hit first — so the re-raised payload is schedule-independent.
+fn note_panic(slot: &Mutex<Option<(usize, PanicPayload)>>, chunk: usize, payload: PanicPayload) {
+    let mut guard = slot.lock().unwrap_or_else(|p| p.into_inner());
+    match &*guard {
+        Some((prev, _)) if *prev <= chunk => {}
+        _ => *guard = Some((chunk, payload)),
+    }
+}
+
+/// Evaluates `f(0) .. f(num_chunks - 1)` on up to [`effective_threads`]
+/// workers and returns the results in index order.
+///
+/// Falls back to inline sequential evaluation when there is at most one
+/// chunk, the configured thread count is 1, or the caller is itself a pool
+/// worker. If any chunk panics, remaining chunks are abandoned (in-flight
+/// ones finish), and the lowest-index payload is re-raised on the calling
+/// thread once every worker has joined — siblings are never deadlocked or
+/// detached.
+///
+/// [`effective_threads`]: crate::effective_threads
+pub fn run_chunks<T: Send>(num_chunks: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = crate::effective_threads();
+    if num_chunks <= 1 || threads <= 1 || in_pool() {
+        return (0..num_chunks).map(f).collect();
+    }
+    let workers = threads.min(num_chunks);
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let panic_slot: Mutex<Option<(usize, PanicPayload)>> = Mutex::new(None);
+    let mut collected: Vec<(usize, T)> = Vec::with_capacity(num_chunks);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                IN_POOL.with(|flag| flag.set(true));
+                let mut local: Vec<(usize, T)> = Vec::new();
+                while !abort.load(Ordering::Acquire) {
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= num_chunks {
+                        break;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(chunk))) {
+                        Ok(value) => local.push((chunk, value)),
+                        Err(payload) => {
+                            abort.store(true, Ordering::Release);
+                            note_panic(&panic_slot, chunk, payload);
+                            break;
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => collected.extend(local),
+                // The worker body catches all unwinds, so a join error can
+                // only come from a non-unwinding abort path; surface it as
+                // a panic "after" every real chunk.
+                Err(payload) => note_panic(&panic_slot, usize::MAX, payload),
+            }
+        }
+    });
+
+    let panicked = panic_slot
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner())
+        .take();
+    if let Some((_, payload)) = panicked {
+        resume_unwind(payload);
+    }
+    collected.sort_unstable_by_key(|&(chunk, _)| chunk);
+    collected.into_iter().map(|(_, value)| value).collect()
+}

@@ -1,0 +1,211 @@
+//! Pool lifecycle tests: thread-count invariance of the primitives, panic
+//! propagation compatible with `mcpb_resilience::run_cell`, no deadlocks
+//! when a worker dies, and sequential fallback for nested pool use.
+
+use mcpb_par::{
+    effective_threads, for_each_mut, in_pool, map_chunked, map_indexed, run_chunks,
+    set_thread_override,
+};
+use mcpb_resilience::{run_cell, CellError, CellOutcome, CellPolicy};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// The thread override is process-global; tests that set it must not
+/// interleave.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Runs `f` under a fixed thread count, restoring the default after.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    set_thread_override(Some(threads));
+    let out = f();
+    set_thread_override(None);
+    out
+}
+
+#[test]
+fn map_indexed_is_thread_count_invariant() {
+    let _g = serial();
+    let work = |i: usize| -> u64 {
+        // Uneven per-item cost so the cursor actually load-balances.
+        let rounds = (i % 7) * 1000 + 10;
+        let mut acc = i as u64;
+        for r in 0..rounds as u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(r);
+        }
+        acc
+    };
+    let base = with_threads(1, || map_indexed(257, work));
+    for threads in [2, 3, 8] {
+        let par = with_threads(threads, || map_indexed(257, work));
+        assert_eq!(base, par, "results diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn map_chunked_preserves_range_partition() {
+    let _g = serial();
+    let ranges = with_threads(4, || map_chunked(10, 4, |r| (r.start, r.end)));
+    assert_eq!(ranges, vec![(0, 4), (4, 8), (8, 10)]);
+    let empty = with_threads(4, || map_chunked(0, 4, |r| r.len()));
+    assert!(empty.is_empty());
+}
+
+#[test]
+fn run_chunks_executes_every_chunk_exactly_once() {
+    let _g = serial();
+    let hits = AtomicUsize::new(0);
+    let out = with_threads(8, || {
+        run_chunks(100, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i * 2
+        })
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 100);
+    assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+}
+
+#[test]
+fn worker_panic_payload_reaches_run_cell_as_typed_error() {
+    let _g = serial();
+    for threads in [1, 8] {
+        let outcome: CellOutcome<Vec<usize>> = with_threads(threads, || {
+            run_cell(&CellPolicy::default(), "par.test", || {
+                run_chunks(16, |i| {
+                    if i == 5 {
+                        panic!("chunk 5 exploded deliberately");
+                    }
+                    i
+                })
+            })
+        });
+        match outcome {
+            CellOutcome::Failed {
+                error: CellError::Panicked(msg),
+                ..
+            } => assert!(
+                msg.contains("chunk 5 exploded deliberately"),
+                "payload lost at {threads} threads: {msg}"
+            ),
+            other => panic!("expected typed panic at {threads} threads, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn sibling_workers_are_joined_not_deadlocked_after_a_panic() {
+    let _g = serial();
+    // Many chunks, one panics: the call must return (by panicking) rather
+    // than hang, and the slow sibling chunks must complete their joins.
+    let completed = AtomicUsize::new(0);
+    set_thread_override(Some(4));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_chunks(32, |i| {
+            if i == 0 {
+                panic!("early failure");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            completed.fetch_add(1, Ordering::Relaxed);
+        })
+    }));
+    set_thread_override(None);
+    assert!(result.is_err(), "the panic must propagate to the caller");
+    // At least the chunks claimed before the abort flag was seen finished.
+    assert!(completed.load(Ordering::Relaxed) < 32);
+}
+
+#[test]
+fn single_panicking_chunk_payload_is_exact_at_any_thread_count() {
+    let _g = serial();
+    for threads in [1, 2, 8] {
+        set_thread_override(Some(threads));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_chunks(9, |i| {
+                if i == 7 {
+                    panic!("payload-{}", 7);
+                }
+                i
+            })
+        }));
+        set_thread_override(None);
+        let payload = result.expect_err("chunk 7 panics");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic carries a stringly payload");
+        assert_eq!(msg, "payload-7", "at {threads} threads");
+    }
+}
+
+#[test]
+fn nested_pool_use_falls_back_to_sequential() {
+    let _g = serial();
+    assert!(!in_pool(), "test thread is not a pool worker");
+    let observations = with_threads(4, || {
+        run_chunks(4, |outer| {
+            let worker = std::thread::current().id();
+            let inner = run_chunks(8, move |i| {
+                // Inner chunks must run inline on the same worker thread.
+                assert!(in_pool(), "nested call must see the pool flag");
+                assert_eq!(std::thread::current().id(), worker);
+                outer * 100 + i
+            });
+            inner
+        })
+    });
+    for (outer, inner) in observations.iter().enumerate() {
+        let expect: Vec<usize> = (0..8).map(|i| outer * 100 + i).collect();
+        assert_eq!(*inner, expect);
+    }
+}
+
+#[test]
+fn for_each_mut_gives_each_lane_exclusive_access() {
+    let _g = serial();
+    let mut lanes: Vec<Vec<u32>> = vec![Vec::new(); 6];
+    let sums = with_threads(4, || {
+        for_each_mut(&mut lanes, |i, lane| {
+            for step in 0..10u32 {
+                lane.push(i as u32 * 10 + step);
+            }
+            lane.iter().sum::<u32>()
+        })
+    });
+    for (i, lane) in lanes.iter().enumerate() {
+        assert_eq!(lane.len(), 10);
+        assert_eq!(lane[0], i as u32 * 10);
+        assert_eq!(sums[i], lane.iter().sum::<u32>());
+    }
+}
+
+#[test]
+fn env_variable_controls_thread_count() {
+    let _g = serial();
+    set_thread_override(None);
+    std::env::set_var(mcpb_par::ENV_VAR, "2");
+    assert_eq!(effective_threads(), 2);
+    std::env::set_var(mcpb_par::ENV_VAR, "not-a-number");
+    assert!(effective_threads() >= 1, "invalid values fall back");
+    std::env::remove_var(mcpb_par::ENV_VAR);
+    // The programmatic override beats the environment.
+    std::env::set_var(mcpb_par::ENV_VAR, "2");
+    set_thread_override(Some(5));
+    assert_eq!(effective_threads(), 5);
+    set_thread_override(None);
+    std::env::remove_var(mcpb_par::ENV_VAR);
+}
+
+#[test]
+fn empty_and_single_chunk_inputs() {
+    let _g = serial();
+    let none: Vec<u8> = with_threads(8, || run_chunks(0, |_| 0u8));
+    assert!(none.is_empty());
+    let one = with_threads(8, || run_chunks(1, |i| i + 41));
+    assert_eq!(one, vec![41]);
+    let empty_items: Vec<()> = with_threads(8, || for_each_mut(&mut Vec::<u8>::new(), |_, _| ()));
+    assert!(empty_items.is_empty());
+}

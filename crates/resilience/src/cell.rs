@@ -139,8 +139,23 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// the N-th cell into a `Failed` record regardless of the retry policy.
 /// Panics are caught per attempt; `AssertUnwindSafe` is justified because a
 /// failed cell's partial state is only ever reported, never reused.
-pub fn run_cell<T>(policy: &CellPolicy, site: &str, mut f: impl FnMut() -> T) -> CellOutcome<T> {
-    let armed = fault::arm(site);
+pub fn run_cell<T>(policy: &CellPolicy, site: &str, f: impl FnMut() -> T) -> CellOutcome<T> {
+    run_cell_armed(policy, fault::arm(site), site, f)
+}
+
+/// [`run_cell`] with the fault decision made by the caller.
+///
+/// Parallel grids arm their cells *sequentially in grid order* before
+/// fanning execution out to worker threads, then pass each pre-armed fault
+/// here — the site's occurrence counter advances in the same order as a
+/// sequential run, so a fault plan like `panic@sweep.cell:3` hits the same
+/// logical cell at any thread count.
+pub fn run_cell_armed<T>(
+    policy: &CellPolicy,
+    armed: Option<fault::FaultKind>,
+    site: &str,
+    mut f: impl FnMut() -> T,
+) -> CellOutcome<T> {
     let start = Instant::now();
     let max_attempts = policy.max_attempts.max(1);
     let mut attempts = 0u32;
@@ -187,7 +202,7 @@ pub fn run_cell<T>(policy: &CellPolicy, site: &str, mut f: impl FnMut() -> T) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::FaultPlan;
+    use crate::fault::{FaultKind, FaultPlan};
     use std::sync::{Mutex, MutexGuard};
 
     static SERIAL: Mutex<()> = Mutex::new(());
@@ -291,6 +306,30 @@ mod tests {
             other => panic!("expected injected failure, got {other:?}"),
         }
         crate::fault::clear();
+    }
+
+    #[test]
+    fn pre_armed_fault_applies_without_arming_the_site() {
+        let _g = serial();
+        crate::fault::clear();
+        let hit: CellOutcome<i32> = run_cell_armed(
+            &CellPolicy::default(),
+            Some(FaultKind::Panic),
+            "cell.t7",
+            || 1,
+        );
+        assert!(
+            matches!(
+                hit,
+                CellOutcome::Failed {
+                    error: CellError::Panicked(_),
+                    ..
+                }
+            ),
+            "pre-armed panic must fire: {hit:?}"
+        );
+        let ok = run_cell_armed(&CellPolicy::default(), None, "cell.t7", || 5);
+        assert_eq!(ok.value(), Some(5));
     }
 
     #[test]

@@ -403,6 +403,163 @@ impl JournalWriter {
     }
 }
 
+// -- timing-insensitive comparison ----------------------------------------
+
+/// Timing keys whose scalar values are zeroed by [`normalize_timing`].
+const TIMING_KEYS: [&str; 3] = ["runtime", "peak_bytes", "elapsed_secs"];
+
+/// Rewrites a JSON payload so that the scalar values of wall-clock keys
+/// (`runtime`, `peak_bytes`, `elapsed_secs`) become `0`, leaving every
+/// other byte untouched. Two runs of a deterministic sweep differ *only*
+/// in these fields, so comparing normalized payloads checks bit-identity
+/// of the actual results while tolerating timing noise.
+///
+/// Hand-rolled (this crate is dependency-free): the scanner walks string
+/// literals with escape tracking, and only a literal that is immediately
+/// followed by `:` and a non-structural value (not a string, object, or
+/// array) triggers a replacement — a *value* that happens to equal a
+/// timing key is never touched.
+pub fn normalize_timing(payload: &str) -> String {
+    let bytes = payload.as_bytes();
+    let mut out = String::with_capacity(payload.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            // Multibyte UTF-8 is copied byte-exactly via slicing below, so
+            // only advance through non-quote bytes here.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'"' {
+                i += 1;
+            }
+            out.push_str(&payload[start..i]);
+            continue;
+        }
+        // A string literal: find its closing quote, escape-aware.
+        let start = i;
+        i += 1;
+        let mut esc = false;
+        while i < bytes.len() {
+            let b = bytes[i];
+            i += 1;
+            if esc {
+                esc = false;
+            } else if b == b'\\' {
+                esc = true;
+            } else if b == b'"' {
+                break;
+            }
+        }
+        out.push_str(&payload[start..i]);
+        let literal = &payload[start + 1..i.saturating_sub(1).max(start + 1)];
+        if !TIMING_KEYS.contains(&literal) {
+            continue;
+        }
+        // Only a key position (`"runtime"` followed by `:`) qualifies.
+        let mut j = i;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b':' {
+            continue;
+        }
+        j += 1;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j < bytes.len() && matches!(bytes[j], b'"' | b'{' | b'[') {
+            continue;
+        }
+        // Copy the separator, emit `0`, and skip the original scalar.
+        out.push_str(&payload[i..j]);
+        out.push('0');
+        while j < bytes.len() && !matches!(bytes[j], b',' | b'}' | b']') {
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Compares two journals for equivalence *modulo timing*: headers, entry
+/// order, cell keys, statuses, attempt counts, errors, and payloads (after
+/// [`normalize_timing`]) must match; `elapsed_secs` and the wall-clock
+/// payload fields are ignored. Returns a human-readable line per
+/// difference — empty means the runs produced bit-identical results.
+///
+/// This is the invariance check behind `MCPB_THREADS`: a sweep journal
+/// written at 1 thread and one written at 8 must diff clean.
+pub fn diff_journals_modulo_timing(a: &Journal, b: &Journal) -> Vec<String> {
+    let mut diffs = Vec::new();
+    if a.header.seed != b.header.seed {
+        diffs.push(format!(
+            "header seed: {} != {}",
+            a.header.seed, b.header.seed
+        ));
+    }
+    if a.header.config_hash != b.header.config_hash {
+        diffs.push(format!(
+            "header config_hash: {:016x} != {:016x}",
+            a.header.config_hash, b.header.config_hash
+        ));
+    }
+    if a.header.label != b.header.label {
+        diffs.push(format!(
+            "header label: `{}` != `{}`",
+            a.header.label, b.header.label
+        ));
+    }
+    if a.entries.len() != b.entries.len() {
+        diffs.push(format!(
+            "entry count: {} != {}",
+            a.entries.len(),
+            b.entries.len()
+        ));
+    }
+    for (i, (ea, eb)) in a.entries.iter().zip(&b.entries).enumerate() {
+        if ea.cell != eb.cell {
+            diffs.push(format!("entry {i} cell: `{}` != `{}`", ea.cell, eb.cell));
+            continue;
+        }
+        if ea.status != eb.status {
+            diffs.push(format!(
+                "entry {i} ({}) status: {:?} != {:?}",
+                ea.cell, ea.status, eb.status
+            ));
+        }
+        if ea.attempts != eb.attempts {
+            diffs.push(format!(
+                "entry {i} ({}) attempts: {} != {}",
+                ea.cell, ea.attempts, eb.attempts
+            ));
+        }
+        if ea.error != eb.error {
+            diffs.push(format!(
+                "entry {i} ({}) error: {:?} != {:?}",
+                ea.cell, ea.error, eb.error
+            ));
+        }
+        match (&ea.payload, &eb.payload) {
+            (Some(pa), Some(pb)) => {
+                let (na, nb) = (normalize_timing(pa), normalize_timing(pb));
+                if na != nb {
+                    diffs.push(format!(
+                        "entry {i} ({}) payload (timing-normalized): `{na}` != `{nb}`",
+                        ea.cell
+                    ));
+                }
+            }
+            (None, None) => {}
+            (pa, pb) => diffs.push(format!(
+                "entry {i} ({}) payload presence: {} != {}",
+                ea.cell,
+                pa.is_some(),
+                pb.is_some()
+            )),
+        }
+    }
+    diffs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +642,71 @@ mod tests {
             parse_journal("{\"not\":\"a header\"}\n"),
             Err(JournalError::MissingHeader)
         );
+    }
+
+    #[test]
+    fn normalize_timing_zeroes_only_timing_keys() {
+        let payload = r#"{"method":"Lazy","runtime":0.1234,"quality":0.75,"peak_bytes":8192,"elapsed_secs":1e-3}"#;
+        assert_eq!(
+            normalize_timing(payload),
+            r#"{"method":"Lazy","runtime":0,"quality":0.75,"peak_bytes":0,"elapsed_secs":0}"#
+        );
+        // `null` scalars normalize too (peak_bytes when tracking is off).
+        assert_eq!(
+            normalize_timing(r#"{"peak_bytes":null,"k":3}"#),
+            r#"{"peak_bytes":0,"k":3}"#
+        );
+        // A *value* equal to a timing key, and string/structural values
+        // under a timing key, are left alone.
+        let tricky =
+            r#"{"name":"runtime","runtime":"fast","runtime":{"a":1},"note":"elapsed_secs: 9"}"#;
+        assert_eq!(normalize_timing(tricky), tricky);
+        // Escaped quotes inside strings do not derail the scanner.
+        let escaped = r#"{"msg":"say \"runtime\":","runtime":7}"#;
+        assert_eq!(
+            normalize_timing(escaped),
+            r#"{"msg":"say \"runtime\":","runtime":0}"#
+        );
+    }
+
+    #[test]
+    fn diff_modulo_timing_ignores_wall_clock_but_not_results() {
+        let mk = |runtime: &str, quality: &str, elapsed: f64| {
+            let mut e = entry("mcp|Lazy|DS|1", true);
+            e.elapsed_secs = elapsed;
+            e.payload = Some(format!(
+                "{{\"quality\":{quality},\"runtime\":{runtime},\"peak_bytes\":null}}"
+            ));
+            Journal {
+                header: header(),
+                entries: vec![e],
+                torn_tail: false,
+            }
+        };
+        let a = mk("0.5", "0.9", 1.0);
+        let b = mk("0.0625", "0.9", 2.0);
+        assert!(
+            diff_journals_modulo_timing(&a, &b).is_empty(),
+            "timing-only differences must diff clean"
+        );
+        let c = mk("0.5", "0.8", 1.0);
+        let diffs = diff_journals_modulo_timing(&a, &c);
+        assert_eq!(diffs.len(), 1, "quality change must be reported: {diffs:?}");
+        assert!(diffs[0].contains("payload"));
+
+        let mut d = a.clone();
+        d.entries[0].status = EntryStatus::Failed;
+        d.entries[0].attempts = 3;
+        let diffs = diff_journals_modulo_timing(&a, &d);
+        assert!(diffs.iter().any(|l| l.contains("status")));
+        assert!(diffs.iter().any(|l| l.contains("attempts")));
+
+        let mut e = a.clone();
+        e.header.config_hash ^= 1;
+        e.entries.clear();
+        let diffs = diff_journals_modulo_timing(&a, &e);
+        assert!(diffs.iter().any(|l| l.contains("config_hash")));
+        assert!(diffs.iter().any(|l| l.contains("entry count")));
     }
 
     #[test]

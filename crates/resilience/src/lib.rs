@@ -24,12 +24,12 @@ pub mod divergence;
 pub mod fault;
 pub mod journal;
 
-pub use cell::{run_cell, CellError, CellOutcome, CellPolicy};
+pub use cell::{run_cell, run_cell_armed, CellError, CellOutcome, CellPolicy};
 pub use divergence::{DivergenceConfig, DivergenceGuard, Verdict};
 pub use fault::{FaultKind, FaultPlan};
 pub use journal::{
-    parse_journal, read_journal, EntryStatus, Journal, JournalEntry, JournalError, JournalHeader,
-    JournalWriter,
+    diff_journals_modulo_timing, normalize_timing, parse_journal, read_journal, EntryStatus,
+    Journal, JournalEntry, JournalError, JournalHeader, JournalWriter,
 };
 
 /// FNV-1a 64-bit hash, used for config hashes in journal headers and for

@@ -72,8 +72,35 @@ pub fn peak_bytes() -> usize {
 }
 
 /// Resets the peak to the current live level.
+///
+/// Lock-free but race-safe: a plain `store` here could erase a higher peak
+/// published by a concurrent `alloc` between our `LIVE` read and the write
+/// (and worse, leave `PEAK < LIVE` forever if that allocation stays live).
+/// Instead the peak is only ever lowered via compare-exchange to a level we
+/// just observed, then repaired upward with `fetch_max` until the invariant
+/// `PEAK >= LIVE` is stably re-established.
 pub fn reset_peak() {
-    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    let observed_live = LIVE.load(Ordering::Relaxed);
+    let mut current = PEAK.load(Ordering::Relaxed);
+    while current > observed_live {
+        match PEAK.compare_exchange_weak(
+            current,
+            observed_live,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(now) => current = now,
+        }
+    }
+    // Concurrent allocations may have raised LIVE past the level we just
+    // stored; repair until the peak again dominates the live count.
+    loop {
+        let live = LIVE.load(Ordering::Relaxed);
+        if PEAK.fetch_max(live, Ordering::Relaxed) >= live {
+            break;
+        }
+    }
 }
 
 /// True when [`TrackingAllocator`] is this process's global allocator.

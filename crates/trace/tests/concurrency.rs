@@ -1,0 +1,97 @@
+//! Concurrency stress for the collector: many threads hammering counters,
+//! histograms, and the event stream at once must lose nothing — exact
+//! counter totals, exact histogram observation counts, and a JSONL sink
+//! whose line count matches `events_seen` with every line parsing back.
+//!
+//! The sweep executor now emits telemetry from pool worker threads, so
+//! this is the contract the parallel harness leans on.
+
+use mcpb_trace::Event;
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 500;
+
+#[test]
+fn hammered_collector_loses_nothing() {
+    // Process-global collector: this test owns it for its whole body (it is
+    // the only test in this binary, so no intra-binary interleaving).
+    mcpb_trace::reset();
+    let dir = std::env::temp_dir().join("mcpb-trace-concurrency-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("events.jsonl");
+    let path_str = path.to_str().expect("utf-8 tmp path");
+    mcpb_trace::set_jsonl_path(path_str).expect("jsonl sink");
+    mcpb_trace::set_enabled(true);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    mcpb_trace::counter_add("stress.shared", 1);
+                    mcpb_trace::counter_add(&format!("stress.lane/{t}"), 2);
+                    mcpb_trace::observe("stress.latency", (t * PER_THREAD + i) as f64);
+                    mcpb_trace::emit(Event::SweepPoint {
+                        method: format!("m{t}"),
+                        dataset: "stress".to_string(),
+                        budget: i,
+                        quality: 0.5,
+                        runtime: 0.001,
+                    });
+                }
+            });
+        }
+    });
+
+    mcpb_trace::flush();
+    let summary = mcpb_trace::snapshot();
+
+    let shared = summary
+        .counters
+        .iter()
+        .find(|c| c.name == "stress.shared")
+        .expect("shared counter exists");
+    assert_eq!(
+        shared.value,
+        THREADS * PER_THREAD,
+        "lost counter increments"
+    );
+    for t in 0..THREADS {
+        let lane = summary
+            .counters
+            .iter()
+            .find(|c| c.name == format!("stress.lane/{t}"))
+            .expect("lane counter exists");
+        assert_eq!(lane.value, PER_THREAD * 2, "lane {t} lost increments");
+    }
+
+    let hist = summary
+        .histograms
+        .iter()
+        .find(|h| h.name == "stress.latency")
+        .expect("histogram exists");
+    assert_eq!(hist.count, THREADS * PER_THREAD, "lost observations");
+    assert_eq!(hist.min, 0.0);
+    assert_eq!(hist.max, (THREADS * PER_THREAD - 1) as f64);
+
+    assert_eq!(
+        mcpb_trace::events_seen(),
+        THREADS * PER_THREAD,
+        "lost events"
+    );
+    let body = std::fs::read_to_string(&path).expect("jsonl readable");
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(
+        lines.len() as u64,
+        THREADS * PER_THREAD,
+        "JSONL line count must match events_seen"
+    );
+    for (no, line) in lines.iter().enumerate() {
+        let event = Event::from_json(line)
+            .unwrap_or_else(|e| panic!("line {no} is not valid event JSON ({e:?}): {line}"));
+        assert_eq!(event.kind(), "sweep_point");
+    }
+
+    mcpb_trace::set_enabled(false);
+    mcpb_trace::reset();
+    std::fs::remove_file(&path).ok();
+}

@@ -11,8 +11,11 @@ cargo fmt --all --check
 echo "==> mcpb-audit lint gate"
 cargo run -q -p mcpb-audit
 
-echo "==> cargo test (workspace)"
-cargo test -q --workspace
+echo "==> cargo test (workspace, MCPB_THREADS=1)"
+MCPB_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test (workspace, MCPB_THREADS=4)"
+MCPB_THREADS=4 cargo test -q --workspace
 
 echo "==> trace determinism + collector tests"
 cargo test -q -p mcpb-trace
@@ -37,4 +40,13 @@ MCPB_FAULTS="panic@sweep.cell:3" cargo run -q -- sweep --journal "$SWEEP_JOURNAL
 cargo run -q -- sweep --resume "$SWEEP_JOURNAL" \
   | tee /dev/stderr | grep -q "failed=0 resumed=5"
 
-echo "OK: fmt, audit, tests, telemetry smoke, and fault-injection smoke all green"
+echo "==> thread-count invariance smoke (journals at 1 vs 4 threads must diff clean)"
+JOURNAL_T1="target/check-sweep-t1.jsonl"
+JOURNAL_T4="target/check-sweep-t4.jsonl"
+rm -f "$JOURNAL_T1" "$JOURNAL_T4"
+cargo run -q -- --threads 1 sweep --journal "$JOURNAL_T1" >/dev/null
+cargo run -q -- --threads 4 sweep --journal "$JOURNAL_T4" >/dev/null
+cargo run -q -- journal-diff "$JOURNAL_T1" "$JOURNAL_T4"
+cargo run -q -- --threads 4 par-bench 50000
+
+echo "OK: fmt, audit, tests, telemetry, fault-injection, and thread-invariance smokes all green"

@@ -246,6 +246,82 @@ fn sweep_cmd(args: &[String]) {
     );
 }
 
+/// `journal-diff <a> <b>`: compares two sweep journals for equivalence
+/// modulo timing (`runtime`, `peak_bytes`, `elapsed_secs` are ignored;
+/// everything else must match byte for byte). Exit 0 on equivalence, 1 with
+/// one line per difference otherwise — the CI check that a sweep at
+/// `MCPB_THREADS=4` reproduced the single-threaded run exactly.
+fn journal_diff(path_a: &str, path_b: &str) {
+    let read = |path: &str| {
+        mcpb_resilience::read_journal(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("journal-diff: cannot read {path:?}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (a, b) = (read(path_a), read(path_b));
+    let diffs = mcpb_resilience::diff_journals_modulo_timing(&a, &b);
+    if diffs.is_empty() {
+        println!(
+            "journal-diff: {path_a} and {path_b} are equivalent \
+             ({} entries, modulo timing)",
+            a.entries.len()
+        );
+        return;
+    }
+    eprintln!("journal-diff: {path_a} and {path_b} differ:");
+    for d in &diffs {
+        eprintln!("  {d}");
+    }
+    std::process::exit(1);
+}
+
+/// `par-bench [<rr_sets>]`: released-build smoke for the `mcpb-par` pool —
+/// samples one RR-set collection sequentially and once at the configured
+/// thread count, verifies the collections are bit-identical, and prints the
+/// speedup. On a multi-core host with `--release` and `--threads 4` the
+/// ratio should clear 1.5x; on a single-core host it reports ~1.0x.
+fn par_bench(args: &[String]) {
+    let rr_sets = match args.first() {
+        Some(v) => v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("usage: mcpbench par-bench [<rr_sets>]");
+            std::process::exit(2);
+        }),
+        None => 200_000,
+    };
+    let threads = mcpb_par::effective_threads();
+    let graph = mcpb_graph::weights::assign_weights(
+        &mcpb_graph::generators::barabasi_albert(3_000, 4, 11),
+        WeightModel::WeightedCascade,
+        0xBEEF,
+    );
+
+    mcpb_par::set_thread_override(Some(1));
+    let watch = mcpb_trace::Stopwatch::start();
+    let sequential = mcpb_im::sample_collection(&graph, rr_sets, 42);
+    let seq_secs = watch.elapsed_secs();
+
+    mcpb_par::set_thread_override(Some(threads));
+    let watch = mcpb_trace::Stopwatch::start();
+    let parallel = mcpb_im::sample_collection(&graph, rr_sets, 42);
+    let par_secs = watch.elapsed_secs();
+    mcpb_par::set_thread_override(None);
+
+    if sequential.sets() != parallel.sets() {
+        eprintln!("par-bench FAILED: collections diverged between 1 and {threads} thread(s)");
+        std::process::exit(1);
+    }
+    let speedup = if par_secs > 0.0 {
+        seq_secs / par_secs
+    } else {
+        1.0
+    };
+    println!(
+        "par-bench: {rr_sets} RR sets, 1 thread {:.3}s vs {threads} thread(s) {:.3}s \
+         -> speedup {speedup:.2}x, results bit-identical",
+        seq_secs, par_secs
+    );
+}
+
 /// `trace-validate <file>`: parses every line of a JSONL event file back
 /// through the typed decoder; exits non-zero on the first malformed line.
 fn trace_validate(path: &str) {
@@ -272,7 +348,23 @@ fn trace_validate(path: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global `--threads <n>`: overrides MCPB_THREADS for this invocation.
+    // Stripped before dispatch so every subcommand inherits it.
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        let threads = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok());
+        match threads {
+            Some(n) if n >= 1 => {
+                mcpb_par::set_thread_override(Some(n));
+                args.drain(pos..=pos + 1);
+            }
+            _ => {
+                eprintln!("mcpbench: --threads requires a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    let args = args;
     mcpb_trace::init_from_env();
     if let Err(e) = mcpb_resilience::fault::init_from_env() {
         eprintln!("mcpbench: invalid MCPB_FAULTS: {e}");
@@ -302,6 +394,18 @@ fn main() {
             trace_validate(path);
             return;
         }
+        Some("journal-diff") => {
+            let (Some(a), Some(b)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: mcpbench journal-diff <a.jsonl> <b.jsonl>");
+                std::process::exit(2);
+            };
+            journal_diff(a, b);
+            return;
+        }
+        Some("par-bench") => {
+            par_bench(&args[1..]);
+            return;
+        }
         _ => {}
     }
     let full = args.iter().any(|a| a == "--full");
@@ -323,7 +427,12 @@ fn main() {
         println!("  sweep [--journal <path>] [--resume <path>] [--retries <n>] [--deadline <s>]");
         println!("                              fault-isolated mini MCP sweep; --resume skips");
         println!("                              cells already completed in a crash-safe journal");
-        println!("\nset MCPB_TRACE=1 (memory) or MCPB_TRACE=<path> (JSONL) to enable tracing");
+        println!("  journal-diff <a> <b>        compare two sweep journals modulo timing fields");
+        println!("  par-bench [<rr_sets>]       time RR sampling at 1 vs N threads; verify");
+        println!("                              bit-identical results and report the speedup");
+        println!("\nglobal flags: --threads <n> sets the worker-pool size for this invocation");
+        println!("set MCPB_THREADS=<n> to control parallelism (default: all cores)");
+        println!("set MCPB_TRACE=1 (memory) or MCPB_TRACE=<path> (JSONL) to enable tracing");
         println!("set MCPB_FAULTS (e.g. panic@sweep.cell:3; nan@train.S2V-DQN:2) to inject faults");
         return;
     }
