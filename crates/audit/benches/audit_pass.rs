@@ -1,0 +1,88 @@
+//! Times a full-workspace audit pass and records the result as
+//! `BENCH_audit.json` at the repository root — the first entry in the
+//! perf-trajectory series (ROADMAP item 3: every recorded area gets a
+//! `BENCH_<area>.json` that future optimization work can ratchet against).
+//!
+//! ```sh
+//! cargo bench -p mcpb-audit --features bench
+//! ```
+//!
+//! Three timings: the lexer alone, lex+scope+scan per file, and the
+//! end-to-end pass (walk + read + scan) that the CI gate actually pays.
+
+use criterion::{black_box, Criterion};
+use mcpb_audit::{lexer, walk, SourceFile};
+use serde::{Serialize, Value};
+use std::path::Path;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn main() {
+    let root =
+        walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let files = walk::workspace_sources(&root).expect("walk workspace");
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|rel| {
+            let key = walk::path_key(rel);
+            let text = std::fs::read_to_string(root.join(rel)).expect("read source");
+            (key, text)
+        })
+        .collect();
+    let total_bytes: usize = sources.iter().map(|(_, t)| t.len()).sum();
+
+    let mut c = Criterion::default().sample_size(10);
+    c.bench_function("audit/lex_workspace", |b| {
+        b.iter(|| {
+            let mut tokens = 0usize;
+            for (_, text) in &sources {
+                tokens += lexer::lex(text).len();
+            }
+            black_box(tokens)
+        })
+    });
+    c.bench_function("audit/scan_workspace_cached_io", |b| {
+        b.iter(|| {
+            let mut findings = 0usize;
+            for (key, text) in &sources {
+                let file = SourceFile::parse(key, text);
+                findings += mcpb_audit::scan_file(&file).len();
+            }
+            black_box(findings)
+        })
+    });
+    c.bench_function("audit/full_pass_with_io", |b| {
+        b.iter(|| {
+            let report = mcpb_audit::audit_workspace(&root).expect("audit");
+            black_box(report.findings.len())
+        })
+    });
+
+    let benches = Value::Array(
+        c.summaries()
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("id", s.id.to_value()),
+                    ("samples", (s.samples as u64).to_value()),
+                    ("min_nanos", (s.min_nanos as u64).to_value()),
+                    ("median_nanos", (s.median_nanos as u64).to_value()),
+                    ("mean_nanos", (s.mean_nanos as u64).to_value()),
+                ])
+            })
+            .collect(),
+    );
+    let doc = obj(vec![
+        ("schema", "mcpb-perf/1".to_value()),
+        ("area", "audit".to_value()),
+        ("files_scanned", (sources.len() as u64).to_value()),
+        ("source_bytes", (total_bytes as u64).to_value()),
+        ("benches", benches),
+    ]);
+    let out = root.join("BENCH_audit.json");
+    let text = serde_json::to_string_pretty(&doc).expect("render json") + "\n";
+    std::fs::write(&out, text).expect("write BENCH_audit.json");
+    println!("wrote {}", out.display());
+}

@@ -1,61 +1,139 @@
-//! The committed-baseline ratchet.
+//! The committed-baseline ratchet (schema v2).
 //!
 //! `audit.baseline.json` records, per (rule, file), how many findings are
-//! grandfathered in. The gate fails when any cell *grows*; shrinking is
-//! reported as an improvement and `--update-baseline` re-tightens the file
-//! so the debt can only go down.
+//! grandfathered in — and since schema v2, *where* they are (`line:col`
+//! spans), so a baseline diff in review shows exactly which findings moved.
+//! The gate fails when any cell's **count** grows; spans are advisory
+//! (line numbers shift too easily to gate on them). Shrinking is reported
+//! as an improvement and `--update-baseline` re-tightens the file so the
+//! debt can only go down.
+//!
+//! The (de)serializers are hand-written against the `serde_json` value
+//! tree: the derive shim rejects missing fields, and v2 must still read a
+//! v1 file (no `spans`) so `scripts/rebaseline.sh` can upgrade in place.
 
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::rules::Finding;
 
 /// Name of the baseline file at the workspace root.
 pub const BASELINE_FILE: &str = "audit.baseline.json";
 
+/// Current schema version written by [`Baseline::from_findings`].
+pub const BASELINE_VERSION: u64 = 2;
+
 /// One grandfathered (rule, file) cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BaselineEntry {
     /// Rule id.
     pub rule: String,
     /// Workspace-relative file path (`/` separators).
     pub file: String,
-    /// Number of findings tolerated.
+    /// Number of findings tolerated. This is what the gate compares.
     pub count: u64,
+    /// `line:col` of each finding when the baseline was taken (advisory,
+    /// for review; empty when loaded from a v1 file).
+    pub spans: Vec<String>,
+}
+
+impl Serialize for BaselineEntry {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("rule".into(), self.rule.to_value()),
+            ("file".into(), self.file.to_value()),
+            ("count".into(), self.count.to_value()),
+            ("spans".into(), self.spans.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BaselineEntry {
+    fn from_value(v: &Value) -> Result<BaselineEntry, Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| Error::msg(format!("BaselineEntry: missing field `{name}`")))
+        };
+        Ok(BaselineEntry {
+            rule: String::from_value(field("rule")?)?,
+            file: String::from_value(field("file")?)?,
+            count: u64::from_value(field("count")?)?,
+            // Absent in v1 baselines: tolerate and treat as unknown.
+            spans: match v.get("spans") {
+                Some(s) => Vec::<String>::from_value(s)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// The whole baseline document.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Baseline {
-    /// Format version, bumped on breaking layout changes.
+    /// Schema version (1 = counts only, 2 = counts + spans).
     pub version: u64,
     /// Grandfathered cells, sorted by (rule, file).
     pub entries: Vec<BaselineEntry>,
 }
 
+impl Serialize for Baseline {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".into(), self.version.to_value()),
+            ("entries".into(), self.entries.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Baseline {
+    fn from_value(v: &Value) -> Result<Baseline, Error> {
+        let version = match v.get("version") {
+            Some(n) => u64::from_value(n)?,
+            None => return Err(Error::msg("Baseline: missing field `version`")),
+        };
+        if !(1..=BASELINE_VERSION).contains(&version) {
+            return Err(Error::msg(format!(
+                "Baseline: unsupported schema version {version} (this build reads 1..={BASELINE_VERSION})"
+            )));
+        }
+        let entries = match v.get("entries") {
+            Some(e) => Vec::<BaselineEntry>::from_value(e)?,
+            None => return Err(Error::msg("Baseline: missing field `entries`")),
+        };
+        Ok(Baseline { version, entries })
+    }
+}
+
 impl Baseline {
-    /// Builds a baseline from the current findings.
+    /// Builds a v2 baseline from the current findings.
     pub fn from_findings(findings: &[Finding]) -> Baseline {
-        let mut entries: Vec<BaselineEntry> = count_cells(findings)
+        let mut spans: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+        for f in findings {
+            spans
+                .entry((f.rule.to_owned(), f.file.clone()))
+                .or_default()
+                .push(f.span());
+        }
+        let entries = spans
             .into_iter()
-            .map(|((rule, file), count)| BaselineEntry {
+            .map(|((rule, file), spans)| BaselineEntry {
                 rule,
                 file,
-                count: count as u64,
+                count: spans.len() as u64,
+                spans,
             })
             .collect();
-        entries.sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
         Baseline {
-            version: 1,
+            version: BASELINE_VERSION,
             entries,
         }
     }
 
     /// Loads the baseline from `path`. A missing file is an empty baseline
-    /// (everything counts as new debt).
+    /// (everything counts as new debt). v1 files load with empty spans.
     pub fn load(path: &Path) -> io::Result<Baseline> {
         match std::fs::read_to_string(path) {
             Ok(text) => serde_json::from_str(&text)
@@ -171,23 +249,47 @@ mod tests {
             rule,
             file: file.to_owned(),
             line,
+            col: 1,
             snippet: String::new(),
         }
     }
 
     #[test]
-    fn roundtrips_through_json() {
+    fn roundtrips_through_json_with_spans() {
         let b = Baseline::from_findings(&[
             finding("MCPB001", "crates/a/src/lib.rs", 3),
             finding("MCPB001", "crates/a/src/lib.rs", 9),
             finding("MCPB004", "crates/b/src/lib.rs", 1),
         ]);
+        assert_eq!(b.version, BASELINE_VERSION);
         let text = serde_json::to_string_pretty(&b).expect("serialize");
         let back: Baseline = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back.version, BASELINE_VERSION);
         assert_eq!(back.entries.len(), 2);
         assert_eq!(back.allowance("MCPB001", "crates/a/src/lib.rs"), 2);
+        assert_eq!(back.entries[0].spans, ["3:1", "9:1"]);
         assert_eq!(back.allowance("MCPB004", "crates/b/src/lib.rs"), 1);
         assert_eq!(back.allowance("MCPB004", "crates/a/src/lib.rs"), 0);
+    }
+
+    #[test]
+    fn v1_baseline_loads_with_empty_spans() {
+        let v1 = r#"{
+          "version": 1,
+          "entries": [
+            {"rule": "MCPB001", "file": "a.rs", "count": 2}
+          ]
+        }"#;
+        let b: Baseline = serde_json::from_str(v1).expect("v1 parse");
+        assert_eq!(b.version, 1);
+        assert_eq!(b.allowance("MCPB001", "a.rs"), 2);
+        assert!(b.entries[0].spans.is_empty());
+    }
+
+    #[test]
+    fn future_schema_version_is_rejected() {
+        let v9 = r#"{"version": 9, "entries": []}"#;
+        assert!(serde_json::from_str::<Baseline>(v9).is_err());
     }
 
     #[test]

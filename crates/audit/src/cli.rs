@@ -1,0 +1,274 @@
+//! The audit command-line interface, shared between the `mcpb-audit`
+//! binary and the `mcpbench audit` subcommand.
+//!
+//! [`run`] takes pre-split arguments so both entry points parse
+//! identically; output goes to stdout (or `--out FILE` for the
+//! machine-readable formats, which is how `scripts/check.sh` writes
+//! `audit.sarif` at the repo root).
+
+use std::path::{Path, PathBuf};
+
+use crate::{baseline, output, selfcheck, walk, Baseline, BASELINE_FILE};
+
+/// Output format for the findings listing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable text (the default).
+    Text,
+    /// Flat JSON findings document.
+    Json,
+    /// Minimal SARIF 2.1.0.
+    Sarif,
+}
+
+/// Parsed CLI arguments.
+#[derive(Debug)]
+pub struct Args {
+    /// Explicit workspace root (`--root PATH`).
+    pub root: Option<PathBuf>,
+    /// Rewrite the baseline instead of gating (`--update-baseline`).
+    pub update_baseline: bool,
+    /// Print every finding, not just regressions (`--list`).
+    pub list: bool,
+    /// Findings output format (`--format text|json|sarif`).
+    pub format: Format,
+    /// Write the json/sarif document here instead of stdout (`--out FILE`).
+    pub out: Option<PathBuf>,
+    /// Group findings by rule with the suggested rewrite (`--fix-hints`).
+    pub fix_hints: bool,
+    /// Lint the engine's own fixtures and exit (`--self-check`).
+    pub self_check: bool,
+}
+
+const HELP: &str = "mcpb-audit: workspace lint gate
+
+options:
+  --update-baseline  rewrite audit.baseline.json (schema v2; prefer scripts/rebaseline.sh)
+  --list             print every finding (not just regressions)
+  --format FORMAT    text (default), json, or sarif
+  --out FILE         write the json/sarif document to FILE instead of stdout
+  --fix-hints        print findings grouped by rule with the suggested rewrite
+  --self-check       scan the engine's golden fixtures and verify exact matches
+  --root PATH        workspace root (default: detected)";
+
+/// Parses pre-split arguments (no leading program name).
+pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        update_baseline: false,
+        list: false,
+        format: Format::Text,
+        out: None,
+        fix_hints: false,
+        self_check: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--update-baseline" => args.update_baseline = true,
+            "--list" => args.list = true,
+            "--fix-hints" => args.fix_hints = true,
+            "--self-check" => args.self_check = true,
+            "--format" => {
+                let f = it.next().ok_or("--format requires text|json|sarif")?;
+                args.format = match f.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format: {other} (text|json|sarif)")),
+                };
+            }
+            "--out" => {
+                let path = it.next().ok_or("--out requires a path")?;
+                args.out = Some(PathBuf::from(path));
+            }
+            "--root" => {
+                let path = it.next().ok_or("--root requires a path")?;
+                args.root = Some(PathBuf::from(path));
+            }
+            // `run` answers --help before parsing; tolerated here so
+            // parse_args stays total over argv.
+            "--help" | "-h" => {}
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs the audit CLI. Returns `Ok(true)` when the gate (or self-check)
+/// passed, `Ok(false)` on regressions, `Err` on usage/IO problems.
+///
+/// `default_root` is used when `--root` is absent (each entry point detects
+/// its own workspace root).
+pub fn run(argv: &[String], default_root: Option<&Path>) -> Result<bool, String> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return Ok(true);
+    }
+    let args = parse_args(argv)?;
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => default_root
+            .ok_or("cannot locate the workspace root (pass --root)")?
+            .to_path_buf(),
+    };
+
+    if args.self_check {
+        let report = selfcheck::self_check(&root)?;
+        println!("{report}");
+        return Ok(true);
+    }
+
+    let report = crate::audit_workspace(&root).map_err(|e| e.to_string())?;
+    if report.files_scanned == 0 {
+        return Err(format!(
+            "no .rs files found under {} — wrong --root?",
+            root.display()
+        ));
+    }
+
+    match args.format {
+        Format::Json => {
+            let doc = output::render_json(&report.findings, report.files_scanned);
+            return emit(&args, &doc).map(|()| true);
+        }
+        Format::Sarif => {
+            let doc = output::render_sarif(&report.findings);
+            return emit(&args, &doc).map(|()| true);
+        }
+        Format::Text => {}
+    }
+
+    println!(
+        "mcpb-audit: scanned {} files, {} finding(s)",
+        report.files_scanned,
+        report.findings.len()
+    );
+
+    if args.fix_hints {
+        print!("{}", output::render_fix_hints(&report.findings));
+        return Ok(true);
+    }
+
+    if args.list {
+        for f in &report.findings {
+            let sev = crate::rules::rule_by_id(f.rule)
+                .map(|r| r.severity.label())
+                .unwrap_or("warn");
+            println!(
+                "{} [{sev}] {}:{}:{}: {}",
+                f.rule, f.file, f.line, f.col, f.snippet
+            );
+        }
+    }
+
+    let baseline_path = root.join(BASELINE_FILE);
+    if args.update_baseline {
+        let b = Baseline::from_findings(&report.findings);
+        b.save(&baseline_path).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} ({} cells)",
+            baseline_path.display(),
+            b.entries.len()
+        );
+        return Ok(true);
+    }
+
+    let baseline = Baseline::load(&baseline_path).map_err(|e| e.to_string())?;
+    let result = baseline::check(&report.findings, &baseline);
+    print!("{}", crate::render_improvements(&result));
+    if result.passed() {
+        println!("gate: PASS");
+        Ok(true)
+    } else {
+        print!("{}", crate::render_regressions(&result));
+        println!(
+            "gate: FAIL ({} regressed cell(s))",
+            result.regressions.len()
+        );
+        Ok(false)
+    }
+}
+
+fn emit(args: &Args, doc: &str) -> Result<(), String> {
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, doc).map_err(|e| format!("write {}: {e}", path.display()))?;
+            println!("wrote {}", path.display());
+            Ok(())
+        }
+        None => {
+            print!("{doc}");
+            Ok(())
+        }
+    }
+}
+
+/// Detects the workspace root the same way the binary does — exposed so
+/// `mcpbench` can mount the subcommand without duplicating the logic.
+pub fn detect_root(manifest_dir: &Path) -> Option<PathBuf> {
+    walk::find_workspace_root(manifest_dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let a = parse_args(&argv(&[
+            "--list",
+            "--fix-hints",
+            "--format",
+            "sarif",
+            "--out",
+            "audit.sarif",
+            "--root",
+            "/tmp/ws",
+        ]))
+        .expect("parse");
+        assert!(a.list && a.fix_hints);
+        assert_eq!(a.format, Format::Sarif);
+        assert_eq!(a.out.as_deref(), Some(Path::new("audit.sarif")));
+        assert_eq!(a.root.as_deref(), Some(Path::new("/tmp/ws")));
+    }
+
+    #[test]
+    fn rejects_unknown_format_and_flag() {
+        assert!(parse_args(&argv(&["--format", "xml"])).is_err());
+        assert!(parse_args(&argv(&["--frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["--format"])).is_err());
+    }
+
+    #[test]
+    fn self_check_runs_via_cli() {
+        let root = detect_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let ok = run(&argv(&["--self-check"]), Some(&root)).expect("run");
+        assert!(ok);
+    }
+
+    #[test]
+    fn sarif_out_writes_a_file() {
+        let root = detect_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let dir = std::env::temp_dir().join("mcpb-audit-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let out = dir.join("audit.sarif");
+        let ok = run(
+            &argv(&["--format", "sarif", "--out", out.to_str().expect("utf8")]),
+            Some(&root),
+        )
+        .expect("run");
+        assert!(ok);
+        let text = std::fs::read_to_string(&out).expect("sarif written");
+        assert!(
+            text.contains("\"2.1.0\""),
+            "{}",
+            &text[..120.min(text.len())]
+        );
+        std::fs::remove_file(&out).ok();
+    }
+}

@@ -1,0 +1,485 @@
+//! A zero-dependency, lossless Rust lexer.
+//!
+//! [`lex`] splits source text into a sequence of classified [`Token`]s whose
+//! byte spans exactly partition the input: concatenating `&src[t.start..t.end]`
+//! over all tokens reproduces the file byte for byte (property-tested in
+//! `tests/lexer_proptest.rs`). That losslessness is what lets the rule engine
+//! reason about *where* a pattern occurs — a `.unwrap()` inside a string
+//! literal is a [`TokenKind::Str`] token, not an identifier — without ever
+//! desynchronizing line/column bookkeeping.
+//!
+//! The lexer is deliberately forgiving: it never panics, and malformed input
+//! (unterminated strings or block comments, stray bytes) degrades into a
+//! best-effort token that runs to end of input. Multi-character operators are
+//! emitted as single-byte [`TokenKind::Punct`] tokens; rules that care about
+//! `::` or `==` check span adjacency instead.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Runs of ASCII whitespace (including newlines).
+    Whitespace,
+    /// `// ...` to end of line (doc comments included).
+    LineComment,
+    /// `/* ... */`, nested, possibly unterminated.
+    BlockComment,
+    /// Identifier or keyword (non-ASCII bytes are treated as ident chars).
+    Ident,
+    /// `'a`, `'static`, `'_` — a quote introducing a lifetime, not a char.
+    Lifetime,
+    /// Integer literal, including base prefixes and integer suffixes.
+    Int,
+    /// Float literal: has a fraction, an exponent, or an `f32`/`f64` suffix.
+    Float,
+    /// String literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A single ASCII punctuation byte.
+    Punct,
+}
+
+/// One token: a classified, line-annotated byte span of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the span holds.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+    /// 0-based line number of `start`.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// True for bytes that can continue an identifier. Bytes ≥ 0x80 are treated
+/// as ident-continue so multi-byte UTF-8 never splits mid-character (every
+/// token boundary this lexer introduces is at an ASCII byte).
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// True for bytes that can start an identifier.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a lossless token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        i: 0,
+        line: 0,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    i: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.bytes.len() {
+            let start = self.i;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.i > start, "lexer must always make progress");
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.i,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.i + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.bytes.get(self.i) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.bytes[self.i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|b| b != b'\n') {
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string_body(0, true),
+            b'\'' => self.quote(),
+            b'r' | b'b' if self.raw_string_shape().is_some() => {
+                let (prefix, hashes, escapes) = self
+                    .raw_string_shape()
+                    .expect("invariant: checked by the match guard");
+                for _ in 0..prefix + hashes {
+                    self.bump();
+                }
+                self.string_body(hashes, escapes)
+            }
+            b'b' if self.peek(1) == Some(b'\'') => {
+                self.bump();
+                self.quote()
+            }
+            _ if is_ident_start(b) => {
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => self.number(),
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Detects `r"`, `r#"`, `b"`, `br"`, `br#"` at the cursor. Returns
+    /// `(prefix_len, hash_count, escapes_allowed)`.
+    fn raw_string_shape(&self) -> Option<(usize, usize, bool)> {
+        let mut j = 0usize;
+        let mut raw = false;
+        if self.peek(j) == Some(b'b') {
+            j += 1;
+        }
+        if self.peek(j) == Some(b'r') {
+            j += 1;
+            raw = true;
+        }
+        if j == 0 {
+            return None;
+        }
+        let prefix = j;
+        let mut hashes = 0usize;
+        if raw {
+            while self.peek(j) == Some(b'#') {
+                j += 1;
+                hashes += 1;
+            }
+        }
+        (self.peek(j) == Some(b'"')).then_some((prefix, hashes, !raw))
+    }
+
+    /// Consumes a (possibly raw) string body starting at the opening quote.
+    /// `hashes` is the number of `#` marks that must follow the closing
+    /// quote; `escapes` is false inside raw strings.
+    fn string_body(&mut self, hashes: usize, escapes: bool) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' && escapes {
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+                continue;
+            }
+            if b == b'"' && (1..=hashes).all(|k| self.peek(k) == Some(b'#')) {
+                for _ in 0..=hashes {
+                    self.bump();
+                }
+                return TokenKind::Str;
+            }
+            self.bump();
+        }
+        TokenKind::Str // unterminated: runs to EOF
+    }
+
+    /// Consumes a nested block comment (or to EOF when unterminated).
+    fn block_comment(&mut self) -> TokenKind {
+        let mut depth = 0usize;
+        while self.i < self.bytes.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth = depth.saturating_sub(1);
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Disambiguates `'x'` / `'\n'` (char literal) from `'a` (lifetime) at a
+    /// quote. A literal has a closing quote within a few chars; a lifetime is
+    /// a quote followed by ident chars with no nearby close.
+    fn quote(&mut self) -> TokenKind {
+        if self.peek(1) == Some(b'\\') || self.char_closes_soon() {
+            self.bump(); // opening '
+            while let Some(b) = self.peek(0) {
+                match b {
+                    b'\\' => {
+                        self.bump();
+                        if self.peek(0).is_some() {
+                            self.bump();
+                        }
+                    }
+                    b'\'' => {
+                        self.bump();
+                        return TokenKind::Char;
+                    }
+                    _ => self.bump(),
+                }
+            }
+            TokenKind::Char
+        } else {
+            self.bump(); // the quote
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            TokenKind::Lifetime
+        }
+    }
+
+    /// Scans ahead of a quote for a close within one (possibly multi-byte)
+    /// character, i.e. `'x'` but not `'abc`.
+    fn char_closes_soon(&self) -> bool {
+        let mut j = 1usize;
+        let mut chars = 0usize;
+        while let Some(b) = self.peek(j) {
+            if b == b'\'' {
+                return chars >= 1;
+            }
+            if !is_ident_continue(b) || chars >= 4 {
+                return false;
+            }
+            chars += 1;
+            j += 1;
+        }
+        false
+    }
+
+    /// Consumes a numeric literal, classifying int vs float.
+    fn number(&mut self) -> TokenKind {
+        let hex_like = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+        if hex_like {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+            return TokenKind::Int;
+        }
+        let mut float = false;
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.bump();
+        }
+        // Fraction: a dot only joins the number when a digit follows, so
+        // `1..n` and `1.max(2)` lex as Int + Punct + ….
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            float = true;
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+            {
+                self.bump();
+            }
+        }
+        // Exponent: `e`/`E`, optional sign, at least one digit.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let sign = matches!(self.peek(1), Some(b'+' | b'-')) as usize;
+            if self.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                for _ in 0..=sign {
+                    self.bump();
+                }
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.bump();
+                }
+            }
+        }
+        // Suffix (`u32`, `f64`, …) is part of the literal token.
+        let suffix_start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let suffix = &self.bytes[suffix_start..self.i];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn reconstruct(src: &str) -> String {
+        lex(src).iter().map(|t| t.text(src)).collect()
+    }
+
+    #[test]
+    fn round_trips_basic_source() {
+        let src = "fn main() { let x = 1.5e3; println!(\"hi {}\", x); } // done\n";
+        assert_eq!(reconstruct(src), src);
+    }
+
+    #[test]
+    fn classifies_idents_numbers_strings() {
+        let got = kinds("let x = 42u64 + 1.0; s = \"a\\\"b\";");
+        assert!(got.contains(&(TokenKind::Ident, "let")));
+        assert!(got.contains(&(TokenKind::Int, "42u64")));
+        assert!(got.contains(&(TokenKind::Float, "1.0")));
+        assert!(got.contains(&(TokenKind::Str, "\"a\\\"b\"")));
+    }
+
+    #[test]
+    fn int_method_calls_and_ranges_stay_ints() {
+        let got = kinds("1.max(2); 0..10; 3.5.floor()");
+        assert!(got.contains(&(TokenKind::Int, "1")));
+        assert!(got.contains(&(TokenKind::Ident, "max")));
+        assert!(got.contains(&(TokenKind::Int, "0")));
+        assert!(got.contains(&(TokenKind::Int, "10")));
+        assert!(got.contains(&(TokenKind::Float, "3.5")));
+    }
+
+    #[test]
+    fn hex_and_exponent_literals() {
+        let got = kinds("0xFF_EC 0b1010 1e9 2E-4 0x1e5");
+        assert_eq!(
+            got,
+            vec![
+                (TokenKind::Int, "0xFF_EC"),
+                (TokenKind::Int, "0b1010"),
+                (TokenKind::Float, "1e9"),
+                (TokenKind::Float, "2E-4"),
+                (TokenKind::Int, "0x1e5"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        for src in ["r\"a \\ b\"", "r#\"say \"hi\"\"#", "b\"x\\0\"", "br#\"y\"#"] {
+            let got = kinds(src);
+            assert_eq!(got, vec![(TokenKind::Str, src)], "{src}");
+            assert_eq!(reconstruct(src), src);
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let got = kinds("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; let b = b'z'; }");
+        assert!(got.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(got.contains(&(TokenKind::Char, "'y'")));
+        assert!(got.contains(&(TokenKind::Char, "'\\n'")));
+        assert!(got.contains(&(TokenKind::Char, "b'z'")));
+    }
+
+    #[test]
+    fn static_lifetime_is_a_lifetime() {
+        let got = kinds("&'static str");
+        assert!(got.contains(&(TokenKind::Lifetime, "'static")), "{got:?}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* y */ z */ b";
+        let got = kinds(src);
+        assert_eq!(
+            got,
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::BlockComment, "/* x /* y */ z */"),
+                (TokenKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_tokens_run_to_eof_without_panic() {
+        for src in ["\"never closed", "/* never closed", "r#\"open", "'\\", "b'"] {
+            let toks = lex(src);
+            assert_eq!(reconstruct(src), src, "{src:?}");
+            assert!(!toks.is_empty());
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nbb\n  c /* x\ny */ d\n";
+        let by_text: Vec<(usize, &str)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.text(src)))
+            .collect();
+        assert_eq!(by_text, vec![(0, "a"), (1, "bb"), (2, "c"), (3, "d")]);
+    }
+
+    #[test]
+    fn unicode_idents_and_strings_round_trip() {
+        let src = "let λ = \"héllo 世界\"; // コメント\n";
+        assert_eq!(reconstruct(src), src);
+        let got = kinds(src);
+        assert!(got.contains(&(TokenKind::Ident, "λ")));
+    }
+
+    #[test]
+    fn ident_prefixed_quote_is_not_a_byte_string() {
+        // `foo_r"x"` is an ident then a string; `foo_b'c'` ident then char.
+        let got = kinds("foo_r\"x\"");
+        assert_eq!(
+            got,
+            vec![(TokenKind::Ident, "foo_r"), (TokenKind::Str, "\"x\"")]
+        );
+    }
+}

@@ -5,28 +5,48 @@
 //! gate (`tests/lint_gate.rs` at the workspace root runs it under plain
 //! `cargo test`).
 //!
-//! The scanner is a lightweight line/token pass — no `syn`, no type
-//! resolution — tuned for the handful of defect classes that have actually
-//! bitten this benchmark:
+//! Since v2 the scanner is token-accurate: a lossless lexer
+//! ([`lexer`]) classifies every byte of the source, so rules never fire
+//! inside string literals or comments, and a lightweight syntactic layer
+//! ([`syntax`]) tracks brace nesting and `fn`/`impl`/loop scopes so rules
+//! can require a pattern to sit *inside a loop body*. There is still no
+//! `syn` and no type resolution — the engine is tuned for the defect
+//! classes that have actually bitten this benchmark:
 //!
-//! | id      | name             | why it matters here                         |
-//! |---------|------------------|---------------------------------------------|
-//! | MCPB001 | unwrap-in-lib    | solver crates must surface errors, not abort |
-//! | MCPB002 | panic-in-lib     | same, for explicit `panic!`/`todo!`          |
-//! | MCPB003 | non-seeded-rng   | every experiment must be seed-reproducible   |
-//! | MCPB004 | float-eq         | spread estimates are floats; `==` is a bug   |
-//! | MCPB005 | hash-iter-order  | unordered iteration breaks run-to-run diffs  |
-//! | MCPB006 | lossy-index-cast | node ids truncate silently past `u32::MAX`   |
+//! | id      | name                   | why it matters here                          |
+//! |---------|------------------------|----------------------------------------------|
+//! | MCPB001 | unwrap-in-lib          | solver crates must surface errors, not abort |
+//! | MCPB002 | panic-in-lib           | same, for explicit `panic!`/`todo!`          |
+//! | MCPB003 | non-seeded-rng         | every experiment must be seed-reproducible   |
+//! | MCPB004 | float-eq               | spread estimates are floats; `==` is a bug   |
+//! | MCPB005 | hash-iter-order        | unordered iteration breaks run-to-run diffs  |
+//! | MCPB006 | lossy-index-cast       | node ids truncate silently past `u32::MAX`   |
+//! | MCPB007 | raw-instant-timing     | ad-hoc timing bypasses the trace collector   |
+//! | MCPB008 | panic-surface-in-solver| sweep cells must fail as records, not aborts |
+//! | MCPB009 | hash-iter-in-solver    | unordered iteration breaks solver determinism|
+//! | MCPB010 | unordered-float-fold   | float order changes bits across thread counts|
+//! | MCPB011 | static-mut             | unsynchronized globals are data races        |
+//! | MCPB012 | relaxed-ordering       | Relaxed gives no happens-before edge         |
+//! | MCPB013 | alloc-in-hot-loop      | per-item allocation dominates kernel profiles|
+//! | MCPB014 | box-dyn-in-loop        | per-item boxing allocates and blocks inlining|
 //!
-//! False positives are waived inline with `// audit:allow(MCPBnnn)`;
-//! existing debt is grandfathered per (rule, file) in
-//! `audit.baseline.json`, so the gate only fails when a cell *grows*.
+//! See DESIGN.md § "Static analysis" for the full rule table with examples
+//! and allowlist syntax. False positives are waived inline with
+//! `// audit:allow(MCPBnnn)` (MCPB012 has its own
+//! `// audit: relaxed-ok(reason)` marker); existing debt is grandfathered
+//! per (rule, file) in `audit.baseline.json` (schema v2: counts + spans),
+//! so the gate only fails when a cell *grows*.
 
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cli;
+pub mod lexer;
+pub mod output;
 pub mod rules;
+pub mod selfcheck;
 pub mod source;
+pub mod syntax;
 pub mod walk;
 
 use std::fmt::Write as _;
@@ -35,6 +55,7 @@ use std::path::{Path, PathBuf};
 
 pub use baseline::{check, Baseline, GateResult, BASELINE_FILE};
 pub use rules::{scan_file, Finding, Rule, Severity, RULES};
+pub use selfcheck::self_check;
 pub use source::SourceFile;
 
 /// Everything one audit run produced.
@@ -44,7 +65,7 @@ pub struct AuditReport {
     pub root: PathBuf,
     /// Files scanned (workspace-relative keys).
     pub files_scanned: usize,
-    /// All findings, in (file, line) order.
+    /// All findings, in (file, line, col) order.
     pub findings: Vec<Finding>,
 }
 
@@ -87,7 +108,7 @@ pub fn render_regressions(result: &GateResult) -> String {
             reg.rule, reg.current, reg.file, reg.allowed
         );
         for f in &reg.findings {
-            let _ = writeln!(out, "    {}:{}: {}", f.file, f.line, f.snippet);
+            let _ = writeln!(out, "    {}:{}:{}: {}", f.file, f.line, f.col, f.snippet);
         }
         if !hint.is_empty() {
             let _ = writeln!(out, "    fix: {hint}");
@@ -95,7 +116,7 @@ pub fn render_regressions(result: &GateResult) -> String {
         let _ = writeln!(
             out,
             "    (intentional? waive with `// audit:allow({})` or run \
-             `cargo run -p mcpb-audit -- --update-baseline`)",
+             `scripts/rebaseline.sh`)",
             reg.rule
         );
     }
@@ -111,7 +132,7 @@ pub fn render_improvements(result: &GateResult) -> String {
     if !out.is_empty() {
         let _ = writeln!(
             out,
-            "run `cargo run -p mcpb-audit -- --update-baseline` to ratchet the baseline down"
+            "run `scripts/rebaseline.sh` to ratchet the baseline down"
         );
     }
     out
@@ -131,7 +152,18 @@ mod tests {
         for f in &report.findings {
             assert!(rules::rule_by_id(f.rule).is_some());
             assert!(f.line >= 1);
+            assert!(f.col >= 1);
         }
+    }
+
+    #[test]
+    fn self_check_passes_on_this_workspace() {
+        let root = walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let report = self_check(&root).expect("self-check");
+        assert!(report.tagged >= 25, "{report:?}");
+        let summary = report.to_string();
+        assert!(summary.contains("self-check ok"), "{summary}");
     }
 
     #[test]
@@ -141,6 +173,7 @@ mod tests {
             rule: "MCPB003",
             file: "crates/x/src/lib.rs".into(),
             line: 4,
+            col: 19,
             snippet: "let mut rng = thread_rng();".into(),
         }];
         let result = check(&findings, &baseline);
@@ -148,6 +181,6 @@ mod tests {
         assert!(msg.contains("MCPB003"));
         assert!(msg.contains("non-seeded-rng"));
         assert!(msg.contains("seed_from_u64"), "hint missing: {msg}");
-        assert!(msg.contains("crates/x/src/lib.rs:4"));
+        assert!(msg.contains("crates/x/src/lib.rs:4:19"));
     }
 }

@@ -4,54 +4,26 @@
 //! cargo run -p mcpb-audit                      # check against the baseline
 //! cargo run -p mcpb-audit -- --update-baseline # rewrite audit.baseline.json
 //! cargo run -p mcpb-audit -- --list            # print every finding
+//! cargo run -p mcpb-audit -- --format sarif    # SARIF 2.1.0 to stdout/--out
+//! cargo run -p mcpb-audit -- --fix-hints       # findings grouped with hints
+//! cargo run -p mcpb-audit -- --self-check      # lint the engine's fixtures
 //! cargo run -p mcpb-audit -- --root PATH       # audit another workspace
 //! ```
 //!
+//! The same interface is mounted as `mcpbench audit …`.
+//!
 //! Exit code 0 when the gate passes, 1 on regressions, 2 on usage/IO errors.
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::ExitCode;
 
-use mcpb_audit::{baseline, walk, Baseline, BASELINE_FILE};
-
-struct Args {
-    root: Option<PathBuf>,
-    update_baseline: bool,
-    list: bool,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        root: None,
-        update_baseline: false,
-        list: false,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--update-baseline" => args.update_baseline = true,
-            "--list" => args.list = true,
-            "--root" => {
-                let path = it.next().ok_or("--root requires a path")?;
-                args.root = Some(PathBuf::from(path));
-            }
-            "--help" | "-h" => {
-                println!(
-                    "mcpb-audit: workspace lint gate\n\n\
-                     options:\n  --update-baseline  rewrite {BASELINE_FILE}\n  \
-                     --list             print every finding (not just regressions)\n  \
-                     --root PATH        workspace root (default: detected)"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument: {other}")),
-        }
-    }
-    Ok(args)
-}
+use mcpb_audit::cli;
+use mcpb_audit::walk;
 
 fn main() -> ExitCode {
-    match run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let default_root = walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    match cli::run(&args, default_root.as_deref()) {
         Ok(pass) => {
             if pass {
                 ExitCode::SUCCESS
@@ -63,63 +35,5 @@ fn main() -> ExitCode {
             eprintln!("mcpb-audit: {e}");
             ExitCode::from(2)
         }
-    }
-}
-
-fn run() -> Result<bool, String> {
-    let args = parse_args()?;
-    let root = match args.root {
-        Some(r) => r,
-        None => walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
-            .ok_or("cannot locate the workspace root")?,
-    };
-
-    let report = mcpb_audit::audit_workspace(&root).map_err(|e| e.to_string())?;
-    if report.files_scanned == 0 {
-        return Err(format!(
-            "no .rs files found under {} — wrong --root?",
-            root.display()
-        ));
-    }
-    println!(
-        "mcpb-audit: scanned {} files, {} finding(s)",
-        report.files_scanned,
-        report.findings.len()
-    );
-
-    if args.list {
-        for f in &report.findings {
-            let sev = mcpb_audit::rules::rule_by_id(f.rule)
-                .map(|r| r.severity.label())
-                .unwrap_or("warn");
-            println!("{} [{sev}] {}:{}: {}", f.rule, f.file, f.line, f.snippet);
-        }
-    }
-
-    let baseline_path = root.join(BASELINE_FILE);
-    if args.update_baseline {
-        let b = Baseline::from_findings(&report.findings);
-        b.save(&baseline_path).map_err(|e| e.to_string())?;
-        println!(
-            "wrote {} ({} cells)",
-            baseline_path.display(),
-            b.entries.len()
-        );
-        return Ok(true);
-    }
-
-    let baseline = Baseline::load(&baseline_path).map_err(|e| e.to_string())?;
-    let result = baseline::check(&report.findings, &baseline);
-    print!("{}", mcpb_audit::render_improvements(&result));
-    if result.passed() {
-        println!("gate: PASS");
-        Ok(true)
-    } else {
-        print!("{}", mcpb_audit::render_regressions(&result));
-        println!(
-            "gate: FAIL ({} regressed cell(s))",
-            result.regressions.len()
-        );
-        Ok(false)
     }
 }

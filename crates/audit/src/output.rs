@@ -1,0 +1,266 @@
+//! Machine-readable renderings of an audit report.
+//!
+//! Three formats:
+//!
+//! - `text` (the CLI default, rendered in `main.rs`);
+//! - `json` — a flat findings array for ad-hoc tooling (`jq`-friendly);
+//! - `sarif` — minimal SARIF 2.1.0, enough for code-review UIs that ingest
+//!   `audit.sarif` (one run, one driver, `rules` metadata + `results`).
+//!
+//! Plus [`render_fix_hints`], the `--fix-hints` mode: findings grouped by
+//! rule with the suggested rewrite printed once per rule.
+
+use std::fmt::Write as _;
+
+use serde::{Serialize, Value};
+
+use crate::rules::{rule_by_id, Finding, RULES};
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn finding_value(f: &Finding) -> Value {
+    let rule = rule_by_id(f.rule);
+    obj(vec![
+        ("rule", f.rule.to_value()),
+        (
+            "name",
+            rule.map(|r| r.name).unwrap_or("unknown-rule").to_value(),
+        ),
+        (
+            "severity",
+            rule.map(|r| r.severity.label())
+                .unwrap_or("warn")
+                .to_value(),
+        ),
+        ("file", f.file.to_value()),
+        ("line", (f.line as u64).to_value()),
+        ("col", (f.col as u64).to_value()),
+        ("snippet", f.snippet.to_value()),
+    ])
+}
+
+/// Renders findings as a pretty-printed JSON document.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let doc = obj(vec![
+        ("schema", "mcpb-audit/2".to_value()),
+        ("files_scanned", (files_scanned as u64).to_value()),
+        ("total", (findings.len() as u64).to_value()),
+        (
+            "findings",
+            Value::Array(findings.iter().map(finding_value).collect()),
+        ),
+    ]);
+    let mut text = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into());
+    text.push('\n');
+    text
+}
+
+/// Renders findings as minimal SARIF 2.1.0.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let rules = Value::Array(
+        RULES
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("id", r.id.to_value()),
+                    ("name", r.name.to_value()),
+                    ("shortDescription", obj(vec![("text", r.name.to_value())])),
+                    ("help", obj(vec![("text", r.fix_hint.to_value())])),
+                    (
+                        "defaultConfiguration",
+                        obj(vec![("level", r.severity.sarif_level().to_value())]),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let results = Value::Array(
+        findings
+            .iter()
+            .map(|f| {
+                let level = rule_by_id(f.rule)
+                    .map(|r| r.severity.sarif_level())
+                    .unwrap_or("warning");
+                obj(vec![
+                    ("ruleId", f.rule.to_value()),
+                    ("level", level.to_value()),
+                    ("message", obj(vec![("text", f.snippet.to_value())])),
+                    (
+                        "locations",
+                        Value::Array(vec![obj(vec![(
+                            "physicalLocation",
+                            obj(vec![
+                                ("artifactLocation", obj(vec![("uri", f.file.to_value())])),
+                                (
+                                    "region",
+                                    obj(vec![
+                                        ("startLine", (f.line as u64).to_value()),
+                                        ("startColumn", (f.col as u64).to_value()),
+                                    ]),
+                                ),
+                            ]),
+                        )])]),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let doc = obj(vec![
+        (
+            "$schema",
+            "https://json.schemastore.org/sarif-2.1.0.json".to_value(),
+        ),
+        ("version", "2.1.0".to_value()),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", "mcpb-audit".to_value()),
+                            ("informationUri", "DESIGN.md#static-analysis".to_value()),
+                            ("rules", rules),
+                        ]),
+                    )]),
+                ),
+                ("results", results),
+            ])]),
+        ),
+    ]);
+    let mut text = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".into());
+    text.push('\n');
+    text
+}
+
+/// Renders findings grouped by rule, with the fix hint printed once per
+/// rule — the `--fix-hints` mode.
+pub fn render_fix_hints(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for rule in RULES {
+        let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == rule.id).collect();
+        if hits.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{} [{}] {} — {} finding(s)",
+            rule.id,
+            rule.severity.label(),
+            rule.name,
+            hits.len()
+        );
+        let _ = writeln!(out, "  fix: {}", rule.fix_hint);
+        for f in hits {
+            let _ = writeln!(out, "    {}:{}:{}: {}", f.file, f.line, f.col, f.snippet);
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no findings\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: "MCPB003",
+                file: "crates/x/src/lib.rs".into(),
+                line: 4,
+                col: 15,
+                snippet: "let mut rng = thread_rng();".into(),
+            },
+            Finding {
+                rule: "MCPB009",
+                file: "crates/im/src/imm.rs".into(),
+                line: 7,
+                col: 9,
+                snippet: "for k in seen.keys() {".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_has_schema_and_all_findings() {
+        let text = render_json(&sample(), 42);
+        let v: Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("mcpb-audit/2")
+        );
+        assert_eq!(v.get("files_scanned").and_then(|s| s.as_u64()), Some(42));
+        let fs = v.get("findings").and_then(|f| f.as_array()).expect("array");
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].get("rule").and_then(|r| r.as_str()), Some("MCPB003"));
+        assert_eq!(
+            fs[0].get("severity").and_then(|s| s.as_str()),
+            Some("error")
+        );
+        assert_eq!(fs[1].get("col").and_then(|c| c.as_u64()), Some(9));
+    }
+
+    #[test]
+    fn sarif_is_valid_json_with_rules_and_results() {
+        let text = render_sarif(&sample());
+        let v: Value = serde_json::from_str(&text).expect("valid json");
+        assert_eq!(v.get("version").and_then(|s| s.as_str()), Some("2.1.0"));
+        let runs = v.get("runs").and_then(|r| r.as_array()).expect("runs");
+        let run = &runs[0];
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(|r| r.as_array())
+            .expect("rules");
+        assert_eq!(rules.len(), RULES.len());
+        let results = run
+            .get("results")
+            .and_then(|r| r.as_array())
+            .expect("results");
+        assert_eq!(results.len(), 2);
+        // MCPB003 is an Error rule → SARIF "error" level.
+        assert_eq!(
+            results[0].get("level").and_then(|l| l.as_str()),
+            Some("error")
+        );
+        let loc = results[1]
+            .get("locations")
+            .and_then(|l| l.as_array())
+            .expect("locs");
+        let region = loc[0]
+            .get("physicalLocation")
+            .and_then(|p| p.get("region"))
+            .expect("region");
+        assert_eq!(region.get("startLine").and_then(|n| n.as_u64()), Some(7));
+        assert_eq!(region.get("startColumn").and_then(|n| n.as_u64()), Some(9));
+    }
+
+    #[test]
+    fn sarif_of_empty_findings_still_lists_rules() {
+        let text = render_sarif(&[]);
+        let v: Value = serde_json::from_str(&text).expect("valid json");
+        let run = &v.get("runs").and_then(|r| r.as_array()).expect("runs")[0];
+        assert_eq!(
+            run.get("results")
+                .and_then(|r| r.as_array())
+                .map(|r| r.len()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn fix_hints_group_by_rule() {
+        let text = render_fix_hints(&sample());
+        assert!(text.contains("MCPB003 [error] non-seeded-rng — 1 finding(s)"));
+        assert!(text.contains("fix: "));
+        assert!(text.contains("crates/im/src/imm.rs:7:9"));
+        assert_eq!(render_fix_hints(&[]), "no findings\n");
+    }
+}

@@ -1,11 +1,20 @@
-//! The lint rules (MCPB001–MCPB008).
+//! The lint rules (MCPB001–MCPB014).
 //!
-//! Every rule is a line-oriented token scan over sanitized source (see
-//! [`crate::source`]), deliberately dependency-free: no `syn`, no type
-//! information. Each rule carries an id, a severity, and a fix hint that is
-//! printed verbatim when the gate fails, so a violation message is
-//! actionable without opening this file.
+//! Rules come in two flavors, both dependency-free (no `syn`, no type
+//! resolution):
+//!
+//! - *line rules* (MCPB001–MCPB008) scan the sanitized line view, where
+//!   comment and string contents are already blanked;
+//! - *token rules* (MCPB009–MCPB014) walk the lossless token stream from
+//!   [`crate::lexer`] with the [`crate::syntax::ScopeMap`] annotations, so
+//!   they can require a pattern to sit inside a loop body or match exact
+//!   token sequences like `Ordering :: Relaxed`.
+//!
+//! Each rule carries an id, a severity, and a fix hint that is printed
+//! verbatim when the gate fails (and by `--fix-hints`), so a violation
+//! message is actionable without opening this file.
 
+use crate::lexer::TokenKind;
 use crate::source::SourceFile;
 
 /// How bad a finding is. The baseline ratchet treats all severities the
@@ -26,6 +35,15 @@ impl Severity {
         match self {
             Severity::Info => "info",
             Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// SARIF `level` for this severity.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Info => "note",
+            Severity::Warn => "warning",
             Severity::Error => "error",
         }
     }
@@ -53,8 +71,17 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based byte column of the match on `line`.
+    pub col: usize,
     /// Raw source line, trimmed, for display.
     pub snippet: String,
+}
+
+impl Finding {
+    /// `line:col` span string, as recorded in the v2 baseline.
+    pub fn span(&self) -> String {
+        format!("{}:{}", self.line, self.col)
+    }
 }
 
 /// The rule table, in id order.
@@ -107,11 +134,83 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Warn,
         fix_hint: "solver/harness crates execute inside fault-isolated sweep cells; return a typed error (even for documented invariants) so a bad cell becomes a Failed record instead of a panic",
     },
+    Rule {
+        id: "MCPB009",
+        name: "hash-iter-in-solver",
+        severity: Severity::Error,
+        fix_hint: "HashMap/HashSet iteration in a solver/training/sweep crate breaks run-to-run determinism; use BTreeMap/BTreeSet, or collect and sort before draining on any path that feeds seed sets, journals, or reported metrics",
+    },
+    Rule {
+        id: "MCPB010",
+        name: "unordered-float-fold",
+        severity: Severity::Warn,
+        fix_hint: "float sum/fold order changes the result bits; reduce through mcpb-par's fixed-chunk order-folded reducers (or an explicit index-ordered loop) so totals are thread-count invariant",
+    },
+    Rule {
+        id: "MCPB011",
+        name: "static-mut",
+        severity: Severity::Error,
+        fix_hint: "`static mut` is an unsynchronized data race; use an atomic, OnceLock, Mutex, or thread_local! instead",
+    },
+    Rule {
+        id: "MCPB012",
+        name: "relaxed-ordering",
+        severity: Severity::Warn,
+        fix_hint: "Ordering::Relaxed provides no happens-before edge; use Acquire/Release (or SeqCst) when the atomic gates data another thread reads, or annotate why it can't with `// audit: relaxed-ok(reason)`",
+    },
+    Rule {
+        id: "MCPB013",
+        name: "alloc-in-hot-loop",
+        severity: Severity::Warn,
+        fix_hint: "allocation inside a hot kernel loop (Vec::new/vec!/to_vec/clone/format!) thrashes the allocator per item; hoist a scratch buffer out of the loop and reuse it, or preallocate with with_capacity",
+    },
+    Rule {
+        id: "MCPB014",
+        name: "box-dyn-in-loop",
+        severity: Severity::Warn,
+        fix_hint: "boxing a trait object per loop item allocates and blocks inlining; hoist the Box out of the loop, or dispatch through a generic/enum instead",
+    },
 ];
 
 /// Looks up a rule by id.
 pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.id == id)
+}
+
+/// Crates whose library code executes inside fault-isolated sweep cells.
+/// A panic there turns a whole cell into a `Failed` record, so *any*
+/// `.unwrap()` / `.expect(` — documented invariant or not — is flagged.
+const SOLVER_CRATE_PREFIXES: &[&str] = &[
+    "crates/bench-core/src/",
+    "crates/drl/src/",
+    "crates/im/src/",
+    "crates/mcp/src/",
+];
+
+/// Crates on the determinism-critical path: everything they compute feeds
+/// seed sets, journals, or reported metrics, so unordered iteration
+/// (MCPB009) and unordered float accumulation (MCPB010) are flagged here.
+const DETERMINISM_CRATE_PREFIXES: &[&str] = &[
+    "crates/bench-core/src/",
+    "crates/drl/src/",
+    "crates/gnn/src/",
+    "crates/graph/src/",
+    "crates/im/src/",
+    "crates/mcp/src/",
+    "crates/rl/src/",
+];
+
+/// Hot-kernel files where a per-item allocation dominates the profile:
+/// NN/GNN kernels, RR-set sampling, and cascade simulation (MCPB013).
+const HOT_LOOP_PATHS: &[&str] = &[
+    "crates/nn/src/",
+    "crates/gnn/src/",
+    "crates/im/src/rrset.rs",
+    "crates/im/src/cascade.rs",
+];
+
+fn in_scope(rel_path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel_path.starts_with(p))
 }
 
 /// Runs every rule over one file.
@@ -128,10 +227,18 @@ pub fn scan_file(file: &SourceFile) -> Vec<Finding> {
         check_raw_instant(file, lineno, line, &mut findings);
         check_solver_panic_surface(file, lineno, line, &mut findings);
     }
+    check_token_rules(file, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     findings
 }
 
-fn push(file: &SourceFile, lineno: usize, rule: &'static str, findings: &mut Vec<Finding>) {
+fn push(
+    file: &SourceFile,
+    lineno: usize,
+    col0: usize,
+    rule: &'static str,
+    findings: &mut Vec<Finding>,
+) {
     if file.is_exempt(lineno, rule) {
         return;
     }
@@ -139,6 +246,7 @@ fn push(file: &SourceFile, lineno: usize, rule: &'static str, findings: &mut Vec
         rule,
         file: file.rel_path.clone(),
         line: lineno + 1,
+        col: col0 + 1,
         snippet: file
             .raw_lines
             .get(lineno)
@@ -164,7 +272,7 @@ fn check_unwrap(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec
             if needs_doc_check && expect_is_documented(file, lineno, at) {
                 continue;
             }
-            push(file, lineno, "MCPB001", findings);
+            push(file, lineno, at, "MCPB001", findings);
         }
     }
 }
@@ -189,7 +297,7 @@ fn check_panic(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec<
             let at = from + idx;
             from = at + pat.len();
             if token_start(line, at) {
-                push(file, lineno, "MCPB002", findings);
+                push(file, lineno, at, "MCPB002", findings);
             }
         }
     }
@@ -203,7 +311,7 @@ fn check_rng(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec<Fi
             let at = from + idx;
             from = at + pat.len();
             if token_start(line, at) {
-                push(file, lineno, "MCPB003", findings);
+                push(file, lineno, at, "MCPB003", findings);
             }
         }
     }
@@ -226,7 +334,7 @@ fn check_float_eq(file: &SourceFile, lineno: usize, line: &str, findings: &mut V
         let lhs = last_token(&line[..i]);
         let rhs = first_token(&line[i + 2..]);
         if is_floatish(lhs) || is_floatish(rhs) {
-            push(file, lineno, "MCPB004", findings);
+            push(file, lineno, i, "MCPB004", findings);
         }
         i += 2;
     }
@@ -272,11 +380,67 @@ fn is_floatish(token: &str) -> bool {
                 .all(|c| c.is_ascii_digit() || matches!(c, 'e' | 'E' | '.' | '-' | '+'))
 }
 
+/// The binding name in `NAME: [&]['a][mut] [path::]TYPE` given the byte
+/// offset of TYPE — handles struct fields, owned params, and by-reference
+/// params with qualified paths (`m: &std::collections::HashMap<...>`).
+fn annotated_name_before(line: &str, at: usize) -> Option<String> {
+    let mut rest = line[..at].trim_end();
+    // Qualified path: peel trailing `segment::` pairs off the type.
+    while let Some(head) = rest.strip_suffix("::") {
+        let seg_len = head
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .count();
+        if seg_len == 0 {
+            return None;
+        }
+        rest = head[..head.len() - seg_len].trim_end();
+    }
+    // By-reference bindings: `&T`, `&mut T`, `&'a mut T`.
+    if let Some(head) = rest.strip_suffix("mut") {
+        rest = head.trim_end();
+    }
+    if rest.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
+        let lt_len = rest
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .count();
+        if rest[..rest.len() - lt_len].ends_with('\'') {
+            rest = rest[..rest.len() - lt_len - 1].trim_end();
+        }
+    }
+    if let Some(head) = rest.strip_suffix('&') {
+        rest = head.trim_end();
+    }
+    let head = rest.strip_suffix(':')?;
+    if head.ends_with(':') {
+        return None;
+    }
+    let name: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    let starts_ok = name.chars().next().is_some_and(|c| !c.is_ascii_digit());
+    (!name.is_empty() && starts_ok).then_some(name)
+}
+
 /// Identifiers bound to a HashMap/HashSet in this file (declaration-site
-/// scan: `let x = HashMap::new()`, `x: HashMap<...>`).
+/// scan: `let x = HashMap::new()`, `x: HashMap<...>`,
+/// `x: &mut HashMap<...>`).
 fn collect_hash_idents(file: &SourceFile) -> Vec<String> {
     let mut idents = Vec::new();
-    for line in &file.lines {
+    for (lineno, line) in file.lines.iter().enumerate() {
+        // A HashMap bound inside `#[cfg(test)]` must not poison the lib
+        // scan: test code is exempt, so its declarations are too.
+        if file.in_test_region.get(lineno).copied().unwrap_or(false) {
+            continue;
+        }
         for marker in ["HashMap", "HashSet"] {
             let mut from = 0;
             while let Some(idx) = line[from..].find(marker) {
@@ -298,21 +462,9 @@ fn collect_hash_idents(file: &SourceFile) -> Vec<String> {
                         continue;
                     }
                 }
-                // `NAME: HashMap<` — struct field or parameter.
-                let before = line[..at].trim_end();
-                if let Some(head) = before.strip_suffix(':') {
-                    let name: String = head
-                        .chars()
-                        .rev()
-                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                        .collect::<String>()
-                        .chars()
-                        .rev()
-                        .collect();
-                    if !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
-                    {
-                        idents.push(name);
-                    }
+                // `NAME: [&][mut] [path::]HashMap<` — field or parameter.
+                if let Some(name) = annotated_name_before(line, at) {
+                    idents.push(name);
                 }
             }
         }
@@ -322,7 +474,9 @@ fn collect_hash_idents(file: &SourceFile) -> Vec<String> {
     idents
 }
 
-/// MCPB005: iteration over an identifier known to hold a HashMap/HashSet.
+/// MCPB005 / MCPB009: iteration over an identifier known to hold a
+/// HashMap/HashSet. Inside the determinism-critical crates this is MCPB009
+/// (error severity, stricter hint); elsewhere it stays MCPB005.
 fn check_hash_iter(
     file: &SourceFile,
     lineno: usize,
@@ -330,6 +484,11 @@ fn check_hash_iter(
     hash_idents: &[String],
     findings: &mut Vec<Finding>,
 ) {
+    let rule = if in_scope(&file.rel_path, DETERMINISM_CRATE_PREFIXES) {
+        "MCPB009"
+    } else {
+        "MCPB005"
+    };
     for ident in hash_idents {
         // One finding per (line, ident) even when several patterns match
         // the same expression (e.g. `for k in map.keys()`).
@@ -338,21 +497,24 @@ fn check_hash_iter(
             ".keys()",
             ".values()",
             ".into_iter()",
+            ".into_keys()",
+            ".into_values()",
             ".drain()",
         ]
         .iter()
-        .any(|suffix| {
+        .filter_map(|suffix| {
             let pat = format!("{ident}{suffix}");
             let mut from = 0;
             while let Some(idx) = line[from..].find(&pat) {
                 let at = from + idx;
                 from = at + pat.len();
                 if token_start(line, at) {
-                    return true;
+                    return Some(at);
                 }
             }
-            false
-        });
+            None
+        })
+        .next();
         let for_hit = [
             format!("in {ident} "),
             format!("in {ident}."),
@@ -362,12 +524,13 @@ fn check_hash_iter(
             format!("in &mut {ident} "),
         ]
         .iter()
-        .any(|pat| {
+        .filter_map(|pat| {
             line.find(pat.as_str())
-                .is_some_and(|idx| token_start(line, idx) && line[..idx].contains("for "))
-        });
-        if method_hit || for_hit {
-            push(file, lineno, "MCPB005", findings);
+                .filter(|&idx| token_start(line, idx) && line[..idx].contains("for "))
+        })
+        .next();
+        if let Some(at) = method_hit.or(for_hit) {
+            push(file, lineno, at, rule, findings);
         }
     }
 }
@@ -399,7 +562,7 @@ fn check_lossy_cast(file: &SourceFile, lineno: usize, line: &str, findings: &mut
                     .chars()
                     .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.');
             if !is_literal {
-                push(file, lineno, "MCPB006", findings);
+                push(file, lineno, at, "MCPB006", findings);
             }
         }
     }
@@ -412,9 +575,11 @@ fn check_lossy_cast(file: &SourceFile, lineno: usize, line: &str, findings: &mut
 /// are path-exempt.
 fn check_raw_instant(file: &SourceFile, lineno: usize, line: &str, findings: &mut Vec<Finding>) {
     // `mcpb-resilience` is zero-dep by design (it sits below the trace
-    // crate) and implements the deadline/backoff timing itself.
+    // crate) and implements the deadline/backoff timing itself. The
+    // criterion shim is a timing harness by definition.
     if file.rel_path.starts_with("crates/trace/")
         || file.rel_path.starts_with("crates/resilience/")
+        || file.rel_path.starts_with("shims/criterion/")
         || file.rel_path == "crates/bench-core/src/instrument.rs"
     {
         return;
@@ -427,22 +592,12 @@ fn check_raw_instant(file: &SourceFile, lineno: usize, line: &str, findings: &mu
             let at = from + idx;
             from = at + pat.len();
             if token_start(line, at) {
-                push(file, lineno, "MCPB007", findings);
+                push(file, lineno, at, "MCPB007", findings);
                 return;
             }
         }
     }
 }
-
-/// Crates whose library code executes inside fault-isolated sweep cells.
-/// A panic there turns a whole cell into a `Failed` record, so *any*
-/// `.unwrap()` / `.expect(` — documented invariant or not — is flagged.
-const SOLVER_CRATE_PREFIXES: &[&str] = &[
-    "crates/bench-core/src/",
-    "crates/drl/src/",
-    "crates/im/src/",
-    "crates/mcp/src/",
-];
 
 /// MCPB008: unwrap/expect in the solver/harness crates. Stricter than
 /// MCPB001: the documented-invariant escape hatch does not apply, because
@@ -454,17 +609,131 @@ fn check_solver_panic_surface(
     line: &str,
     findings: &mut Vec<Finding>,
 ) {
-    if !SOLVER_CRATE_PREFIXES
-        .iter()
-        .any(|p| file.rel_path.starts_with(p))
-    {
+    if !in_scope(&file.rel_path, SOLVER_CRATE_PREFIXES) {
         return;
     }
     for pat in [".unwrap()", ".expect("] {
         let mut from = 0;
         while let Some(idx) = line[from..].find(pat) {
-            from += idx + pat.len();
-            push(file, lineno, "MCPB008", findings);
+            let at = from + idx;
+            from = at + pat.len();
+            push(file, lineno, at, "MCPB008", findings);
+        }
+    }
+}
+
+/// Dispatches the token-stream rules (MCPB010–MCPB014). MCPB009 shares the
+/// declaration-tracking line scan with MCPB005 above.
+fn check_token_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
+    // Indices of non-trivia tokens, so rules can match adjacent-token
+    // sequences without tripping over whitespace and comments.
+    let code: Vec<usize> = (0..file.tokens.len())
+        .filter(|&i| {
+            !matches!(
+                file.tokens[i].kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .collect();
+    let txt = |k: usize| -> &str {
+        code.get(k)
+            .map(|&i| file.tokens[i].text(&file.text))
+            .unwrap_or("")
+    };
+    let kind = |k: usize| -> Option<TokenKind> { code.get(k).map(|&i| file.tokens[i].kind) };
+    let push_tok = |k: usize, rule: &'static str, findings: &mut Vec<Finding>| {
+        let tok = &file.tokens[code[k]];
+        push(
+            file,
+            tok.line,
+            file.col_of(tok.line, tok.start) - 1,
+            rule,
+            findings,
+        );
+    };
+
+    let det_scope = in_scope(&file.rel_path, DETERMINISM_CRATE_PREFIXES);
+    let hot_scope = in_scope(&file.rel_path, HOT_LOOP_PATHS);
+
+    for k in 0..code.len() {
+        let in_loop = file.scopes.loop_depth[code[k]] > 0;
+
+        // MCPB010: float `.sum::<f32|f64>()` / `.product::<...>()` and
+        // `.fold(<float init>, …)` on the determinism-critical path.
+        if det_scope
+            && matches!(txt(k), "sum" | "product")
+            && txt(k.wrapping_sub(1)) == "."
+            && txt(k + 1) == ":"
+            && txt(k + 2) == ":"
+            && txt(k + 3) == "<"
+            && matches!(txt(k + 4), "f32" | "f64")
+        {
+            push_tok(k, "MCPB010", findings);
+        }
+        if det_scope && txt(k) == "fold" && k > 0 && txt(k - 1) == "." && txt(k + 1) == "(" {
+            let init_float = kind(k + 2) == Some(TokenKind::Float)
+                || matches!(txt(k + 2), "f32" | "f64")
+                || (txt(k + 2) == "-" && kind(k + 3) == Some(TokenKind::Float));
+            // min/max reductions are order-independent (on non-NaN data);
+            // only accumulating folds are flagged. The reducer is the
+            // second argument, so scan to the fold's closing paren.
+            let minmax_reducer = (k + 2..code.len().min(k + 40))
+                .take_while({
+                    let mut depth = 1i32;
+                    move |&j| {
+                        match txt(j) {
+                            "(" => depth += 1,
+                            ")" => depth -= 1,
+                            _ => {}
+                        }
+                        depth > 0
+                    }
+                })
+                .any(|j| {
+                    matches!(txt(j), "min" | "max")
+                        && txt(j.wrapping_sub(1)) == ":"
+                        && matches!(txt(j.wrapping_sub(3)), "f32" | "f64")
+                });
+            if init_float && !minmax_reducer {
+                push_tok(k, "MCPB010", findings);
+            }
+        }
+
+        // MCPB011: `static mut` anywhere in first-party lib code.
+        if txt(k) == "static" && kind(k) == Some(TokenKind::Ident) && txt(k + 1) == "mut" {
+            push_tok(k, "MCPB011", findings);
+        }
+
+        // MCPB012: `Ordering::Relaxed` without a relaxed-ok annotation.
+        if txt(k) == "Ordering" && txt(k + 1) == ":" && txt(k + 2) == ":" && txt(k + 3) == "Relaxed"
+        {
+            let line = file.tokens[code[k + 3]].line;
+            if !file.has_relaxed_waiver(line) {
+                push_tok(k + 3, "MCPB012", findings);
+            }
+        }
+
+        // MCPB013: per-item allocation inside a hot kernel loop.
+        if hot_scope && in_loop {
+            let alloc = (matches!(txt(k), "Vec" | "String")
+                && txt(k + 1) == ":"
+                && txt(k + 2) == ":"
+                && matches!(txt(k + 3), "new" | "from"))
+                || (matches!(txt(k), "vec" | "format") && txt(k + 1) == "!")
+                || (txt(k) == "to_vec" && k > 0 && txt(k - 1) == ".")
+                || (txt(k) == "clone" && k > 0 && txt(k - 1) == "." && txt(k + 1) == "(");
+            if alloc {
+                push_tok(k, "MCPB013", findings);
+            }
+        }
+
+        // MCPB014: trait-object boxing inside any per-item loop.
+        if in_loop
+            && txt(k) == "Box"
+            && ((txt(k + 1) == ":" && txt(k + 2) == ":" && txt(k + 3) == "new")
+                || (txt(k + 1) == "<" && txt(k + 2) == "dyn"))
+        {
+            push_tok(k, "MCPB014", findings);
         }
     }
 }
@@ -475,6 +744,10 @@ mod tests {
 
     fn scan(src: &str) -> Vec<Finding> {
         scan_file(&SourceFile::parse("crates/x/src/lib.rs", src))
+    }
+
+    fn scan_at(path: &str, src: &str) -> Vec<Finding> {
+        scan_file(&SourceFile::parse(path, src))
     }
 
     fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
@@ -526,6 +799,52 @@ mod tests {
     }
 
     #[test]
+    fn hash_iteration_is_error_rule_in_solver_crates() {
+        let src = "let mut seen = HashMap::new();\nfor (k, v) in seen.iter() { out.push(k); }\n";
+        let f = scan_at("crates/im/src/imm.rs", src);
+        assert_eq!(rules_of(&f), ["MCPB009"]);
+        // into_keys is also a drain-ordering hazard.
+        let src = "let mut seen = HashMap::new();\nlet ks: Vec<_> = seen.into_keys().collect();\n";
+        let f = scan_at("crates/drl/src/common.rs", src);
+        assert_eq!(rules_of(&f), ["MCPB009"]);
+    }
+
+    #[test]
+    fn by_ref_param_hash_iteration_flagged() {
+        // Reference-typed params with qualified paths still bind the name.
+        let src =
+            "fn f(m: &std::collections::HashMap<u32, f64>) {\n    for (_, v) in m.iter() { }\n}\n";
+        let f = scan_at("crates/im/src/imm.rs", src);
+        assert_eq!(rules_of(&f), ["MCPB009"]);
+        let src = "fn g(seen: &mut HashSet<u32>) {\n    for v in seen.iter() { }\n}\n";
+        let f = scan(src);
+        assert_eq!(rules_of(&f), ["MCPB005"]);
+    }
+
+    #[test]
+    fn annotated_name_handles_refs_and_paths() {
+        let line = "fn f(m: &std::collections::HashMap<u32, f64>) {";
+        let at = line.find("HashMap").unwrap();
+        assert_eq!(annotated_name_before(line, at).as_deref(), Some("m"));
+        let line = "fn g<'a>(ws: &'a mut HashMap<u32, f64>) {";
+        let at = line.find("HashMap").unwrap();
+        assert_eq!(annotated_name_before(line, at).as_deref(), Some("ws"));
+        // Turbofish/associated-path positions are not bindings.
+        let line = "let x = foo::<HashMap<u32, u32>>();";
+        let at = line.find("HashMap").unwrap();
+        assert_eq!(annotated_name_before(line, at), None);
+    }
+
+    #[test]
+    fn test_region_hash_decl_does_not_poison_lib_scan() {
+        // A `HashMap` bound to `m` inside #[cfg(test)] must not flag an
+        // unrelated lib-side `m` (e.g. a BTreeMap) that iterates.
+        let src = "fn lib(m: &std::collections::BTreeMap<u32, u32>) -> u32 {\n    m.iter().map(|(_, v)| v).sum()\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let m = HashMap::new(); }\n}\n";
+        let f = scan(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
     fn vec_iteration_clean() {
         let f = scan("let v = Vec::new();\nfor x in v.iter() { }\n");
         assert!(f.is_empty(), "{f:?}");
@@ -540,6 +859,15 @@ mod tests {
     #[test]
     fn strings_and_comments_never_fire() {
         let f = scan("let msg = \"do not .unwrap() or panic!\"; // thread_rng\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn token_rules_never_fire_in_strings_or_comments() {
+        let f = scan_at(
+            "crates/nn/src/kernels.rs",
+            "fn f() { for i in 0..9 {\n  let m = \"Vec::new() Box::new Ordering::Relaxed static mut\";\n  // Vec::new() in a comment, fold(0.0, …)\n} }\n",
+        );
         assert!(f.is_empty(), "{f:?}");
     }
 
@@ -561,23 +889,20 @@ mod tests {
             "crates/trace/src/clock.rs",
             "crates/bench-core/src/instrument.rs",
         ] {
-            let f = scan_file(&SourceFile::parse(path, "let t = Instant::now();\n"));
+            let f = scan_at(path, "let t = Instant::now();\n");
             assert!(f.is_empty(), "{path}: {f:?}");
         }
         // Only the exact instrument.rs file is exempt in bench-core.
-        let f = scan_file(&SourceFile::parse(
+        let f = scan_at(
             "crates/bench-core/src/sweep.rs",
             "let t = Instant::now();\n",
-        ));
+        );
         assert_eq!(rules_of(&f), ["MCPB007"]);
     }
 
     #[test]
     fn raw_instant_exempt_in_resilience() {
-        let f = scan_file(&SourceFile::parse(
-            "crates/resilience/src/cell.rs",
-            "let t = Instant::now();\n",
-        ));
+        let f = scan_at("crates/resilience/src/cell.rs", "let t = Instant::now();\n");
         assert!(f.is_empty(), "{f:?}");
     }
 
@@ -590,7 +915,7 @@ mod tests {
             "crates/im/src/imm.rs",
             "crates/mcp/src/greedy.rs",
         ] {
-            let f = scan_file(&SourceFile::parse(path, src));
+            let f = scan_at(path, src);
             let hits: Vec<_> = rules_of(&f)
                 .into_iter()
                 .filter(|r| *r == "MCPB008")
@@ -599,26 +924,20 @@ mod tests {
         }
         // The documented expect still dodges MCPB001 — MCPB008 is the only
         // rule that sees it.
-        let f = scan_file(&SourceFile::parse(
+        let f = scan_at(
             "crates/drl/src/s2v_dqn.rs",
             "let b = y.expect(\"invariant: always set\");\n",
-        ));
+        );
         assert_eq!(rules_of(&f), ["MCPB008"]);
     }
 
     #[test]
     fn solver_panic_surface_scoped_to_solver_crates() {
         // The same source outside the solver crates only trips MCPB001.
-        let f = scan_file(&SourceFile::parse(
-            "crates/graph/src/io.rs",
-            "let a = x.unwrap();\n",
-        ));
+        let f = scan_at("crates/graph/src/io.rs", "let a = x.unwrap();\n");
         assert_eq!(rules_of(&f), ["MCPB001"]);
         // Test code inside a solver crate stays exempt entirely.
-        let f = scan_file(&SourceFile::parse(
-            "crates/drl/tests/helpers.rs",
-            "let a = x.unwrap();\n",
-        ));
+        let f = scan_at("crates/drl/tests/helpers.rs", "let a = x.unwrap();\n");
         assert!(f.is_empty(), "{f:?}");
     }
 
@@ -630,7 +949,126 @@ mod tests {
     }
 
     #[test]
+    fn float_sum_turbofish_flagged_in_det_scope_only() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+        let f = scan_at("crates/im/src/lt.rs", src);
+        assert_eq!(rules_of(&f), ["MCPB010"]);
+        // Outside the determinism scope the same code is clean.
+        let f = scan_at("crates/trace/src/histo.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        // Integer sums are always clean.
+        let f = scan_at(
+            "crates/im/src/lt.rs",
+            "fn f(xs: &[u64]) -> u64 { xs.iter().sum::<u64>() }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn float_fold_flagged_by_init_literal() {
+        let f = scan_at(
+            "crates/drl/src/common.rs",
+            "let t = xs.iter().fold(0.0, |a, b| a + b);\n",
+        );
+        assert_eq!(rules_of(&f), ["MCPB010"]);
+        let f = scan_at(
+            "crates/drl/src/common.rs",
+            "let t = xs.iter().fold(0usize, |a, _| a + 1);\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn minmax_float_folds_are_exempt() {
+        for src in [
+            "let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);\n",
+            "let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);\n",
+            "let w = ws.iter().copied().fold(0.0f32, f32::max);\n",
+        ] {
+            let f = scan_at("crates/drl/src/common.rs", src);
+            assert!(f.is_empty(), "{src}: {f:?}");
+        }
+        // An accumulating fold that merely *mentions* max still fires.
+        let f = scan_at(
+            "crates/drl/src/common.rs",
+            "let t = xs.iter().fold(0.0, |a, x| a + x.max(0.0));\n",
+        );
+        assert_eq!(rules_of(&f), ["MCPB010"], "{f:?}");
+    }
+
+    #[test]
+    fn static_mut_flagged() {
+        let f = scan("static mut COUNTER: u64 = 0;\n");
+        assert_eq!(rules_of(&f), ["MCPB011"]);
+        let f = scan("static COUNTER: AtomicU64 = AtomicU64::new(0);\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_ordering_flagged_unless_annotated() {
+        let f = scan("let x = FLAG.load(Ordering::Relaxed);\n");
+        assert_eq!(rules_of(&f), ["MCPB012"]);
+        let f = scan(
+            "// audit: relaxed-ok(pure event counter, gates no data)\nlet x = N.load(Ordering::Relaxed);\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Acquire/Release are always clean.
+        let f = scan("let x = FLAG.load(Ordering::Acquire);\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn hot_loop_allocations_flagged_only_inside_loops() {
+        let src = "fn f(n: usize) {\n    let mut buf = Vec::new();\n    for i in 0..n {\n        let tmp = Vec::new();\n        let s = format!(\"{i}\");\n        let c = buf.clone();\n        let v = xs.to_vec();\n    }\n}\n";
+        let f = scan_at("crates/nn/src/kernels.rs", src);
+        assert_eq!(
+            rules_of(&f),
+            ["MCPB013", "MCPB013", "MCPB013", "MCPB013"],
+            "{f:?}"
+        );
+        // Same code outside the hot paths is clean.
+        let f = scan_at("crates/graph/src/io.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn loop_header_allocation_is_not_flagged() {
+        let src = "fn f(xs: Vec<u32>) { for x in xs.clone() { work(x); } }\n";
+        let f = scan_at("crates/nn/src/kernels.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn box_dyn_in_loop_flagged_everywhere() {
+        let src = "fn f(n: usize) { for i in 0..n { let h: Box<dyn Fn()> = Box::new(move || use_it(i)); sink(h); } }\n";
+        let f = scan("fn g() {}\n"); // warm-up: no findings on empty
+        assert!(f.is_empty());
+        let f = scan_at("crates/graph/src/io.rs", src);
+        let hits: Vec<_> = rules_of(&f)
+            .into_iter()
+            .filter(|r| *r == "MCPB014")
+            .collect();
+        assert_eq!(hits.len(), 2, "{f:?}"); // the Box<dyn> type and Box::new
+                                            // Outside a loop, boxing is fine.
+        let f = scan_at(
+            "crates/graph/src/io.rs",
+            "fn f() { let h: Box<dyn Fn()> = Box::new(|| ()); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn findings_carry_columns() {
+        let f = scan("let a = x.unwrap();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[0].col, 10); // the `.` of `.unwrap()`
+        assert_eq!(f[0].span(), "1:10");
+    }
+
+    #[test]
     fn rule_table_is_consistent() {
+        assert_eq!(RULES.len(), 14);
         for r in RULES {
             assert!(r.id.starts_with("MCPB"));
             assert!(!r.fix_hint.is_empty());

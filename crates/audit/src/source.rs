@@ -1,17 +1,21 @@
-//! Source preprocessing for the rule scanners.
+//! Source preprocessing for the rule scanners, built on the lossless lexer.
 //!
-//! Rules operate on a *sanitized* view of each file: comments and string
-//! literal contents are replaced with spaces (preserving byte positions and
-//! line structure) so that token patterns like `.unwrap()` inside a doc
-//! comment or an error message never produce findings. During sanitization
-//! two side tables are built:
+//! Every file is lexed once ([`crate::lexer`]); from the token stream this
+//! module derives everything the rules consume:
 //!
-//! - `audit:allow(RULE)` waiver markers found in comments, which suppress the
-//!   named rule on the comment's own line and on the line below it;
-//! - `#[cfg(test)]` region tracking, so rules can exempt inline test modules
-//!   in library files.
+//! - a *sanitized* line view in which comment and string-literal contents are
+//!   blanked (byte positions preserved), so line-oriented token patterns like
+//!   `.unwrap()` inside a doc comment or error message can never fire;
+//! - the raw token stream plus a [`ScopeMap`](crate::syntax::ScopeMap), so
+//!   token-oriented rules can reason about *where* a pattern occurs (e.g.
+//!   inside a loop body);
+//! - side tables for `audit:allow(RULE)` waivers, `audit: relaxed-ok(reason)`
+//!   concurrency annotations, and `#[cfg(test)]` region tracking.
 
 use std::path::Path;
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::syntax::ScopeMap;
 
 /// One preprocessed source file, ready for rule scanning.
 #[derive(Debug)]
@@ -19,6 +23,12 @@ pub struct SourceFile {
     /// Workspace-relative path with `/` separators (stable across platforms,
     /// used as the baseline key).
     pub rel_path: String,
+    /// The full raw text (token spans index into this).
+    pub text: String,
+    /// The lossless token stream of `text`.
+    pub tokens: Vec<Token>,
+    /// Scope annotations parallel to `tokens` (loop depth, fn bodies).
+    pub scopes: ScopeMap,
     /// Raw line text, used for snippets and for rules that must look inside
     /// string literals (e.g. distinguishing documented `.expect()` calls).
     pub raw_lines: Vec<String>,
@@ -30,38 +40,60 @@ pub struct SourceFile {
     pub in_test_region: Vec<bool>,
     /// Per line: rule ids waived via `audit:allow(...)` comments.
     pub allowed: Vec<Vec<String>>,
+    /// Per line: an `audit: relaxed-ok(reason)` annotation with a non-empty
+    /// reason covers this line (MCPB012's dedicated allowlist).
+    pub relaxed_ok: Vec<bool>,
 }
 
 impl SourceFile {
     /// Preprocesses `text` as the contents of `rel_path`.
     pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let tokens = lexer::lex(text);
+        let scopes = ScopeMap::build(text, &tokens);
         let raw_lines: Vec<String> = text.lines().map(str::to_owned).collect();
         let n_lines = raw_lines.len();
-        let (sanitized, comments) = sanitize(text);
+
+        let sanitized = sanitize(text, &tokens);
         let lines: Vec<String> = sanitized.lines().map(str::to_owned).collect();
         debug_assert_eq!(lines.len(), n_lines);
 
         let mut allowed = vec![Vec::new(); n_lines + 1];
-        for (line, comment) in comments {
-            for rule in parse_allow_markers(&comment) {
+        let mut relaxed_ok = vec![false; n_lines + 1];
+        for tok in &tokens {
+            if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            let comment = tok.text(text);
+            for rule in parse_allow_markers(comment) {
                 // A waiver covers its own line and the next one, so both
                 // trailing (`stmt // audit:allow(X)`) and standalone
                 // (`// audit:allow(X)` above the statement) styles work.
-                allowed[line].push(rule.clone());
-                if line + 1 < allowed.len() {
-                    allowed[line + 1].push(rule);
+                allowed[tok.line].push(rule.clone());
+                if tok.line + 1 < allowed.len() {
+                    allowed[tok.line + 1].push(rule);
+                }
+            }
+            if has_relaxed_ok(comment) {
+                relaxed_ok[tok.line] = true;
+                if tok.line + 1 < relaxed_ok.len() {
+                    relaxed_ok[tok.line + 1] = true;
                 }
             }
         }
         allowed.truncate(n_lines);
+        relaxed_ok.truncate(n_lines);
 
         SourceFile {
             rel_path: rel_path.to_owned(),
             is_test_file: path_is_test_code(rel_path),
             in_test_region: test_regions(&lines),
+            text: text.to_owned(),
+            tokens,
+            scopes,
             raw_lines,
             lines,
             allowed,
+            relaxed_ok,
         }
     }
 
@@ -81,6 +113,23 @@ impl SourceFile {
                 .get(line)
                 .is_some_and(|rules| rules.iter().any(|r| r == rule))
     }
+
+    /// True when 0-based `line` carries a `audit: relaxed-ok(reason)` waiver.
+    pub fn has_relaxed_waiver(&self, line: usize) -> bool {
+        self.relaxed_ok.get(line).copied().unwrap_or(false)
+    }
+
+    /// 1-based column of byte offset `at` on 0-based `line` (byte columns —
+    /// the raw and sanitized views agree because sanitization is in-place).
+    pub fn col_of(&self, line: usize, at: usize) -> usize {
+        let line_start: usize = self
+            .text
+            .lines()
+            .take(line)
+            .map(|l| l.len() + 1)
+            .sum::<usize>();
+        at.saturating_sub(line_start) + 1
+    }
 }
 
 /// True for paths whose code is test/bench/example-only by convention.
@@ -90,232 +139,59 @@ fn path_is_test_code(rel_path: &str) -> bool {
         .any(|part| matches!(part, "tests" | "benches" | "examples" | "fixtures"))
 }
 
-/// Replaces comment and string-literal contents with spaces, preserving line
-/// structure. Returns the sanitized text plus each comment's (0-based start
-/// line, text) for waiver extraction.
-fn sanitize(text: &str) -> (String, Vec<(usize, String)>) {
-    let bytes = text.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut comments = Vec::new();
-    let mut line = 0usize;
-    let mut i = 0usize;
-
-    // Pushes a byte of "invisible" content: newlines survive, everything
-    // else becomes a space so columns and line counts are stable.
-    fn blank(out: &mut Vec<u8>, b: u8, line: &mut usize) {
-        if b == b'\n' {
-            out.push(b'\n');
-            *line += 1;
-        } else if b.is_ascii() {
-            out.push(b' ');
-        }
-        // Non-ASCII continuation bytes are dropped; a multi-byte char
-        // shrinks to one space, which keeps lines aligned well enough for
-        // line-oriented scanning.
-    }
-
-    while i < bytes.len() {
-        let b = bytes[i];
-        match b {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                let start_line = line;
-                let mut comment = String::new();
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    comment.push(bytes[i] as char);
-                    blank(&mut out, bytes[i], &mut line);
-                    i += 1;
-                }
-                comments.push((start_line, comment));
+/// Blanks comment and literal contents in `text`, byte for byte: newlines
+/// survive, delimiters (quotes, raw-string prefixes/hashes) survive, and
+/// every interior byte becomes a space. The result has identical length and
+/// line structure to the input.
+fn sanitize(text: &str, tokens: &[Token]) -> String {
+    let mut out = text.as_bytes().to_vec();
+    let blank = |out: &mut [u8], range: core::ops::Range<usize>| {
+        for b in &mut out[range] {
+            if *b != b'\n' {
+                *b = b' ';
             }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let start_line = line;
-                let mut depth = 0usize;
-                let mut comment = String::new();
-                while i < bytes.len() {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        comment.push_str("/*");
-                        blank(&mut out, b'/', &mut line);
-                        blank(&mut out, b'*', &mut line);
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        comment.push_str("*/");
-                        blank(&mut out, b'*', &mut line);
-                        blank(&mut out, b'/', &mut line);
-                        i += 2;
-                        if depth == 0 {
-                            break;
-                        }
+        }
+    };
+    for tok in tokens {
+        match tok.kind {
+            TokenKind::LineComment | TokenKind::BlockComment => {
+                blank(&mut out, tok.start..tok.end);
+            }
+            TokenKind::Str => {
+                let bytes = &text.as_bytes()[tok.start..tok.end];
+                let open = bytes.iter().position(|&b| b == b'"');
+                let close = bytes.iter().rposition(|&b| b == b'"');
+                match (open, close) {
+                    (Some(o), Some(c)) if c > o => {
+                        blank(&mut out, tok.start + o + 1..tok.start + c);
+                    }
+                    (Some(o), _) => blank(&mut out, tok.start + o + 1..tok.end),
+                    _ => {}
+                }
+            }
+            TokenKind::Char => {
+                // Keep the quotes, blank the interior ('x' might be 'FIRE'
+                // bait inside fixtures; also keeps escape bytes out).
+                if tok.end - tok.start > 2 {
+                    let last = if text.as_bytes()[tok.end - 1] == b'\'' {
+                        tok.end - 1
                     } else {
-                        comment.push(bytes[i] as char);
-                        blank(&mut out, bytes[i], &mut line);
-                        i += 1;
-                    }
-                }
-                comments.push((start_line, comment));
-            }
-            b'"' => {
-                out.push(b'"');
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => {
-                            blank(&mut out, b' ', &mut line);
-                            if i + 1 < bytes.len() {
-                                blank(&mut out, bytes[i + 1], &mut line);
-                            }
-                            i += 2;
-                        }
-                        b'"' => {
-                            out.push(b'"');
-                            i += 1;
-                            break;
-                        }
-                        other => {
-                            blank(&mut out, other, &mut line);
-                            i += 1;
-                        }
+                        tok.end
+                    };
+                    let first = text.as_bytes()[tok.start..tok.end]
+                        .iter()
+                        .position(|&b| b == b'\'')
+                        .map(|p| tok.start + p)
+                        .unwrap_or(tok.start);
+                    if last > first + 1 {
+                        blank(&mut out, first + 1..last);
                     }
                 }
             }
-            b'r' | b'b' if is_raw_string_start(bytes, i) => {
-                // r"...", r#"..."#, br"...", b"..." — skip prefix, count
-                // hashes, then blank until the matching close quote.
-                let mut j = i;
-                while bytes[j] == b'r' || bytes[j] == b'b' {
-                    out.push(bytes[j]);
-                    j += 1;
-                }
-                let mut hashes = 0usize;
-                while bytes.get(j) == Some(&b'#') {
-                    out.push(b'#');
-                    hashes += 1;
-                    j += 1;
-                }
-                out.push(b'"');
-                j += 1;
-                let raw = hashes > 0 || bytes[i] != b'b' || bytes.get(i + 1) == Some(&b'r');
-                while j < bytes.len() {
-                    if bytes[j] == b'\\' && !raw {
-                        blank(&mut out, b' ', &mut line);
-                        if j + 1 < bytes.len() {
-                            blank(&mut out, bytes[j + 1], &mut line);
-                        }
-                        j += 2;
-                        continue;
-                    }
-                    if bytes[j] == b'"' && closes_raw(bytes, j, hashes) {
-                        out.push(b'"');
-                        for k in 0..hashes {
-                            let _ = k;
-                            out.push(b'#');
-                        }
-                        j += 1 + hashes;
-                        break;
-                    }
-                    blank(&mut out, bytes[j], &mut line);
-                    j += 1;
-                }
-                i = j;
-            }
-            b'\'' => {
-                // Char literal vs lifetime: a literal is 'x', '\...', while
-                // a lifetime quote is followed by an identifier with no
-                // closing quote right after one character.
-                if is_char_literal(bytes, i) {
-                    out.push(b'\'');
-                    i += 1;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            b'\\' => {
-                                blank(&mut out, b' ', &mut line);
-                                if i + 1 < bytes.len() {
-                                    blank(&mut out, bytes[i + 1], &mut line);
-                                }
-                                i += 2;
-                            }
-                            b'\'' => {
-                                out.push(b'\'');
-                                i += 1;
-                                break;
-                            }
-                            other => {
-                                blank(&mut out, other, &mut line);
-                                i += 1;
-                            }
-                        }
-                    }
-                } else {
-                    out.push(b'\'');
-                    i += 1;
-                }
-            }
-            b'\n' => {
-                out.push(b'\n');
-                line += 1;
-                i += 1;
-            }
-            other => {
-                out.push(other);
-                i += 1;
-            }
+            _ => {}
         }
     }
-    (String::from_utf8_lossy(&out).into_owned(), comments)
-}
-
-/// Detects `r"`, `r#`, `b"`, `br"`, `br#` string openers at `i`, taking care
-/// not to trip on identifiers ending in `r`/`b` (checked by the caller
-/// context: we additionally require the previous byte to be a non-ident).
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    let prev_ident = i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
-    if prev_ident {
-        return false;
-    }
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-    }
-    if bytes.get(j) == Some(&b'r') {
-        j += 1;
-        while bytes.get(j) == Some(&b'#') {
-            j += 1;
-        }
-        return bytes.get(j) == Some(&b'"');
-    }
-    // Plain b"..." byte string.
-    bytes[i] == b'b' && bytes.get(j) == Some(&b'"')
-}
-
-/// True when the quote at `j` is followed by `hashes` hash marks.
-fn closes_raw(bytes: &[u8], j: usize, hashes: usize) -> bool {
-    (1..=hashes).all(|k| bytes.get(j + k) == Some(&b'#'))
-}
-
-/// Distinguishes a char literal opening at `i` from a lifetime.
-fn is_char_literal(bytes: &[u8], i: usize) -> bool {
-    match bytes.get(i + 1) {
-        Some(b'\\') => true,
-        Some(_) => {
-            // 'x' is a literal; '<ident> without a close quote is a
-            // lifetime. Multi-byte chars ('λ') need a scan to the quote.
-            let mut j = i + 1;
-            let mut chars = 0usize;
-            while j < bytes.len() && chars <= 4 {
-                if bytes[j] == b'\'' {
-                    return true;
-                }
-                if !(bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] >= 0x80) {
-                    return false;
-                }
-                chars += 1;
-                j += 1;
-            }
-            false
-        }
-        None => false,
-    }
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
 }
 
 /// Extracts rule ids from `audit:allow(RULE)` / `audit:allow(R1, R2)`.
@@ -337,6 +213,18 @@ fn parse_allow_markers(comment: &str) -> Vec<String> {
         }
     }
     rules
+}
+
+/// True when the comment carries `relaxed-ok(<non-empty reason>)` — the
+/// MCPB012 annotation: `// audit: relaxed-ok(counter, no data gated)`.
+fn has_relaxed_ok(comment: &str) -> bool {
+    let Some(idx) = comment.find("relaxed-ok(") else {
+        return false;
+    };
+    let rest = &comment[idx + "relaxed-ok(".len()..];
+    rest.find(')')
+        .map(|end| !rest[..end].trim().is_empty())
+        .unwrap_or(false)
 }
 
 /// Marks lines inside `#[cfg(test)]` items by tracking brace depth on
@@ -389,6 +277,15 @@ mod tests {
     }
 
     #[test]
+    fn sanitization_preserves_byte_positions() {
+        let src = "let x = \"abc\"; call();\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        // The sanitized line has the same length and `call` at the same col.
+        assert_eq!(f.lines[0].len(), f.raw_lines[0].len());
+        assert_eq!(f.lines[0].find("call"), f.raw_lines[0].find("call"));
+    }
+
+    #[test]
     fn block_comments_preserve_lines() {
         let src = "a\n/* x\n y */ b\nc\n";
         let f = SourceFile::parse("crates/foo/src/lib.rs", src);
@@ -423,6 +320,16 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_ok_markers_require_a_reason() {
+        let src = "// audit: relaxed-ok(pure counter)\na();\n// audit: relaxed-ok()\nb();\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        assert!(f.has_relaxed_waiver(0));
+        assert!(f.has_relaxed_waiver(1));
+        assert!(!f.has_relaxed_waiver(2), "empty reason must not waive");
+        assert!(!f.has_relaxed_waiver(3));
+    }
+
+    #[test]
     fn cfg_test_regions_are_tracked() {
         let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
         let f = SourceFile::parse("crates/foo/src/lib.rs", src);
@@ -442,5 +349,13 @@ mod tests {
     fn test_paths_are_exempt_everywhere() {
         let f = SourceFile::parse("crates/foo/tests/it.rs", "x.unwrap();\n");
         assert!(f.is_exempt(0, "MCPB001"));
+    }
+
+    #[test]
+    fn col_of_reports_byte_columns() {
+        let src = "ab\ncdef\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        assert_eq!(f.col_of(1, 3), 1); // 'c' at offset 3
+        assert_eq!(f.col_of(1, 5), 3); // 'e' at offset 5
     }
 }

@@ -1,0 +1,209 @@
+//! Lightweight syntactic layer over the token stream.
+//!
+//! [`ScopeMap`] walks the lexed tokens once and annotates every token with
+//! the kind of braces it sits inside — in particular the *loop depth*: how
+//! many enclosing `for`/`while`/`loop` bodies contain it. This is what lets
+//! the hot-loop allocation rules (MCPB013/014) distinguish a `Vec::new()`
+//! that runs once from one that runs per item, without a full parser.
+//!
+//! The tracker is keyword-driven: seeing `for`/`while`/`loop` arms a pending
+//! frame kind that the next top-level `{` consumes. Three Rust-isms need
+//! explicit care and are covered by tests:
+//!
+//! - `impl Trait for Type { … }` — the `for` is part of the impl header;
+//! - `for<'a> Fn(&'a T)` — a higher-ranked trait bound, not a loop;
+//! - `fn f(…);` in traits — a `;` disarms the pending frame.
+//!
+//! Loop *headers* are outside the body: in `for x in xs.clone() { … }` the
+//! `clone` runs once and carries loop depth 0, while the body is depth 1.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of construct opened a brace frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// `for` / `while` / `loop` body: code here runs per iteration.
+    Loop,
+    /// `fn` body.
+    Fn,
+    /// `impl` block.
+    Impl,
+    /// Anything else: modules, match arms, struct literals, plain blocks.
+    Other,
+}
+
+/// Per-token scope annotations, parallel to the token stream.
+#[derive(Debug)]
+pub struct ScopeMap {
+    /// For each token index: number of enclosing loop bodies.
+    pub loop_depth: Vec<u16>,
+    /// For each token index: true inside at least one `fn` body.
+    pub in_fn: Vec<bool>,
+}
+
+impl ScopeMap {
+    /// Builds the scope map for `tokens` lexed from `src`.
+    pub fn build(src: &str, tokens: &[Token]) -> ScopeMap {
+        let mut loop_depth = Vec::with_capacity(tokens.len());
+        let mut in_fn = Vec::with_capacity(tokens.len());
+        let mut stack: Vec<FrameKind> = Vec::new();
+        let mut loops = 0u16;
+        let mut fns = 0u32;
+        let mut pending: Option<FrameKind> = None;
+        let mut paren_depth = 0u32;
+
+        for (idx, tok) in tokens.iter().enumerate() {
+            loop_depth.push(loops);
+            in_fn.push(fns > 0);
+            match tok.kind {
+                TokenKind::Ident => match tok.text(src) {
+                    "for" => {
+                        // `impl Trait for Type` and `for<'a>` are not loops.
+                        let hrtb = next_code_token(tokens, idx)
+                            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(src) == "<");
+                        if pending != Some(FrameKind::Impl) && !hrtb {
+                            pending = Some(FrameKind::Loop);
+                        }
+                    }
+                    "while" | "loop" => pending = Some(FrameKind::Loop),
+                    "fn" => pending = Some(FrameKind::Fn),
+                    "impl" => pending = Some(FrameKind::Impl),
+                    // These own the next brace and must clear a stale flag.
+                    "match" | "struct" | "enum" | "union" | "trait" | "mod" => {
+                        pending = Some(FrameKind::Other)
+                    }
+                    _ => {}
+                },
+                TokenKind::Punct => match tok.text(src).as_bytes().first() {
+                    Some(b'{') => {
+                        let kind = pending.take().unwrap_or(FrameKind::Other);
+                        if kind == FrameKind::Loop {
+                            loops = loops.saturating_add(1);
+                        }
+                        if kind == FrameKind::Fn {
+                            fns += 1;
+                        }
+                        stack.push(kind);
+                    }
+                    Some(b'}') => {
+                        if let Some(kind) = stack.pop() {
+                            if kind == FrameKind::Loop {
+                                loops = loops.saturating_sub(1);
+                            }
+                            if kind == FrameKind::Fn {
+                                fns = fns.saturating_sub(1);
+                            }
+                        }
+                    }
+                    Some(b'(' | b'[') => paren_depth += 1,
+                    Some(b')' | b']') => paren_depth = paren_depth.saturating_sub(1),
+                    Some(b';') if paren_depth == 0 => pending = None,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        ScopeMap { loop_depth, in_fn }
+    }
+}
+
+/// Next non-trivia token after index `idx`.
+fn next_code_token<'t>(tokens: &'t [Token], idx: usize) -> Option<&'t Token> {
+    tokens[idx + 1..].iter().find(|t| {
+        !matches!(
+            t.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// Loop depth at the token whose text is `needle`.
+    fn depth_at(src: &str, needle: &str) -> u16 {
+        let tokens = lex(src);
+        let map = ScopeMap::build(src, &tokens);
+        let idx = tokens
+            .iter()
+            .position(|t| t.text(src) == needle)
+            .unwrap_or_else(|| panic!("token {needle:?} not found"));
+        map.loop_depth[idx]
+    }
+
+    #[test]
+    fn for_body_is_depth_one() {
+        let src = "fn f(xs: &[u32]) { for x in xs { work(x); } after(); }";
+        assert_eq!(depth_at(src, "work"), 1);
+        assert_eq!(depth_at(src, "after"), 0);
+    }
+
+    #[test]
+    fn loop_header_is_outside_the_body() {
+        let src = "fn f(xs: Vec<u32>) { for x in xs.clone() { body(); } }";
+        assert_eq!(depth_at(src, "clone"), 0);
+        assert_eq!(depth_at(src, "body"), 1);
+    }
+
+    #[test]
+    fn nested_loops_stack() {
+        let src = "fn f() { while a { loop { for i in 0..9 { inner(); } mid(); } } }";
+        assert_eq!(depth_at(src, "inner"), 3);
+        assert_eq!(depth_at(src, "mid"), 2);
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "impl Display for Foo { fn fmt(&self) { body(); } }";
+        assert_eq!(depth_at(src, "body"), 0);
+    }
+
+    #[test]
+    fn hrtb_for_is_not_a_loop() {
+        let src = "fn f(g: impl for<'a> Fn(&'a u32)) { body(); }";
+        assert_eq!(depth_at(src, "body"), 0);
+    }
+
+    #[test]
+    fn trait_method_signature_semicolon_disarms_fn() {
+        let src = "trait T { fn a(&self); } struct S { x: u32 }";
+        let tokens = lex(src);
+        let map = ScopeMap::build(src, &tokens);
+        let idx = tokens.iter().position(|t| t.text(src) == "x").expect("x");
+        assert!(!map.in_fn[idx]);
+    }
+
+    #[test]
+    fn match_inside_loop_keeps_depth() {
+        let src = "fn f() { for x in xs { match x { _ => arm(), } } }";
+        assert_eq!(depth_at(src, "arm"), 1);
+    }
+
+    #[test]
+    fn struct_literal_in_loop_keeps_depth() {
+        let src = "fn f() { for x in xs { let p = Point { x: 1 }; use_it(p); } }";
+        assert_eq!(depth_at(src, "use_it"), 1);
+    }
+
+    #[test]
+    fn closure_in_call_args_inside_loop() {
+        let src = "fn f() { for x in xs { call(|| { cb(); }); } }";
+        assert_eq!(depth_at(src, "cb"), 1);
+    }
+
+    #[test]
+    fn fn_body_tracking() {
+        let src = "const A: u32 = 1; fn f() { inside(); }";
+        let tokens = lex(src);
+        let map = ScopeMap::build(src, &tokens);
+        let a = tokens.iter().position(|t| t.text(src) == "A").expect("A");
+        let ins = tokens
+            .iter()
+            .position(|t| t.text(src) == "inside")
+            .expect("inside");
+        assert!(!map.in_fn[a]);
+        assert!(map.in_fn[ins]);
+    }
+}

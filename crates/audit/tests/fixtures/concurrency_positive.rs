@@ -1,0 +1,30 @@
+//! Positive fixture for the concurrency pack (MCPB011/MCPB012). Scanned
+//! under a plain lib-crate path — both rules are global. The
+//! `relaxed-ok(reason)` allowlist cases are untagged and must stay clean.
+//! Never compiled — scanned as text.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static mut LEGACY_COUNTER: u64 = 0; // FIRE:MCPB011
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+pub fn relaxed_without_reason() -> u64 {
+    EVENTS.fetch_add(1, Ordering::Relaxed); // FIRE:MCPB012
+    EVENTS.load(Ordering::Relaxed) // FIRE:MCPB012
+}
+
+pub fn relaxed_with_reason() -> u64 {
+    // audit: relaxed-ok(monotonic event counter, gates no cross-thread data)
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+    EVENTS.load(Ordering::Acquire)
+}
+
+pub fn relaxed_ok_same_line() -> u64 {
+    EVENTS.load(Ordering::Relaxed) // audit: relaxed-ok(display-only read)
+}
+
+pub fn acquire_release_is_clean(flag: &AtomicBool) -> bool {
+    flag.store(true, Ordering::Release);
+    flag.load(Ordering::Acquire)
+}

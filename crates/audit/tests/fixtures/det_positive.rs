@@ -1,0 +1,64 @@
+//! Positive fixture for the determinism pack (MCPB009/MCPB010). Scanned
+//! under a synthetic determinism-critical path (`crates/im/src/fixture.rs`)
+//! where hash iteration is MCPB009 (not MCPB005) and unordered float
+//! reductions are MCPB010. Untagged lines are the sanctioned alternatives
+//! and must stay clean. Never compiled — scanned as text.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn hash_iteration(m: HashMap<u32, u32>, s: HashSet<u32>) -> u32 {
+    let mut total = 0;
+    for (k, v) in m.iter() { // FIRE:MCPB009
+        total += k + v;
+    }
+    for k in s.iter() { // FIRE:MCPB009
+        total += k;
+    }
+    let keys: Vec<u32> = m.into_keys().collect(); // FIRE:MCPB009
+    total + keys.len() as u32 // FIRE:MCPB006
+}
+
+pub fn by_ref_param_iteration(wmap: &std::collections::HashMap<u32, f64>) -> f64 {
+    // Reference-typed params with qualified paths bind the name too.
+    let mut total = 0.0;
+    for (_, w) in wmap.iter() { // FIRE:MCPB009
+        total += w;
+    }
+    total
+}
+
+pub fn ordered_iteration(bt: BTreeMap<u32, u32>) -> u32 {
+    // BTreeMap drains in key order: clean.
+    let mut total = 0;
+    for (_, v) in bt.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn float_reductions(xs: &[f64], ws: &[f32]) -> f64 {
+    let a = xs.iter().sum::<f64>(); // FIRE:MCPB010
+    let p = ws.iter().product::<f32>(); // FIRE:MCPB010
+    let b = xs.iter().copied().fold(0.0, |acc, x| acc + x); // FIRE:MCPB010
+    a + p as f64 + b
+}
+
+pub fn minmax_folds_are_order_free(xs: &[f64], ws: &[f32]) -> f64 {
+    // min/max reductions give the same result in any order: clean.
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let whi = ws.iter().copied().fold(0.0f32, f32::max);
+    hi + lo + whi as f64
+}
+
+pub fn ordered_reductions(xs: &[f64], ns: &[u64]) -> f64 {
+    // Integer reductions are order-free: clean.
+    let count = ns.iter().sum::<u64>();
+    let folded = ns.iter().fold(0u64, |acc, n| acc + n);
+    // An explicit index-ordered loop is the sanctioned float pattern.
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        acc += xs[i];
+    }
+    acc + (count + folded) as f64
+}

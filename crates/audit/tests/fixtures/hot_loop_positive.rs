@@ -1,0 +1,48 @@
+//! Positive fixture for the hot-loop allocation pack (MCPB013/MCPB014).
+//! Scanned under a synthetic hot-kernel path (`crates/nn/src/fixture.rs`).
+//! Allocations *outside* loop bodies — including in the loop header — are
+//! untagged and must stay clean; the same is true of the hoisted-scratch
+//! pattern the fix hint recommends. Never compiled — scanned as text.
+
+pub fn alloc_per_item(xs: &[f32], n: usize) -> usize {
+    let mut out = Vec::with_capacity(n); // clean: runs once
+    for i in 0..n {
+        let tmp = Vec::new(); // FIRE:MCPB013
+        let copied = xs.to_vec(); // FIRE:MCPB013
+        let doubled = out.clone(); // FIRE:MCPB013
+        let label = format!("item-{i}"); // FIRE:MCPB013
+        let buf = vec![0.0f32; 4]; // FIRE:MCPB013
+        out.push(tmp.len() + copied.len() + doubled.len() + label.len() + buf.len());
+    }
+    out.len()
+}
+
+pub fn loop_header_is_outside_the_body(xs: Vec<u32>) -> u64 {
+    let mut total = 0u64;
+    // `xs.clone()` in the header runs once: clean.
+    for x in xs.clone() {
+        total += x as u64;
+    }
+    total
+}
+
+pub fn hoisted_scratch_is_clean(xs: &[f32], n: usize) -> f32 {
+    let mut scratch = Vec::with_capacity(xs.len()); // clean: hoisted
+    let mut acc = 0.0;
+    for _ in 0..n {
+        scratch.clear();
+        scratch.extend_from_slice(xs);
+        acc += scratch.last().copied().unwrap_or_default();
+    }
+    acc
+}
+
+pub fn boxed_per_item(n: usize) -> usize {
+    let mut handlers: Vec<Box<dyn Fn() -> usize>> = Vec::new(); // clean: outside any loop
+    for i in 0..n {
+        handlers.push(Box::new(move || i)); // FIRE:MCPB014
+        let hook: Box<dyn Fn()> = Box::new(|| ()); // FIRE:MCPB014
+        hook();
+    }
+    handlers.len()
+}

@@ -1,16 +1,21 @@
-//! Golden-file tests for every rule: each positive fixture declares the
-//! expected findings on a flagged line with `FIRE:<rule>` comment tags
-//! (several tags when one line trips several rules), and
-//! `fixtures/negative.rs` must scan clean. `fixtures/solver_positive.rs`
-//! is scanned under a synthetic solver-crate path to exercise the
-//! path-scoped MCPB008. The fixtures directory is excluded from the
+//! Golden-file tests for every rule, driven by the shared
+//! [`mcpb_audit::selfcheck`] machinery: each positive fixture declares the
+//! expected findings with `FIRE:<rule>` comment tags and is scanned under
+//! a synthetic path chosen so its pack's path scope applies; negative
+//! fixtures must scan clean. The fixtures directory is excluded from the
 //! workspace walk, so these patterns never reach the committed baseline.
+//!
+//! On top of the exact-match check, this file keeps the scope-flip tests
+//! (same source under a different path changes which rules fire) that the
+//! CLI `--self-check` doesn't need.
 
 use std::collections::BTreeSet;
 use std::path::Path;
 
 use mcpb_audit::rules::scan_file;
+use mcpb_audit::selfcheck::{self, check_fixture, expected_findings, FixtureKind};
 use mcpb_audit::source::SourceFile;
+use mcpb_audit::walk::find_workspace_root;
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -19,64 +24,45 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-/// `(line, rule)` pairs declared by `FIRE:` tags in fixture comments. A
-/// line may carry several tags (`// FIRE:MCPB001 FIRE:MCPB008`) when one
-/// expression trips several rules.
-fn expected_findings(src: &str) -> BTreeSet<(usize, String)> {
-    let mut expected = BTreeSet::new();
-    for (i, line) in src.lines().enumerate() {
-        for tag in line.split("FIRE:").skip(1) {
-            let rule: String = tag
-                .trim_start()
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric())
-                .collect();
-            if !rule.is_empty() {
-                expected.insert((i + 1, rule));
-            }
+#[test]
+fn every_fixture_matches_its_tags_exactly() {
+    for spec in selfcheck::FIXTURES {
+        let src = fixture(spec.name);
+        if let Err(e) = check_fixture(spec, &src) {
+            panic!("{e}");
+        }
+        if spec.kind == FixtureKind::Positive {
+            assert!(
+                !expected_findings(&src).is_empty(),
+                "{} lost its FIRE tags?",
+                spec.name
+            );
         }
     }
-    expected
-}
-
-/// Asserts the scan of `src` under `path` produces exactly the tagged
-/// findings.
-fn assert_fires_exactly(name: &str, path: &str) {
-    let src = fixture(name);
-    let expected = expected_findings(&src);
-    assert!(!expected.is_empty(), "{name} lost its FIRE tags?");
-    let file = SourceFile::parse(path, &src);
-    let actual: BTreeSet<(usize, String)> = scan_file(&file)
-        .into_iter()
-        .map(|f| (f.line, f.rule.to_string()))
-        .collect();
-    let missed: Vec<_> = expected.difference(&actual).collect();
-    let spurious: Vec<_> = actual.difference(&expected).collect();
-    assert!(
-        missed.is_empty(),
-        "{name}: tagged but not flagged: {missed:?}"
-    );
-    assert!(
-        spurious.is_empty(),
-        "{name}: flagged but not tagged: {spurious:?}"
-    );
 }
 
 #[test]
-fn positive_fixture_fires_exactly_the_tagged_findings() {
-    let src = fixture("positive.rs");
-    assert!(
-        expected_findings(&src).len() >= 12,
-        "fixture lost its FIRE tags?"
-    );
-    // Forced lib-crate path: no path-based test exemption applies, and the
-    // path sits outside the MCPB008 solver-crate scope.
-    assert_fires_exactly("positive.rs", "crates/fixture/src/lib.rs");
+fn self_check_runs_from_the_workspace_root() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let report = mcpb_audit::self_check(&root).expect("self-check");
+    assert_eq!(report.fixtures, selfcheck::FIXTURES.len());
 }
 
 #[test]
-fn solver_fixture_fires_mcpb008_under_solver_path() {
-    assert_fires_exactly("solver_positive.rs", "crates/drl/src/fixture.rs");
+fn positive_fixtures_cover_every_rule() {
+    let mut fired: BTreeSet<String> = BTreeSet::new();
+    for spec in selfcheck::FIXTURES {
+        if spec.kind == FixtureKind::Positive {
+            fired.extend(
+                expected_findings(&fixture(spec.name))
+                    .into_iter()
+                    .map(|(_, r)| r),
+            );
+        }
+    }
+    for rule in mcpb_audit::rules::RULES {
+        assert!(fired.contains(rule.id), "no positive case for {}", rule.id);
+    }
 }
 
 #[test]
@@ -91,40 +77,46 @@ fn solver_fixture_out_of_scope_path_drops_mcpb008() {
 }
 
 #[test]
-fn positive_fixtures_cover_every_rule() {
-    let mut fired: BTreeSet<String> = BTreeSet::new();
-    for name in ["positive.rs", "solver_positive.rs"] {
-        fired.extend(
-            expected_findings(&fixture(name))
-                .into_iter()
-                .map(|(_, r)| r),
-        );
-    }
-    for rule in mcpb_audit::rules::RULES {
-        assert!(fired.contains(rule.id), "no positive case for {}", rule.id);
-    }
+fn det_fixture_out_of_scope_path_downgrades_to_mcpb005() {
+    // Outside the determinism-critical crates, hash iteration is the
+    // milder MCPB005 and float reductions are not flagged at all.
+    let src = fixture("det_positive.rs");
+    let file = SourceFile::parse("crates/trace/src/fixture.rs", &src);
+    let rules: BTreeSet<&str> = scan_file(&file).into_iter().map(|f| f.rule).collect();
+    assert!(rules.contains("MCPB005"), "{rules:?}");
+    assert!(!rules.contains("MCPB009"), "{rules:?}");
+    assert!(!rules.contains("MCPB010"), "{rules:?}");
 }
 
 #[test]
-fn negative_fixture_scans_clean() {
-    let file = SourceFile::parse("crates/fixture/src/lib.rs", &fixture("negative.rs"));
-    let findings = scan_file(&file);
-    assert!(
-        findings.is_empty(),
-        "negative fixture should be clean: {findings:?}"
-    );
+fn hot_loop_fixture_out_of_scope_path_drops_mcpb013_keeps_mcpb014() {
+    // MCPB013 is scoped to the hot-kernel paths; MCPB014 (Box<dyn> per
+    // item) is global and must survive the path change.
+    let src = fixture("hot_loop_positive.rs");
+    let file = SourceFile::parse("crates/graph/src/fixture.rs", &src);
+    let rules: BTreeSet<&str> = scan_file(&file).into_iter().map(|f| f.rule).collect();
+    assert!(!rules.contains("MCPB013"), "{rules:?}");
+    assert!(rules.contains("MCPB014"), "{rules:?}");
 }
 
 #[test]
 fn test_path_exempts_the_whole_positive_fixture() {
     // The same anti-pattern soup under a tests/ path is fully exempt —
     // even inside a solver crate.
-    for path in [
-        "crates/fixture/tests/helpers.rs",
-        "crates/drl/tests/helpers.rs",
+    for name in [
+        "positive.rs",
+        "solver_positive.rs",
+        "det_positive.rs",
+        "hot_loop_positive.rs",
+        "concurrency_positive.rs",
     ] {
-        let file = SourceFile::parse(path, &fixture("positive.rs"));
-        let findings = scan_file(&file);
-        assert!(findings.is_empty(), "{path} not exempt: {findings:?}");
+        for path in [
+            "crates/fixture/tests/helpers.rs",
+            "crates/drl/tests/helpers.rs",
+        ] {
+            let file = SourceFile::parse(path, &fixture(name));
+            let findings = scan_file(&file);
+            assert!(findings.is_empty(), "{name} under {path}: {findings:?}");
+        }
     }
 }

@@ -1,0 +1,117 @@
+//! Property tests for the lossless lexer — the foundation the whole v2
+//! engine rests on. Two invariants:
+//!
+//! 1. **Total**: `lex` never panics, whatever bytes it is fed.
+//! 2. **Lossless**: the token spans exactly partition the input, so
+//!    concatenating every token's text reproduces the source byte for
+//!    byte. (This is what keeps line/column bookkeeping honest.)
+//!
+//! Both are checked on adversarial random strings (arbitrary unicode,
+//! control bytes, unbalanced quotes) and on Rust-shaped fragment soup
+//! (idents, string/char/raw-string literals, comments, puncts glued
+//! together in random order). A final plain test round-trips every `.rs`
+//! file in this workspace.
+
+use mcpb_audit::lexer::{lex, Token};
+use mcpb_audit::walk;
+use proptest::prelude::*;
+use std::path::Path;
+
+/// Asserts the partition invariant and returns the reconstruction.
+fn assert_partitions(src: &str, tokens: &[Token]) {
+    let mut expected_start = 0usize;
+    let mut last_line = 0usize;
+    for t in tokens {
+        assert_eq!(
+            t.start, expected_start,
+            "gap or overlap at byte {expected_start} in {src:?}"
+        );
+        assert!(t.end > t.start, "empty token at {} in {src:?}", t.start);
+        assert!(t.line >= last_line, "line went backwards in {src:?}");
+        last_line = t.line;
+        expected_start = t.end;
+    }
+    assert_eq!(
+        expected_start,
+        src.len(),
+        "tokens stop short of EOF in {src:?}"
+    );
+    let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+    assert_eq!(rebuilt, src, "reconstruction differs");
+}
+
+/// Rust-shaped fragments whose random concatenations stress every lexer
+/// state: quote handling, raw-string hashes, nested comments, numeric
+/// suffixes, lifetimes vs char literals.
+const FRAGMENTS: &[&str] = &[
+    "fn ",
+    "let x",
+    "= ",
+    "\"str with // not a comment\"",
+    "\"unterminated",
+    "r#\"raw \" inside\"#",
+    "r\"raw\"",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "'c'",
+    "'\\n'",
+    "b'x'",
+    "'static",
+    "'a>",
+    "// line comment\n",
+    "/* block */",
+    "/* nested /* deeper */ still */",
+    "/* unterminated",
+    "0x1f_u32",
+    "1_000",
+    "3.25f64",
+    "1e-9",
+    "2.",
+    "0.5e+3",
+    "::",
+    "=>",
+    "->",
+    "..=",
+    "{ } ( ) [ ]",
+    ";\n",
+    "\t",
+    "\r\n",
+    "ident_with_underscores",
+    "变量",
+    "#",
+    "\\",
+    "\"\"",
+    "''",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_strings_never_panic_and_round_trip(src in ".{0,200}") {
+        let tokens = lex(&src);
+        assert_partitions(&src, &tokens);
+    }
+
+    #[test]
+    fn rust_fragment_soup_round_trips(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..40)
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let tokens = lex(&src);
+        assert_partitions(&src, &tokens);
+    }
+}
+
+#[test]
+fn every_workspace_source_round_trips() {
+    let root =
+        walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let files = walk::workspace_sources(&root).expect("walk");
+    assert!(files.len() > 50, "suspiciously few files: {}", files.len());
+    for rel in files {
+        let text = std::fs::read_to_string(root.join(&rel)).expect("read source");
+        let tokens = lex(&text);
+        assert_partitions(&text, &tokens);
+    }
+}

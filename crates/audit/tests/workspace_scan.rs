@@ -1,0 +1,63 @@
+//! Workspace-wide acceptance check for the token-accurate engine: scan the
+//! real repository and prove that **no finding anchors inside a string
+//! literal, character literal, or comment**. This is the observable
+//! difference between the v1 line-regex scanner (which flagged
+//! `".unwrap()"` in doc text) and the v2 lexer-backed one.
+
+use mcpb_audit::lexer::TokenKind;
+use mcpb_audit::{walk, SourceFile};
+use std::path::Path;
+
+#[test]
+fn no_finding_anchors_inside_a_string_or_comment() {
+    let root =
+        walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let files = walk::workspace_sources(&root).expect("walk");
+    assert!(files.len() > 50, "suspiciously few files: {}", files.len());
+
+    let mut findings_seen = 0usize;
+    let mut offenders = Vec::new();
+    for rel in &files {
+        let key = walk::path_key(rel);
+        let file = SourceFile::load(&root.join(rel), &key).expect("load source");
+
+        // Byte offset of each 1-based line start.
+        let mut line_starts = vec![0usize];
+        for (i, b) in file.text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+
+        for f in mcpb_audit::scan_file(&file) {
+            findings_seen += 1;
+            let at = line_starts
+                .get(f.line - 1)
+                .map(|s| s + (f.col - 1))
+                .expect("finding line within file");
+            let covering = file
+                .tokens
+                .iter()
+                .find(|t| t.start <= at && at < t.end)
+                .unwrap_or_else(|| panic!("{}:{}:{}: no covering token", f.file, f.line, f.col));
+            if matches!(
+                covering.kind,
+                TokenKind::Str | TokenKind::Char | TokenKind::LineComment | TokenKind::BlockComment
+            ) {
+                offenders.push(format!(
+                    "{}:{}:{}: {} fired inside a {:?} token: {}",
+                    f.file, f.line, f.col, f.rule, covering.kind, f.snippet
+                ));
+            }
+        }
+    }
+    // The workspace has grandfathered debt, so findings must exist — a
+    // zero count would mean the scan silently broke, not that we're clean.
+    assert!(findings_seen > 0, "workspace scan produced no findings");
+    assert!(
+        offenders.is_empty(),
+        "{} finding(s) inside strings/comments:\n{}",
+        offenders.len(),
+        offenders.join("\n")
+    );
+}

@@ -88,6 +88,7 @@ impl GcnEncoder {
     ) -> Var {
         let _span = mcpb_trace::span("nn.forward");
         for layer in &self.layers {
+            // audit:allow(MCPB013) — Arc refcount bump, not a buffer copy
             x = layer.forward(tape, store, adj.clone(), x);
         }
         x

@@ -91,6 +91,7 @@ impl S2v {
 
         let mut mu = tape.input(Tensor::zeros(sg.n, self.dim));
         for _ in 0..self.rounds {
+            // audit:allow(MCPB013) — Arc refcount bump, not a buffer copy
             let pooled = tape.spmm(sg.nsum.clone(), mu);
             let msg = tape.matmul(pooled, t2);
             let sum1 = tape.add(tag_term, msg);

@@ -6,7 +6,7 @@
 //! both directions are summed).
 
 use crate::csr::{Graph, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A community assignment: `communities[v]` is the community id of node `v`.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,7 +52,7 @@ struct UndirectedView {
 
 fn undirected_view(g: &Graph) -> UndirectedView {
     let n = g.num_nodes();
-    let mut maps: Vec<HashMap<NodeId, f64>> = vec![HashMap::new(); n];
+    let mut maps: Vec<BTreeMap<NodeId, f64>> = vec![BTreeMap::new(); n];
     for e in g.edges() {
         if e.src == e.dst {
             *maps[e.src as usize].entry(e.dst).or_insert(0.0) += e.weight as f64;
@@ -66,8 +66,8 @@ fn undirected_view(g: &Graph) -> UndirectedView {
     let mut self_loops = vec![0.0; n];
     let mut two_m = 0.0;
     for (v, map) in maps.into_iter().enumerate() {
-        let mut entries: Vec<(NodeId, f64)> = map.into_iter().collect();
-        entries.sort_unstable_by_key(|&(u, _)| u);
+        // BTreeMap drains in key order: entries arrive already sorted.
+        let entries: Vec<(NodeId, f64)> = map.into_iter().collect();
         for &(u, w) in &entries {
             if u as usize == v {
                 self_loops[v] = w;
@@ -135,7 +135,9 @@ fn one_level(view: &UndirectedView) -> (Vec<u32>, bool) {
     let mut comm_degree: Vec<f64> = view.degree.clone();
     let mut improved_any = false;
 
-    let mut neigh_weight: HashMap<u32, f64> = HashMap::new();
+    // BTreeMap: candidate communities come out in ascending id order, which
+    // doubles as the deterministic tie-break rule.
+    let mut neigh_weight: BTreeMap<u32, f64> = BTreeMap::new();
     for _pass in 0..16 {
         let mut moved = false;
         for v in 0..n {
@@ -150,10 +152,7 @@ fn one_level(view: &UndirectedView) -> (Vec<u32>, bool) {
             let base = neigh_weight.get(&old).copied().unwrap_or(0.0);
             let mut best = old;
             let mut best_gain = base - comm_degree[old as usize] * view.degree[v] / two_m;
-            let mut cands: Vec<u32> = neigh_weight.keys().copied().collect();
-            cands.sort_unstable(); // deterministic tie handling
-            for c in cands {
-                let w = neigh_weight[&c];
+            for (&c, &w) in neigh_weight.iter() {
                 let gain = w - comm_degree[c as usize] * view.degree[v] / two_m;
                 if gain > best_gain + 1e-12 {
                     best_gain = gain;
@@ -182,7 +181,7 @@ fn aggregate(view: &UndirectedView, assignment: &[u32]) -> UndirectedView {
         .copied()
         .max()
         .map_or(0, |m| m as usize + 1);
-    let mut maps: Vec<HashMap<NodeId, f64>> = vec![HashMap::new(); nc];
+    let mut maps: Vec<BTreeMap<NodeId, f64>> = vec![BTreeMap::new(); nc];
     for v in 0..view.adj.len() {
         let cv = assignment[v] as usize;
         // self-loop contribution
@@ -207,8 +206,7 @@ fn aggregate(view: &UndirectedView, assignment: &[u32]) -> UndirectedView {
     let mut self_loops = vec![0.0; nc];
     let mut two_m = 0.0;
     for (c, map) in maps.into_iter().enumerate() {
-        let mut entries: Vec<(NodeId, f64)> = map.into_iter().collect();
-        entries.sort_unstable_by_key(|&(u, _)| u);
+        let entries: Vec<(NodeId, f64)> = map.into_iter().collect();
         for &(u, w) in &entries {
             if u as usize == c {
                 self_loops[c] = w;
@@ -230,7 +228,7 @@ fn aggregate(view: &UndirectedView, assignment: &[u32]) -> UndirectedView {
 }
 
 fn compact(comm: &mut [u32]) {
-    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut remap: BTreeMap<u32, u32> = BTreeMap::new();
     for c in comm.iter_mut() {
         let next = remap.len() as u32;
         let id = *remap.entry(*c).or_insert(next);

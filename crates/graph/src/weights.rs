@@ -13,7 +13,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The four edge-weight models of §2.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -172,8 +172,9 @@ pub fn generate_action_log(g: &Graph, num_actions: u32, seed: u64) -> ActionLog 
 /// its in-neighbor `u` within the same cascade.
 pub fn learn_credit_distribution(g: &Graph, log: &ActionLog) -> Graph {
     let mut actions_by_user: HashMap<NodeId, u32> = HashMap::new();
-    // (action -> user -> time)
-    let mut times: HashMap<u32, HashMap<NodeId, u32>> = HashMap::new();
+    // (action -> user -> time). BTreeMap: the propagation counting below
+    // iterates these maps, and iteration order must be deterministic.
+    let mut times: BTreeMap<u32, BTreeMap<NodeId, u32>> = BTreeMap::new();
     for r in &log.records {
         *actions_by_user.entry(r.user).or_insert(0) += 1;
         times.entry(r.action).or_default().insert(r.user, r.time);

@@ -1,0 +1,29 @@
+//! Regression tests for the determinism hazards MCPB009 surfaced: Louvain
+//! and credit-distribution weight learning used to accumulate into
+//! `HashMap`s, whose per-instance random iteration order can differ
+//! *between two calls in the same process*. After the BTreeMap switch,
+//! running the same pipeline twice must produce bit-identical output.
+
+use mcpb_graph::generators::{barabasi_albert, stochastic_block_model};
+use mcpb_graph::louvain::louvain;
+use mcpb_graph::weights::{assign_weights, WeightModel};
+
+#[test]
+fn louvain_is_identical_across_two_runs() {
+    let g = stochastic_block_model(120, 4, 0.4, 0.02, 11);
+    let a = louvain(&g, 5);
+    let b = louvain(&g, 5);
+    assert_eq!(a.communities, b.communities);
+    assert_eq!(a.modularity.to_bits(), b.modularity.to_bits());
+}
+
+#[test]
+fn learned_weights_are_identical_across_two_runs() {
+    let g = barabasi_albert(80, 2, 9);
+    let a = assign_weights(&g, WeightModel::Learned, 7);
+    let b = assign_weights(&g, WeightModel::Learned, 7);
+    let wa: Vec<u32> = a.edges().map(|e| e.weight.to_bits()).collect();
+    let wb: Vec<u32> = b.edges().map(|e| e.weight.to_bits()).collect();
+    assert_eq!(wa, wb);
+    assert!(!wa.is_empty());
+}

@@ -67,7 +67,7 @@ pub fn run_chunks<T: Send>(num_chunks: usize, f: impl Fn(usize) -> T + Sync) -> 
                 IN_POOL.with(|flag| flag.set(true));
                 let mut local: Vec<(usize, T)> = Vec::new();
                 while !abort.load(Ordering::Acquire) {
-                    let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                    let chunk = cursor.fetch_add(1, Ordering::Relaxed); // audit: relaxed-ok(work-stealing ticket; chunk data flows through join, not this atomic)
                     if chunk >= num_chunks {
                         break;
                     }

@@ -33,27 +33,29 @@ unsafe impl GlobalAlloc for TrackingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = unsafe { System.alloc(layout) };
         if !ptr.is_null() {
-            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
-            PEAK.fetch_max(live, Ordering::Relaxed);
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed); // audit: relaxed-ok(pure call counter)
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) // audit: relaxed-ok(byte counter, gates no data)
+                + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed); // audit: relaxed-ok(monotonic max, gates no data)
         }
         ptr
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) };
-        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed); // audit: relaxed-ok(byte counter, gates no data)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
         if !new_ptr.is_null() {
             if new_size >= layout.size() {
-                let live = LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
+                let live = LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) // audit: relaxed-ok(byte counter, gates no data)
+                    + new_size
                     - layout.size();
-                PEAK.fetch_max(live, Ordering::Relaxed);
+                PEAK.fetch_max(live, Ordering::Relaxed); // audit: relaxed-ok(monotonic max, gates no data)
             } else {
-                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed); // audit: relaxed-ok(byte counter, gates no data)
             }
         }
         new_ptr
@@ -63,12 +65,12 @@ unsafe impl GlobalAlloc for TrackingAllocator {
 /// Currently live tracked bytes (0 unless the tracking allocator is the
 /// global allocator).
 pub fn live_bytes() -> usize {
-    LIVE.load(Ordering::Relaxed)
+    LIVE.load(Ordering::Relaxed) // audit: relaxed-ok(statistics read, no synchronization implied)
 }
 
 /// Peak tracked bytes since the last [`reset_peak`].
 pub fn peak_bytes() -> usize {
-    PEAK.load(Ordering::Relaxed)
+    PEAK.load(Ordering::Relaxed) // audit: relaxed-ok(statistics read, no synchronization implied)
 }
 
 /// Resets the peak to the current live level.
@@ -80,14 +82,14 @@ pub fn peak_bytes() -> usize {
 /// just observed, then repaired upward with `fetch_max` until the invariant
 /// `PEAK >= LIVE` is stably re-established.
 pub fn reset_peak() {
-    let observed_live = LIVE.load(Ordering::Relaxed);
-    let mut current = PEAK.load(Ordering::Relaxed);
+    let observed_live = LIVE.load(Ordering::Relaxed); // audit: relaxed-ok(repair loop below restores PEAK >= LIVE)
+    let mut current = PEAK.load(Ordering::Relaxed); // audit: relaxed-ok(CAS loop re-reads on failure)
     while current > observed_live {
         match PEAK.compare_exchange_weak(
             current,
             observed_live,
-            Ordering::Relaxed,
-            Ordering::Relaxed,
+            Ordering::Relaxed, // audit: relaxed-ok(counter-only CAS, no data gated)
+            Ordering::Relaxed, // audit: relaxed-ok(failure ordering of the same CAS)
         ) {
             Ok(_) => break,
             Err(now) => current = now,
@@ -96,8 +98,9 @@ pub fn reset_peak() {
     // Concurrent allocations may have raised LIVE past the level we just
     // stored; repair until the peak again dominates the live count.
     loop {
-        let live = LIVE.load(Ordering::Relaxed);
+        let live = LIVE.load(Ordering::Relaxed); // audit: relaxed-ok(repair loop converges regardless of order)
         if PEAK.fetch_max(live, Ordering::Relaxed) >= live {
+            // audit: relaxed-ok(monotonic max, gates no data)
             break;
         }
     }
@@ -114,10 +117,10 @@ pub fn tracking_installed() -> bool {
     use std::sync::OnceLock;
     static INSTALLED: OnceLock<bool> = OnceLock::new();
     *INSTALLED.get_or_init(|| {
-        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        let before = ALLOC_CALLS.load(Ordering::Relaxed); // audit: relaxed-ok(same-thread probe, no cross-thread data)
         let probe = std::hint::black_box(Box::new(0xA110C8u64));
         drop(probe);
-        ALLOC_CALLS.load(Ordering::Relaxed) > before
+        ALLOC_CALLS.load(Ordering::Relaxed) > before // audit: relaxed-ok(same-thread probe, no cross-thread data)
     })
 }
 

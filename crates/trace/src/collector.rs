@@ -60,13 +60,13 @@ fn state() -> MutexGuard<'static, State> {
 /// True when the collector is recording. One relaxed atomic load.
 #[inline]
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) // audit: relaxed-ok(on/off flag; event data is guarded by the state mutex)
 }
 
 /// Turns the collector on or off. Disabling keeps accumulated data (take a
 /// [`snapshot`] afterwards, or [`reset`] to drop it).
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    ENABLED.store(on, Ordering::Relaxed); // audit: relaxed-ok(on/off flag; event data is guarded by the state mutex)
     if !on {
         flush();
     }

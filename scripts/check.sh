@@ -11,6 +11,12 @@ cargo fmt --all --check
 echo "==> mcpb-audit lint gate"
 cargo run -q -p mcpb-audit
 
+echo "==> mcpb-audit self-check (golden fixtures must match their FIRE: tags exactly)"
+cargo run -q -- audit --self-check
+
+echo "==> mcpb-audit SARIF export (audit.sarif at the repo root)"
+cargo run -q -- audit --format sarif --out audit.sarif
+
 echo "==> cargo test (workspace, MCPB_THREADS=1)"
 MCPB_THREADS=1 cargo test -q --workspace
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates audit.baseline.json (schema v2: per-rule/per-file counts plus
+# advisory line:col spans) from the current state of the workspace.
+#
+# The baseline is a ratchet: committing a regenerated one is how debt gets
+# grandfathered, so this script refuses to run on a dirty tree — the diff
+# must show *only* the baseline change, reviewable against the code that
+# motivated it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ -n "$(git status --porcelain)" ]]; then
+  echo "rebaseline: working tree is dirty — commit or stash first, so the" >&2
+  echo "baseline diff is reviewable on its own. (git status --porcelain:)" >&2
+  git status --porcelain >&2
+  exit 1
+fi
+
+cargo run -q -p mcpb-audit -- --update-baseline
+
+if [[ -z "$(git status --porcelain -- audit.baseline.json)" ]]; then
+  echo "rebaseline: baseline already up to date"
+else
+  echo "rebaseline: audit.baseline.json updated — review and commit:"
+  git --no-pager diff --stat -- audit.baseline.json
+fi

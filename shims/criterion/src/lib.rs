@@ -76,14 +76,35 @@ impl Bencher {
     }
 }
 
+/// One recorded benchmark result, kept so harnesses can persist timings
+/// (the `BENCH_<area>.json` perf-trajectory files) instead of just reading
+/// the printed summary. Not part of the real criterion API.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// The id passed to [`Criterion::bench_function`].
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample, in nanoseconds.
+    pub min_nanos: u128,
+    /// Median sample, in nanoseconds.
+    pub median_nanos: u128,
+    /// Mean over all samples, in nanoseconds.
+    pub mean_nanos: u128,
+}
+
 /// Benchmark registry/configuration (subset of the real API).
 pub struct Criterion {
     sample_size: usize,
+    summaries: Vec<Summary>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            summaries: Vec::new(),
+        }
     }
 }
 
@@ -115,7 +136,19 @@ impl Criterion {
             "{id:<40} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples)",
             sorted.len()
         );
+        self.summaries.push(Summary {
+            id: id.to_string(),
+            samples: sorted.len(),
+            min_nanos: min.as_nanos(),
+            median_nanos: median.as_nanos(),
+            mean_nanos: mean.as_nanos(),
+        });
         self
+    }
+
+    /// Every summary recorded so far, in `bench_function` call order.
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
     }
 }
 
@@ -172,5 +205,17 @@ mod tests {
     #[test]
     fn group_runs() {
         benches();
+    }
+
+    #[test]
+    fn summaries_are_recorded_in_call_order() {
+        let mut c = Criterion::default().sample_size(3);
+        work(&mut c);
+        let ids: Vec<&str> = c.summaries().iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, ["shim/sum", "shim/batched"]);
+        for s in c.summaries() {
+            assert_eq!(s.samples, 3);
+            assert!(s.min_nanos <= s.median_nanos, "{s:?}");
+        }
     }
 }

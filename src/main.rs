@@ -322,6 +322,22 @@ fn par_bench(args: &[String]) {
     );
 }
 
+/// `audit …`: mounts the `mcpb-audit` lint gate as a subcommand so CI
+/// scripts need only the `mcpbench` binary. Same flags and exit codes as
+/// `cargo run -p mcpb-audit` (0 pass, 1 regressions, 2 usage/IO errors).
+fn audit_cmd(args: &[String]) {
+    let default_root =
+        mcpb_audit::cli::detect_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")));
+    match mcpb_audit::cli::run(args, default_root.as_deref()) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("mcpbench audit: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// `trace-validate <file>`: parses every line of a JSONL event file back
 /// through the typed decoder; exits non-zero on the first malformed line.
 fn trace_validate(path: &str) {
@@ -406,6 +422,10 @@ fn main() {
             par_bench(&args[1..]);
             return;
         }
+        Some("audit") => {
+            audit_cmd(&args[1..]);
+            return;
+        }
         _ => {}
     }
     let full = args.iter().any(|a| a == "--full");
@@ -430,6 +450,9 @@ fn main() {
         println!("  journal-diff <a> <b>        compare two sweep journals modulo timing fields");
         println!("  par-bench [<rr_sets>]       time RR sampling at 1 vs N threads; verify");
         println!("                              bit-identical results and report the speedup");
+        println!("  audit [--list] [--format text|json|sarif] [--out FILE] [--fix-hints]");
+        println!("        [--self-check] [--update-baseline]");
+        println!("                              run the workspace lint gate (see audit --help)");
         println!("\nglobal flags: --threads <n> sets the worker-pool size for this invocation");
         println!("set MCPB_THREADS=<n> to control parallelism (default: all cores)");
         println!("set MCPB_TRACE=1 (memory) or MCPB_TRACE=<path> (JSONL) to enable tracing");
