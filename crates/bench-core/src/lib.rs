@@ -17,6 +17,7 @@ pub mod agreement;
 pub mod alloc;
 pub mod experiments;
 pub mod instrument;
+pub mod perf;
 pub mod rating;
 pub mod registry;
 pub mod results;

@@ -1,47 +1,29 @@
-//! Microbenchmarks of the core kernels underpinning the experiments:
-//! coverage oracles, RR-set sampling, IC simulation, greedy variants, and
-//! the autodiff substrate.
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use mcpb_graph::generators;
-use mcpb_graph::weights::{assign_weights, WeightModel};
-use mcpb_im::cascade::influence_mc;
-use mcpb_im::rrset::sample_collection;
-use mcpb_mcp::coverage::CoverageOracle;
-use mcpb_mcp::greedy::{LazyGreedy, NormalGreedy};
+//! Core-kernel microbenchmarks, delegated to the shared perf-trajectory
+//! suite in `mcpb_bench::perf` so `cargo bench` and `mcpbench bench`
+//! measure the exact same kernels and produce the same artifacts:
+//! `BENCH_nn.json`, `BENCH_kernels.json`, `BENCH_im.json`, and
+//! `BENCH_REPORT.md` at the workspace root.
+//!
+//! ```sh
+//! cargo bench -p mcpb-criterion --features bench --bench kernels
+//! ```
+//!
+//! `MCPB_BENCH_QUICK=1` shrinks samples/warmup (sizes and thread counts
+//! are unchanged); `MCPB_BENCH_SAMPLES` / `MCPB_BENCH_THREADS` pin the
+//! suite explicitly.
 
-fn bench(c: &mut Criterion) {
-    let g = generators::barabasi_albert(2_000, 4, 7);
-    let gw = assign_weights(&g, WeightModel::WeightedCascade, 0);
+use std::path::Path;
 
-    c.bench_function("kernels/lazy_greedy_2k_k50", |b| {
-        b.iter(|| LazyGreedy::run(&g, 50))
-    });
-    c.bench_function("kernels/normal_greedy_2k_k50", |b| {
-        b.iter(|| NormalGreedy::run(&g, 50))
-    });
-    c.bench_function("kernels/coverage_oracle_add", |b| {
-        b.iter_batched(
-            || CoverageOracle::new(&g),
-            |mut o| {
-                for v in 0..50u32 {
-                    o.add_seed(v * 7);
-                }
-                o.covered_count()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("kernels/rr_sample_1k", |b| {
-        b.iter(|| sample_collection(&gw, 1_000, 3))
-    });
-    c.bench_function("kernels/ic_mc_500", |b| {
-        b.iter(|| influence_mc(&gw, &[0, 1, 2, 3, 4], 500, 9))
-    });
+fn main() {
+    // crates/bench/ -> crates/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let reports = mcpb_bench::perf::run_all(root).expect("write perf artifacts");
+    for r in &reports {
+        for s in &r.speedups {
+            println!("{}: {} is {:.2}x the reference", r.area, s.name, s.ratio);
+        }
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -85,6 +85,21 @@ impl BitSet {
             .sum()
     }
 
+    /// Read-only view of the backing `u64` words (bit `i` lives in word
+    /// `i / 64` at position `i % 64`). Lets callers run word-level kernels
+    /// (popcount deltas, masked unions) without going through per-bit calls.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable view of the backing words. Bits at positions `>= capacity()`
+    /// in the last word must stay zero — `count`/`iter` trust that invariant.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {

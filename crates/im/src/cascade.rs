@@ -5,11 +5,11 @@
 //! [`influence_mc`] averages many simulated diffusions (parallelized with
 //! rayon); the RIS machinery in [`crate::rrset`] is the scalable estimator.
 
+use crate::scratch::CascadeScratch;
 use mcpb_graph::{Graph, NodeId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 
 /// Runs one IC diffusion from `seeds`; returns the number of active nodes at
 /// quiescence. `visited` is caller-provided scratch (`len == n`, reset
@@ -48,43 +48,49 @@ pub fn simulate_ic_into(
     active
 }
 
-/// Runs one IC diffusion from `seeds` with fresh scratch buffers.
+/// Runs one IC diffusion from `seeds`, reusing this lane's
+/// [`CascadeScratch`] buffers.
 pub fn simulate_ic(graph: &Graph, seeds: &[NodeId], rng: &mut impl Rng) -> usize {
-    let mut visited = vec![0u32; graph.num_nodes()];
-    let mut frontier = Vec::new();
-    simulate_ic_into(graph, seeds, rng, &mut visited, 1, &mut frontier)
+    CascadeScratch::with(|s| {
+        s.ensure_ic(graph.num_nodes());
+        let stamp = s.next_stamp();
+        simulate_ic_into(graph, seeds, rng, &mut s.visited, stamp, &mut s.frontier)
+    })
 }
 
 /// Estimates the influence spread `I(S)` as the mean active count over
-/// `trials` IC simulations. Deterministic per `seed`; trials are split
-/// across rayon workers.
+/// `trials` IC simulations. Deterministic per `seed`: each fixed 64-trial
+/// chunk derives its RNG from the chunk index and the `u64` chunk sums are
+/// combined by integer addition, so neither the thread count nor the
+/// schedule can reach the result. Each worker lane reuses one
+/// [`CascadeScratch`] across all its chunks, so the simulation loop
+/// performs no heap allocation after lane warmup.
 pub fn influence_mc(graph: &Graph, seeds: &[NodeId], trials: usize, seed: u64) -> f64 {
     if trials == 0 || graph.num_nodes() == 0 {
         return 0.0;
     }
     let chunk = 64usize;
-    let chunks: Vec<usize> = (0..trials.div_ceil(chunk)).collect();
-    let total: u64 = chunks
-        .par_iter()
-        .map(|&c| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
-            let mut visited = vec![0u32; graph.num_nodes()];
-            let mut frontier = Vec::new();
-            let in_chunk = chunk.min(trials - c * chunk);
+    let sums = mcpb_par::map_chunked(trials, chunk, |range| {
+        let c = range.start / chunk;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
+        CascadeScratch::with(|s| {
+            s.ensure_ic(graph.num_nodes());
             let mut sum = 0u64;
-            for t in 0..in_chunk {
+            for _ in range {
+                let stamp = s.next_stamp();
                 sum += simulate_ic_into(
                     graph,
                     seeds,
                     &mut rng,
-                    &mut visited,
-                    t as u32 + 1,
-                    &mut frontier,
+                    &mut s.visited,
+                    stamp,
+                    &mut s.frontier,
                 ) as u64;
             }
             sum
         })
-        .sum();
+    });
+    let total: u64 = sums.iter().sum();
     total as f64 / trials as f64
 }
 

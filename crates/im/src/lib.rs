@@ -30,7 +30,9 @@ pub mod discount;
 pub mod imm;
 pub mod lt;
 pub mod opim;
+pub mod reference;
 pub mod rrset;
+pub mod scratch;
 pub mod solver;
 pub mod tim;
 
@@ -43,7 +45,8 @@ pub use discount::{DegreeDiscount, SingleDiscount};
 pub use imm::{Imm, ImmParams};
 pub use lt::{influence_mc_lt, simulate_lt, LtRisGreedy};
 pub use opim::{Opim, OpimParams};
-pub use rrset::{sample_collection, sample_rr_set, RrCollection};
+pub use rrset::{sample_collection, sample_rr_set, RrCollection, SetsView};
+pub use scratch::CascadeScratch;
 pub use solver::{ImSolution, ImSolver};
 pub use tim::{TimParams, TimPlus};
 
@@ -58,7 +61,8 @@ pub mod prelude {
     pub use crate::imm::{Imm, ImmParams};
     pub use crate::lt::{influence_mc_lt, simulate_lt, LtRisGreedy};
     pub use crate::opim::{Opim, OpimParams};
-    pub use crate::rrset::{sample_collection, sample_rr_set, RrCollection};
+    pub use crate::rrset::{sample_collection, sample_rr_set, RrCollection, SetsView};
+    pub use crate::scratch::CascadeScratch;
     pub use crate::solver::{ImSolution, ImSolver};
     pub use crate::tim::{TimParams, TimPlus};
 }

@@ -14,6 +14,7 @@
 //! the Weighted Cascade model satisfies this by construction.
 
 use crate::rrset::RrCollection;
+use crate::scratch::CascadeScratch;
 use crate::solver::{ImSolution, ImSolver};
 use mcpb_graph::{Graph, NodeId};
 use rand::Rng;
@@ -28,59 +29,112 @@ pub fn is_lt_compatible(graph: &Graph) -> bool {
         .all(|v| graph.in_weights(v).iter().map(|&w| w as f64).sum::<f64>() <= 1.0 + 1e-4)
 }
 
-/// Runs one LT diffusion from `seeds` with fresh thresholds; returns the
-/// number of active nodes at quiescence.
-pub fn simulate_lt(graph: &Graph, seeds: &[NodeId], rng: &mut impl Rng) -> usize {
+/// Runs one LT diffusion from `seeds` into caller-provided scratch; returns
+/// the number of active nodes at quiescence.
+///
+/// Thresholds are redrawn into the scratch buffer with the same per-node
+/// draw order as the allocating reference, and activation proceeds
+/// level-synchronously over a single queue (`lo..hi` marks the current
+/// level), so per-node pressure accumulates contributions in exactly the
+/// reference order — the spread is identical simulation by simulation.
+/// After scratch warmup the diffusion performs no heap allocation.
+///
+/// The hot loop is gated by a byte-wide active filter (`lt_active`, one
+/// byte per node, L1-resident) so touches of already-active nodes read a
+/// single byte and skip. Inactive touches then hit exactly one further
+/// per-node array: `lt_state` interleaves `[pressure, threshold]`, putting
+/// both reads of the crossing test on one cache line. Pressure is reset to
+/// `0.0` during the threshold-redraw sweep (which streams the array
+/// anyway), so the accumulate-and-compare is literally the reference's:
+/// `0.0 + w` is bitwise `w` for the non-negative edge weights, making every
+/// per-node pressure sum identical term by term.
+pub fn simulate_lt_into(
+    graph: &Graph,
+    seeds: &[NodeId],
+    rng: &mut impl Rng,
+    s: &mut CascadeScratch,
+) -> usize {
     let n = graph.num_nodes();
-    let mut active = vec![false; n];
-    let mut pressure = vec![0f32; n]; // accumulated active in-weight
-    let mut threshold = vec![0f32; n];
-    for t in threshold.iter_mut() {
-        *t = rng.gen::<f32>();
+    if n == 0 {
+        return 0;
     }
-    let mut frontier: Vec<NodeId> = Vec::new();
+    s.ensure_lt(n);
+    let stamp = s.next_lt_stamp();
+    let CascadeScratch {
+        frontier,
+        lt_state,
+        lt_active,
+        ..
+    } = s;
+    for st in lt_state[..n].iter_mut() {
+        // Same draw order as the reference: one threshold per node, in
+        // node order. The pressure reset rides the same streaming write.
+        *st = [0.0, rng.gen::<f32>()];
+    }
+    frontier.clear();
     let mut count = 0usize;
-    for &s in seeds {
-        if !active[s as usize] {
-            active[s as usize] = true;
-            frontier.push(s);
+    for &sd in seeds {
+        let si = sd as usize;
+        if lt_active[si] != stamp {
+            lt_active[si] = stamp;
+            frontier.push(sd);
             count += 1;
         }
     }
-    while !frontier.is_empty() {
-        let mut next = Vec::new();
-        for &u in &frontier {
+    let mut lo = 0usize;
+    while lo < frontier.len() {
+        let hi = frontier.len();
+        for qi in lo..hi {
+            let u = frontier[qi];
             let nbrs = graph.out_neighbors(u);
             let ws = graph.out_weights(u);
             for (&v, &w) in nbrs.iter().zip(ws) {
                 let vi = v as usize;
-                if !active[vi] {
-                    pressure[vi] += w;
-                    if pressure[vi] >= threshold[vi] {
-                        active[vi] = true;
-                        next.push(v);
-                        count += 1;
-                    }
+                if lt_active[vi] == stamp {
+                    continue;
+                }
+                let [old, threshold] = lt_state[vi];
+                let new = old + w;
+                if new >= threshold {
+                    lt_active[vi] = stamp;
+                    frontier.push(v);
+                    count += 1;
+                } else {
+                    lt_state[vi][0] = new;
                 }
             }
         }
-        frontier = next;
+        lo = hi;
     }
     count
 }
 
-/// Monte-Carlo LT spread estimate (rayon-parallel, seeded).
+/// Runs one LT diffusion from `seeds`, reusing this lane's
+/// [`CascadeScratch`] buffers.
+pub fn simulate_lt(graph: &Graph, seeds: &[NodeId], rng: &mut impl Rng) -> usize {
+    CascadeScratch::with(|s| simulate_lt_into(graph, seeds, rng, s))
+}
+
+/// Monte-Carlo LT spread estimate (pool-parallel, seeded). Each trial
+/// derives its RNG from the trial index — identical to the reference
+/// per-trial seeding — while trials are walked in fixed 64-wide chunks so
+/// each worker lane reuses one [`CascadeScratch`] across its share.
 pub fn influence_mc_lt(graph: &Graph, seeds: &[NodeId], trials: usize, seed: u64) -> f64 {
     if trials == 0 || graph.num_nodes() == 0 {
         return 0.0;
     }
-    let total: u64 = (0..trials)
-        .into_par_iter()
-        .map(|t| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9e37_79b9));
-            simulate_lt(graph, seeds, &mut rng) as u64
+    let sums = mcpb_par::map_chunked(trials, 64, |range| {
+        CascadeScratch::with(|s| {
+            let mut sum = 0u64;
+            for t in range {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9e37_79b9));
+                sum += simulate_lt_into(graph, seeds, &mut rng, s) as u64;
+            }
+            sum
         })
-        .sum();
+    });
+    let total: u64 = sums.iter().sum();
     total as f64 / trials as f64
 }
 

@@ -1,0 +1,138 @@
+//! Reusable per-lane scratch for cascade simulation.
+//!
+//! The IC/LT Monte-Carlo inner loops run millions of short diffusions; a
+//! fresh `visited`/`frontier` pair per chunk was the dominant allocator
+//! traffic in those loops. [`CascadeScratch`] keeps one set of buffers per
+//! worker lane (a `thread_local`, so one per pool thread per invocation)
+//! and epoch-stamps the visited/pressure arrays so consecutive simulations
+//! need no clearing. After [`CascadeScratch::ensure_ic`] /
+//! [`ensure_lt`](CascadeScratch::ensure_lt) warm the buffers for a given
+//! `n`, a simulation performs zero heap allocation — the alloc-regression
+//! test in `tests/golden_equivalence.rs` pins that with
+//! [`mcpb_trace::alloc`] counters.
+
+use mcpb_graph::NodeId;
+use std::cell::RefCell;
+
+/// Per-lane scratch buffers shared by the IC and LT simulators.
+#[derive(Debug, Default)]
+pub struct CascadeScratch {
+    /// Epoch stamps: node `v` is active/visited in the current simulation
+    /// iff `visited[v] == stamp`.
+    pub visited: Vec<u32>,
+    /// Current epoch. Advanced by [`CascadeScratch::next_stamp`].
+    pub stamp: u32,
+    /// BFS queue of activated nodes; capacity is reserved to `n` so pushes
+    /// never reallocate.
+    pub frontier: Vec<NodeId>,
+    /// LT only: interleaved `[pressure, threshold]` per node, so one cache
+    /// line serves both reads of the diffusion's inner test. Reinitialized
+    /// by the per-simulation threshold redraw (pressure to the `-1.0`
+    /// "untouched" sentinel), so no epoch stamps are needed.
+    pub lt_state: Vec<[f32; 2]>,
+    /// LT only: byte-wide epoch stamps marking active nodes — `v` is active
+    /// iff `lt_active[v] == lt_stamp`. One byte per node keeps the array
+    /// L1-resident, so the hot loop's "already active" skip never touches
+    /// `lt_state`.
+    pub lt_active: Vec<u8>,
+    /// Current LT epoch. Advanced by [`CascadeScratch::next_lt_stamp`].
+    pub lt_stamp: u8,
+}
+
+impl CascadeScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the IC buffers (`visited`, `frontier`) for an `n`-node graph.
+    pub fn ensure_ic(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+            self.stamp = 0;
+        }
+        if self.frontier.capacity() < n {
+            self.frontier.reserve(n - self.frontier.capacity());
+        }
+    }
+
+    /// Sizes all buffers (IC set plus `lt_state`/`lt_active`) for LT.
+    pub fn ensure_lt(&mut self, n: usize) {
+        self.ensure_ic(n);
+        if self.lt_state.len() < n {
+            self.lt_state.resize(n, [0.0, 0.0]);
+            self.lt_active.resize(n, 0);
+            self.lt_stamp = 0;
+        }
+    }
+
+    /// Advances to a fresh LT epoch and returns it. The stamp is a single
+    /// byte, so on wraparound (every 255 epochs) the active array is zeroed
+    /// — amortized to a handful of bytes per simulation.
+    pub fn next_lt_stamp(&mut self) -> u8 {
+        self.lt_stamp = self.lt_stamp.wrapping_add(1);
+        if self.lt_stamp == 0 {
+            self.lt_active.fill(0);
+            self.lt_stamp = 1;
+        }
+        self.lt_stamp
+    }
+
+    /// Advances to a fresh epoch and returns it. On wraparound the stamp
+    /// array is zeroed so stale stamps from `u32` epochs ago can never
+    /// collide with the new one.
+    pub fn next_stamp(&mut self) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.visited.fill(0);
+            self.stamp = 1;
+        }
+        self.stamp
+    }
+
+    /// Runs `f` with this lane's scratch. Each worker lane gets its own
+    /// instance; buffers persist across calls within the lane's lifetime
+    /// (for pool workers, the enclosing pool invocation).
+    pub fn with<R>(f: impl FnOnce(&mut CascadeScratch) -> R) -> R {
+        thread_local! {
+            static SCRATCH: RefCell<CascadeScratch> = RefCell::new(CascadeScratch::new());
+        }
+        SCRATCH.with(|s| f(&mut s.borrow_mut()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_sizes_buffers_once() {
+        let mut s = CascadeScratch::new();
+        s.ensure_ic(100);
+        assert_eq!(s.visited.len(), 100);
+        assert!(s.frontier.capacity() >= 100);
+        let cap = s.frontier.capacity();
+        s.ensure_ic(50);
+        assert_eq!(s.visited.len(), 100, "never shrinks");
+        assert_eq!(s.frontier.capacity(), cap);
+    }
+
+    #[test]
+    fn stamp_wraparound_clears_arrays() {
+        let mut s = CascadeScratch::new();
+        s.ensure_lt(4);
+        s.visited[2] = u32::MAX;
+        s.stamp = u32::MAX;
+        let fresh = s.next_stamp();
+        assert_eq!(fresh, 1);
+        assert_eq!(s.visited, vec![0; 4], "stale stamps cleared on wrap");
+    }
+
+    #[test]
+    fn with_reuses_lane_buffers() {
+        CascadeScratch::with(|s| s.ensure_ic(64));
+        let ptr = CascadeScratch::with(|s| s.visited.as_ptr() as usize);
+        let again = CascadeScratch::with(|s| s.visited.as_ptr() as usize);
+        assert_eq!(ptr, again, "same lane sees the same buffers");
+    }
+}

@@ -8,25 +8,32 @@ use mcpb_graph::{BitSet, Graph, NodeId};
 /// Tracks the covered set as seeds are added, and answers marginal-gain
 /// queries without re-scanning previous seeds — the primitive that both
 /// greedy variants and the RL environments are built on.
+///
+/// Queries run at word level: the candidate set `{v} ∪ N(v)` is folded into
+/// per-word delta masks by sweeping the (sorted) adjacency list — equal
+/// word indices are contiguous, so each 64-bit word of the universe appears
+/// as exactly one run, accumulated in a register and flushed with a single
+/// `popcount(delta & !covered_word)`. No stamp array, no scratch buffers:
+/// the only memory the query touches beyond the adjacency list is one
+/// covered word per run. Parallel edges are adjacent in a sorted list and
+/// deduplicate for free (OR is idempotent).
 #[derive(Debug, Clone)]
 pub struct CoverageOracle<'g> {
     graph: &'g Graph,
     covered: BitSet,
+    covered_count: usize,
     seeds: Vec<NodeId>,
-    /// Stamp-based scratch so `marginal_gain` deduplicates parallel-edge
-    /// targets in O(degree) without allocating (interior mutability keeps
-    /// the query `&self`).
-    scratch: std::cell::RefCell<(Vec<u32>, u32)>,
 }
 
 impl<'g> CoverageOracle<'g> {
     /// Creates an oracle with an empty seed set.
     pub fn new(graph: &'g Graph) -> Self {
+        let n = graph.num_nodes();
         Self {
             graph,
-            covered: BitSet::new(graph.num_nodes()),
+            covered: BitSet::new(n),
+            covered_count: 0,
             seeds: Vec::new(),
-            scratch: std::cell::RefCell::new((vec![0; graph.num_nodes()], 0)),
         }
     }
 
@@ -42,7 +49,7 @@ impl<'g> CoverageOracle<'g> {
 
     /// Number of nodes currently covered (`|X_S|`).
     pub fn covered_count(&self) -> usize {
-        self.covered.count()
+        self.covered_count
     }
 
     /// Normalized coverage `f(S) = |X_S| / |V|`.
@@ -58,27 +65,50 @@ impl<'g> CoverageOracle<'g> {
     /// Marginal gain (in newly covered nodes) of adding `v` to the current
     /// seed set. Does not mutate observable state; parallel edges to the
     /// same target count once.
+    ///
+    /// Relies on the CSR sortedness invariant: `out_neighbors` is ascending,
+    /// so every universe word forms one contiguous run of the sweep and the
+    /// per-run mask needs no cross-run deduplication.
     pub fn marginal_gain(&self, v: NodeId) -> usize {
-        let mut guard = self.scratch.borrow_mut();
-        let (stamps, stamp) = &mut *guard;
-        *stamp = stamp.wrapping_add(1);
-        let s = *stamp;
+        let covered = self.covered.words();
+        let vi = v as usize;
+        let (vw, vb) = (vi / 64, 1u64 << (vi % 64));
         let mut gain = 0usize;
-        if !self.covered.contains(v as usize) {
-            stamps[v as usize] = s;
-            gain += 1;
-        }
+        let mut cur_w = usize::MAX;
+        let mut cur_mask = 0u64;
+        let mut v_merged = false;
         for &u in self.graph.out_neighbors(v) {
             let ui = u as usize;
-            if u != v && !self.covered.contains(ui) && stamps[ui] != s {
-                stamps[ui] = s;
-                gain += 1;
+            let w = ui / 64;
+            if w != cur_w {
+                if cur_w != usize::MAX {
+                    gain += (cur_mask & !covered[cur_w]).count_ones() as usize;
+                }
+                cur_w = w;
+                cur_mask = 0;
+                if w == vw {
+                    cur_mask = vb;
+                    v_merged = true;
+                }
             }
+            cur_mask |= 1u64 << (ui % 64);
+        }
+        if cur_w != usize::MAX {
+            gain += (cur_mask & !covered[cur_w]).count_ones() as usize;
+        }
+        if !v_merged {
+            gain += (vb & !covered[vw]).count_ones() as usize;
         }
         gain
     }
 
     /// Adds `v` as a seed and returns its realized marginal gain.
+    ///
+    /// Mutation is a plain test-and-set walk: `BitSet::insert` already
+    /// deduplicates (parallel edges insert once), and unlike gain queries
+    /// there is no dedup scratch to avoid — so the insert walk is the
+    /// cheapest possible form. The incremental `covered_count` keeps the
+    /// count query O(1) instead of the reference's full word scan.
     pub fn add_seed(&mut self, v: NodeId) -> usize {
         let mut gain = usize::from(self.covered.insert(v as usize));
         for &u in self.graph.out_neighbors(v) {
@@ -86,6 +116,7 @@ impl<'g> CoverageOracle<'g> {
                 gain += 1;
             }
         }
+        self.covered_count += gain;
         self.seeds.push(v);
         gain
     }
@@ -98,6 +129,7 @@ impl<'g> CoverageOracle<'g> {
     /// Resets to the empty seed set.
     pub fn reset(&mut self) {
         self.covered.clear();
+        self.covered_count = 0;
         self.seeds.clear();
     }
 }

@@ -19,6 +19,7 @@
 pub mod baselines;
 pub mod coverage;
 pub mod greedy;
+pub mod reference;
 pub mod solver;
 pub mod variants;
 

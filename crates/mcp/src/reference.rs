@@ -1,0 +1,75 @@
+//! Pre-optimization reference implementation of the coverage oracle, kept
+//! verbatim for the golden equivalence suite and the perf harness.
+//!
+//! This is the stamp-walk oracle that shipped before the word-level rewrite
+//! in [`crate::coverage::CoverageOracle`]: `marginal_gain` probes the
+//! covered bitset per neighbor and deduplicates parallel edges with an
+//! epoch-stamp array; `add_seed` inserts per neighbor. The optimized oracle
+//! must agree with it exactly — same gains, same covered counts — on every
+//! graph and seed order.
+
+use mcpb_graph::{BitSet, Graph, NodeId};
+
+/// The pre-PR per-node-walk coverage oracle.
+#[derive(Debug, Clone)]
+pub struct CoverageOracle<'g> {
+    graph: &'g Graph,
+    covered: BitSet,
+    seeds: Vec<NodeId>,
+    scratch: std::cell::RefCell<(Vec<u32>, u32)>,
+}
+
+impl<'g> CoverageOracle<'g> {
+    /// Creates an oracle with an empty seed set.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            covered: BitSet::new(graph.num_nodes()),
+            seeds: Vec::new(),
+            scratch: std::cell::RefCell::new((vec![0; graph.num_nodes()], 0)),
+        }
+    }
+
+    /// Seeds added so far, in insertion order.
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    /// Number of nodes currently covered (`|X_S|`).
+    pub fn covered_count(&self) -> usize {
+        self.covered.count()
+    }
+
+    /// Marginal gain of adding `v`, by walking `N(v)` with stamp dedup.
+    pub fn marginal_gain(&self, v: NodeId) -> usize {
+        let mut guard = self.scratch.borrow_mut();
+        let (stamps, stamp) = &mut *guard;
+        *stamp = stamp.wrapping_add(1);
+        let s = *stamp;
+        let mut gain = 0usize;
+        if !self.covered.contains(v as usize) {
+            stamps[v as usize] = s;
+            gain += 1;
+        }
+        for &u in self.graph.out_neighbors(v) {
+            let ui = u as usize;
+            if u != v && !self.covered.contains(ui) && stamps[ui] != s {
+                stamps[ui] = s;
+                gain += 1;
+            }
+        }
+        gain
+    }
+
+    /// Adds `v` as a seed and returns its realized marginal gain.
+    pub fn add_seed(&mut self, v: NodeId) -> usize {
+        let mut gain = usize::from(self.covered.insert(v as usize));
+        for &u in self.graph.out_neighbors(v) {
+            if u != v && self.covered.insert(u as usize) {
+                gain += 1;
+            }
+        }
+        self.seeds.push(v);
+        gain
+    }
+}

@@ -27,6 +27,7 @@ pub mod gradcheck;
 pub mod layers;
 pub mod optim;
 pub mod params;
+pub mod reference;
 pub mod tape;
 pub mod tape_softmax;
 pub mod tensor;

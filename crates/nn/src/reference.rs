@@ -1,0 +1,41 @@
+//! Pre-optimization reference kernels, kept verbatim for the golden
+//! equivalence suite and the perf harness.
+//!
+//! [`matmul_naive`] is the scalar triple loop that shipped before the
+//! cache-blocked microkernel in [`crate::tensor::Tensor::matmul`] (including
+//! its `a == 0.0` skip). The optimized kernel must stay *bit-identical* to
+//! it on finite inputs: both accumulate each output element in strictly
+//! increasing `k` order with a single accumulator, and skipping a zero
+//! multiplier cannot change the accumulator bits because `acc + 0.0 * b`
+//! rounds to `acc` whenever `acc` is finite and not `-0.0` — and an
+//! accumulator that starts at `+0.0` and only ever adds products can never
+//! become `-0.0` under round-to-nearest.
+
+use crate::tensor::Tensor;
+
+/// The pre-PR scalar matmul: row-major triple loop with a zero-skip branch.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(
+        a.cols, b.rows,
+        "matmul shape mismatch: {}x{} * {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let mut out = Tensor::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for l in 0..a.cols {
+            let av = a.data[i * a.cols + l];
+            // Exact-zero skip is the kernel's contract: only bit-exact
+            // zeros (e.g. ReLU outputs) may be elided.
+            // audit:allow(MCPB004)
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &b.data[l * b.cols..(l + 1) * b.cols];
+            let crow = &mut out.data[i * b.cols..(i + 1) * b.cols];
+            for (cv, &ov) in crow.iter_mut().zip(orow) {
+                *cv += av * ov;
+            }
+        }
+    }
+    out
+}

@@ -106,6 +106,14 @@ pub fn reset_peak() {
     }
 }
 
+/// Monotonic count of allocation calls since process start (0 unless the
+/// tracking allocator is installed). Deltas of this counter are the
+/// alloc-regression probe: a loop that performs zero heap allocation leaves
+/// it unchanged, regardless of allocation *size*.
+pub fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed) // audit: relaxed-ok(statistics read, no synchronization implied)
+}
+
 /// True when [`TrackingAllocator`] is this process's global allocator.
 ///
 /// Detection is exact, not heuristic: the probe heap-allocates, and only

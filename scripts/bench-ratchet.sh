@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Perf ratchet: compares the working tree's BENCH_nn.json / BENCH_kernels.json
+# / BENCH_im.json against the copies committed at HEAD and fails if any bench
+# median regressed by more than the tolerance (default 10%). Baselines are
+# the committed files themselves — a deliberate slowdown is landed by
+# committing the new numbers, which is what `--rebaseline` does.
+#
+#   scripts/bench-ratchet.sh               # check working tree vs HEAD
+#   scripts/bench-ratchet.sh --tolerance 0.25
+#   scripts/bench-ratchet.sh --rebaseline  # re-run the suite, refresh files
+#
+# Like scripts/rebaseline.sh, --rebaseline refuses a dirty tree: the diff
+# must show only the baseline change, reviewable against the code that
+# motivated it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+AREAS=(nn kernels im)
+TOLERANCE=0.10
+REBASELINE=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --tolerance)
+      TOLERANCE="${2:?--tolerance needs a value}"
+      shift 2
+      ;;
+    --rebaseline)
+      REBASELINE=1
+      shift
+      ;;
+    *)
+      echo "usage: scripts/bench-ratchet.sh [--tolerance <frac>] [--rebaseline]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [[ "$REBASELINE" == 1 ]]; then
+  if [[ -n "$(git status --porcelain)" ]]; then
+    echo "bench-ratchet: working tree is dirty — commit or stash first, so the" >&2
+    echo "baseline diff is reviewable on its own. (git status --porcelain:)" >&2
+    git status --porcelain >&2
+    exit 1
+  fi
+  cargo run -q --release -- bench
+  echo "bench-ratchet: baselines refreshed — review and commit:"
+  git --no-pager diff --stat -- BENCH_nn.json BENCH_kernels.json BENCH_im.json BENCH_REPORT.md
+  exit 0
+fi
+
+status=0
+for area in "${AREAS[@]}"; do
+  file="BENCH_${area}.json"
+  if [[ ! -f "$file" ]]; then
+    echo "bench-ratchet: $file missing from working tree" >&2
+    status=1
+    continue
+  fi
+  if ! git cat-file -e "HEAD:$file" 2>/dev/null; then
+    echo "bench-ratchet: $file has no committed baseline yet — skipping"
+    continue
+  fi
+  base="$(mktemp "${TMPDIR:-/tmp}/bench-base-${area}.XXXXXX.json")"
+  git show "HEAD:$file" > "$base"
+  if ! cargo run -q --release -- bench-check "$base" "$file" --tolerance "$TOLERANCE"; then
+    status=1
+  fi
+  rm -f "$base"
+done
+
+if [[ "$status" != 0 ]]; then
+  echo "bench-ratchet: FAILED — a recorded kernel regressed beyond ${TOLERANCE}." >&2
+  echo "If the slowdown is intentional, land it via scripts/bench-ratchet.sh --rebaseline." >&2
+fi
+exit "$status"

@@ -55,4 +55,10 @@ cargo run -q -- --threads 4 sweep --journal "$JOURNAL_T4" >/dev/null
 cargo run -q -- journal-diff "$JOURNAL_T1" "$JOURNAL_T4"
 cargo run -q -- --threads 4 par-bench 50000
 
-echo "OK: fmt, audit, tests, telemetry, fault-injection, and thread-invariance smokes all green"
+echo "==> perf suite smoke (quick mode; rewrites BENCH_nn/kernels/im.json + BENCH_REPORT.md)"
+MCPB_BENCH_QUICK=1 cargo run -q --release -- bench
+
+echo "==> perf ratchet (working-tree BENCH_*.json vs committed baselines, 10% tolerance)"
+scripts/bench-ratchet.sh
+
+echo "OK: fmt, audit, tests, telemetry, fault-injection, thread-invariance, and perf smokes all green"

@@ -16,6 +16,64 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Env pin for the per-benchmark sample count: when `MCPB_BENCH_SAMPLES` is
+/// set to a positive integer it overrides both the default and any
+/// programmatic [`Criterion::sample_size`] call, so CI can shrink (or a
+/// careful local run can grow) every bench in a process uniformly.
+pub fn env_samples() -> Option<usize> {
+    std::env::var("MCPB_BENCH_SAMPLES")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 2)
+}
+
+/// True when `MCPB_BENCH_QUICK` is set to `1`/`true`: quick mode keeps
+/// every problem size and thread count (so medians stay comparable to
+/// full-run baselines) but drops the default sample count and the warmup
+/// sizing target, trading variance for wall-clock.
+pub fn quick_mode() -> bool {
+    matches!(
+        std::env::var("MCPB_BENCH_QUICK").as_deref(),
+        Ok("1") | Ok("true")
+    )
+}
+
+/// The thread counts a scaling suite should sweep: `MCPB_BENCH_THREADS`
+/// as a comma-separated list (e.g. `1,2,4`), defaulting to `1,2,4,8`.
+pub fn bench_threads() -> Vec<usize> {
+    match std::env::var("MCPB_BENCH_THREADS") {
+        Ok(s) => {
+            let parsed: Vec<usize> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse::<usize>().ok())
+                .filter(|&t| t >= 1)
+                .collect();
+            if parsed.is_empty() {
+                vec![1, 2, 4, 8]
+            } else {
+                parsed
+            }
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Minimum per-sample duration the warmup loop sizes batches toward.
+fn warmup_target() -> Duration {
+    if quick_mode() {
+        Duration::from_micros(500)
+    } else {
+        Duration::from_millis(5)
+    }
+}
+
+/// Default samples per benchmark (env pin > quick mode > 20).
+fn default_samples() -> usize {
+    env_samples().unwrap_or(if quick_mode() { 5 } else { 20 })
+}
+
 /// How `iter_batched` amortizes setup cost (accepted, but the shim always
 /// re-runs setup per iteration).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +95,9 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, collecting `sample_size` samples after warmup.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
-        // Warmup + batch sizing: aim for >= ~5ms per sample.
+        // Warmup + batch sizing: aim for >= ~5ms per sample (less under
+        // quick mode — see `quick_mode`).
+        let target = warmup_target();
         let mut batch = 1usize;
         loop {
             let t = Instant::now();
@@ -45,7 +105,7 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = t.elapsed();
-            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+            if elapsed >= target || batch >= 1 << 20 {
                 break;
             }
             batch *= 2;
@@ -102,17 +162,18 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
-            sample_size: 20,
+            sample_size: default_samples(),
             summaries: Vec::new(),
         }
     }
 }
 
 impl Criterion {
-    /// Sets the per-benchmark sample count.
+    /// Sets the per-benchmark sample count. An `MCPB_BENCH_SAMPLES` env pin
+    /// takes precedence so a whole process can be resized uniformly.
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n >= 2, "sample_size must be >= 2");
-        self.sample_size = n;
+        self.sample_size = env_samples().unwrap_or(n);
         self
     }
 
@@ -207,8 +268,12 @@ mod tests {
         benches();
     }
 
+    /// Env-var mutation is process-global; tests that touch it serialize.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn summaries_are_recorded_in_call_order() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let mut c = Criterion::default().sample_size(3);
         work(&mut c);
         let ids: Vec<&str> = c.summaries().iter().map(|s| s.id.as_str()).collect();
@@ -217,5 +282,33 @@ mod tests {
             assert_eq!(s.samples, 3);
             assert!(s.min_nanos <= s.median_nanos, "{s:?}");
         }
+    }
+
+    #[test]
+    fn env_pins_override_defaults() {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+
+        assert_eq!(env_samples(), None);
+        std::env::set_var("MCPB_BENCH_SAMPLES", "7");
+        assert_eq!(env_samples(), Some(7));
+        let c = Criterion::default().sample_size(50);
+        assert_eq!(c.sample_size, 7, "env pin beats programmatic size");
+        std::env::set_var("MCPB_BENCH_SAMPLES", "1");
+        assert_eq!(env_samples(), None, "below-minimum pin is ignored");
+        std::env::remove_var("MCPB_BENCH_SAMPLES");
+
+        assert!(!quick_mode());
+        std::env::set_var("MCPB_BENCH_QUICK", "1");
+        assert!(quick_mode());
+        assert!(warmup_target() < Duration::from_millis(5));
+        assert!(default_samples() < 20);
+        std::env::remove_var("MCPB_BENCH_QUICK");
+
+        assert_eq!(bench_threads(), vec![1, 2, 4, 8]);
+        std::env::set_var("MCPB_BENCH_THREADS", "1, 3,9");
+        assert_eq!(bench_threads(), vec![1, 3, 9]);
+        std::env::set_var("MCPB_BENCH_THREADS", "zero");
+        assert_eq!(bench_threads(), vec![1, 2, 4, 8], "garbage falls back");
+        std::env::remove_var("MCPB_BENCH_THREADS");
     }
 }

@@ -338,6 +338,94 @@ fn audit_cmd(args: &[String]) {
     }
 }
 
+/// `bench [--quick]`: runs the recorded perf suite and writes
+/// `BENCH_nn.json`, `BENCH_kernels.json`, `BENCH_im.json`, and
+/// `BENCH_REPORT.md` at the workspace root. `--quick` shrinks samples and
+/// warmup (problem sizes and thread counts are unchanged, so medians stay
+/// comparable — just noisier); `MCPB_BENCH_SAMPLES` / `MCPB_BENCH_THREADS`
+/// pin the suite further.
+fn bench_cmd(args: &[String]) {
+    for a in args {
+        match a.as_str() {
+            "--quick" => std::env::set_var("MCPB_BENCH_QUICK", "1"),
+            _ => {
+                eprintln!("usage: mcpbench bench [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = mcpb_audit::cli::detect_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .unwrap_or_else(|| {
+            eprintln!("mcpbench bench: cannot locate workspace root");
+            std::process::exit(2);
+        });
+    let reports = mcpb_bench::perf::run_all(&root).unwrap_or_else(|e| {
+        eprintln!("mcpbench bench: {e}");
+        std::process::exit(1);
+    });
+    for r in &reports {
+        for s in &r.speedups {
+            println!("{}: {} is {:.2}x the reference", r.area, s.name, s.ratio);
+        }
+    }
+}
+
+/// `bench-check <baseline.json> <current.json> [--tolerance <frac>]`:
+/// the perf ratchet. Exits 1 when any bench present in the baseline
+/// regressed its median by more than the tolerance (default 10%) or went
+/// missing; faster-than-baseline and brand-new benches always pass.
+fn bench_check_cmd(args: &[String]) {
+    fn usage() -> ! {
+        eprintln!(
+            "usage: mcpbench bench-check <baseline.json> <current.json> [--tolerance <frac>]"
+        );
+        std::process::exit(2);
+    }
+    let mut tolerance = 0.10f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            tolerance = it
+                .next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|t| t.is_finite() && *t >= 0.0)
+                .unwrap_or_else(|| usage());
+        } else if a.starts_with("--") {
+            usage();
+        } else {
+            paths.push(a);
+        }
+    }
+    let [base_path, cur_path] = paths.as_slice() else {
+        usage();
+    };
+    let parse = |path: &str| -> serde_json::Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench-check: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("bench-check: cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse(base_path);
+    let current = parse(cur_path);
+    let violations = mcpb_bench::perf::compare_benches(&baseline, &current, tolerance);
+    if violations.is_empty() {
+        println!(
+            "bench-check: {cur_path} holds the ratchet vs {base_path} (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    } else {
+        for v in &violations {
+            eprintln!("bench-check: REGRESSION {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// `trace-validate <file>`: parses every line of a JSONL event file back
 /// through the typed decoder; exits non-zero on the first malformed line.
 fn trace_validate(path: &str) {
@@ -426,6 +514,14 @@ fn main() {
             audit_cmd(&args[1..]);
             return;
         }
+        Some("bench") => {
+            bench_cmd(&args[1..]);
+            return;
+        }
+        Some("bench-check") => {
+            bench_check_cmd(&args[1..]);
+            return;
+        }
         _ => {}
     }
     let full = args.iter().any(|a| a == "--full");
@@ -453,6 +549,17 @@ fn main() {
         println!("  audit [--list] [--format text|json|sarif] [--out FILE] [--fix-hints]");
         println!("        [--self-check] [--update-baseline]");
         println!("                              run the workspace lint gate (see audit --help)");
+        println!(
+            "  bench [--quick]             run the recorded perf suite; writes BENCH_nn.json,"
+        );
+        println!(
+            "                              BENCH_kernels.json, BENCH_im.json + BENCH_REPORT.md"
+        );
+        println!("  bench-check <base> <cur> [--tolerance <frac>]");
+        println!("                              perf ratchet: fail if any baseline bench median");
+        println!(
+            "                              regressed by more than the tolerance (default 10%)"
+        );
         println!("\nglobal flags: --threads <n> sets the worker-pool size for this invocation");
         println!("set MCPB_THREADS=<n> to control parallelism (default: all cores)");
         println!("set MCPB_TRACE=1 (memory) or MCPB_TRACE=<path> (JSONL) to enable tracing");
