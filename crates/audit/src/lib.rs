@@ -29,6 +29,7 @@
 //! | MCPB012 | relaxed-ordering       | Relaxed gives no happens-before edge         |
 //! | MCPB013 | alloc-in-hot-loop      | per-item allocation dominates kernel profiles|
 //! | MCPB014 | box-dyn-in-loop        | per-item boxing allocates and blocks inlining|
+//! | MCPB015 | dynamic-metric-name-in-hot-loop | computed metric names format per item |
 //!
 //! See DESIGN.md § "Static analysis" for the full rule table with examples
 //! and allowlist syntax. False positives are waived inline with

@@ -1,11 +1,11 @@
-//! The lint rules (MCPB001–MCPB014).
+//! The lint rules (MCPB001–MCPB015).
 //!
 //! Rules come in two flavors, both dependency-free (no `syn`, no type
 //! resolution):
 //!
 //! - *line rules* (MCPB001–MCPB008) scan the sanitized line view, where
 //!   comment and string contents are already blanked;
-//! - *token rules* (MCPB009–MCPB014) walk the lossless token stream from
+//! - *token rules* (MCPB009–MCPB015) walk the lossless token stream from
 //!   [`crate::lexer`] with the [`crate::syntax::ScopeMap`] annotations, so
 //!   they can require a pattern to sit inside a loop body or match exact
 //!   token sequences like `Ordering :: Relaxed`.
@@ -169,6 +169,12 @@ pub const RULES: &[Rule] = &[
         name: "box-dyn-in-loop",
         severity: Severity::Warn,
         fix_hint: "boxing a trait object per loop item allocates and blocks inlining; hoist the Box out of the loop, or dispatch through a generic/enum instead",
+    },
+    Rule {
+        id: "MCPB015",
+        name: "dynamic-metric-name-in-hot-loop",
+        severity: Severity::Warn,
+        fix_hint: "trace::observe/counter_add with a computed metric name in a hot loop formats a String and defeats per-name aggregation; use a string literal (one stable series per site), or hoist the name construction out of the loop",
     },
 ];
 
@@ -622,7 +628,7 @@ fn check_solver_panic_surface(
     }
 }
 
-/// Dispatches the token-stream rules (MCPB010–MCPB014). MCPB009 shares the
+/// Dispatches the token-stream rules (MCPB010–MCPB015). MCPB009 shares the
 /// declaration-tracking line scan with MCPB005 above.
 fn check_token_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
     // Indices of non-trivia tokens, so rules can match adjacent-token
@@ -734,6 +740,21 @@ fn check_token_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
                 || (txt(k + 1) == "<" && txt(k + 2) == "dyn"))
         {
             push_tok(k, "MCPB014", findings);
+        }
+
+        // MCPB015: `observe(...)` / `counter_add(...)` with a non-literal
+        // metric name inside a hot kernel loop. Only free/path calls are
+        // metric sites (`.observe(v)` is `Histogram::observe`, which takes
+        // a value, not a name), and `fn observe(` is a definition.
+        if hot_scope
+            && in_loop
+            && matches!(txt(k), "observe" | "counter_add")
+            && txt(k + 1) == "("
+            && txt(k.wrapping_sub(1)) != "."
+            && txt(k.wrapping_sub(1)) != "fn"
+            && kind(k + 2) != Some(TokenKind::Str)
+        {
+            push_tok(k, "MCPB015", findings);
         }
     }
 }
@@ -1058,6 +1079,29 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_metric_names_flagged_in_hot_loops() {
+        let src = "fn f(names: &[String], vals: &[f64]) {\n    for (n, v) in names.iter().zip(vals) {\n        mcpb_trace::observe(n, *v);\n        counter_add(format!(\"{n}.count\"), 1);\n    }\n}\n";
+        let f = scan_at("crates/nn/src/kernels.rs", src);
+        let hits: Vec<_> = rules_of(&f)
+            .into_iter()
+            .filter(|r| *r == "MCPB015")
+            .collect();
+        // `observe(n, …)` and `counter_add(format!…, …)` both fire; the
+        // format! itself additionally trips MCPB013.
+        assert_eq!(hits.len(), 2, "{f:?}");
+        // Same code outside the hot paths is not MCPB015's business.
+        let f = scan_at("crates/graph/src/io.rs", src);
+        assert!(!rules_of(&f).contains(&"MCPB015"), "{f:?}");
+    }
+
+    #[test]
+    fn literal_metric_names_and_non_metric_observe_are_clean() {
+        let src = "fn f(xs: &[f64]) {\n    let mut h = Histogram::new();\n    for x in xs {\n        mcpb_trace::observe(\"nn.loss\", *x);\n        counter_add(\"nn.items\", 1);\n        h.observe(*x);\n    }\n}\nfn observe(name: &str, v: f64) {}\n";
+        let f = scan_at("crates/nn/src/kernels.rs", src);
+        assert!(!rules_of(&f).contains(&"MCPB015"), "{f:?}");
+    }
+
+    #[test]
     fn findings_carry_columns() {
         let f = scan("let a = x.unwrap();\n");
         assert_eq!(f.len(), 1);
@@ -1068,7 +1112,7 @@ mod tests {
 
     #[test]
     fn rule_table_is_consistent() {
-        assert_eq!(RULES.len(), 14);
+        assert_eq!(RULES.len(), 15);
         for r in RULES {
             assert!(r.id.starts_with("MCPB"));
             assert!(!r.fix_hint.is_empty());

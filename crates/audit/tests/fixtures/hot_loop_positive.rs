@@ -1,4 +1,4 @@
-//! Positive fixture for the hot-loop allocation pack (MCPB013/MCPB014).
+//! Positive fixture for the hot-loop packs (MCPB013/MCPB014/MCPB015).
 //! Scanned under a synthetic hot-kernel path (`crates/nn/src/fixture.rs`).
 //! Allocations *outside* loop bodies — including in the loop header — are
 //! untagged and must stay clean; the same is true of the hoisted-scratch
@@ -35,6 +35,23 @@ pub fn hoisted_scratch_is_clean(xs: &[f32], n: usize) -> f32 {
         acc += scratch.last().copied().unwrap_or_default();
     }
     acc
+}
+
+pub fn dynamic_metric_names(names: &[String], vals: &[f64]) {
+    for (name, v) in names.iter().zip(vals) {
+        mcpb_trace::observe(name, *v); // FIRE:MCPB015
+        counter_add(&name, 1); // FIRE:MCPB015
+    }
+}
+
+pub fn literal_metric_names_are_clean(xs: &[f64]) -> f64 {
+    let mut h = Histogram::new();
+    for x in xs {
+        mcpb_trace::observe("nn.loss", *x); // clean: literal name
+        counter_add("nn.items", 1); // clean: literal name
+        h.observe(*x); // clean: method call, the arg is a value
+    }
+    h.mean()
 }
 
 pub fn boxed_per_item(n: usize) -> usize {

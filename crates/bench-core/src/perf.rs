@@ -363,11 +363,25 @@ pub fn render_json(report: &AreaReport) -> String {
             })
             .collect(),
     );
+    // Host metadata rides along for attribution; `compare_benches` ignores
+    // unknown fields, so older baselines stay comparable.
+    let host = obj(vec![
+        ("threads", (host_threads() as u64).to_value()),
+        ("target_cpu", host_target_cpu().to_value()),
+        (
+            "thread_override",
+            match thread_override() {
+                Some(n) => (n as u64).to_value(),
+                None => Value::Null,
+            },
+        ),
+    ]);
     let doc = obj(vec![
         ("schema", "mcpb-perf/1".to_value()),
         ("area", report.area.to_value()),
         ("quick", quick_mode().to_value()),
         ("host_threads", (host_threads() as u64).to_value()),
+        ("host", host),
         ("threads", {
             Value::Array(
                 bench_threads()
@@ -392,6 +406,45 @@ fn host_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// The `-C target-cpu=…` the workspace pins (from `RUSTFLAGS` if set, else
+/// the workspace `.cargo/config.toml`), or `"generic"` when neither names
+/// one. Recorded so a perf regression between two hosts can be attributed
+/// to codegen-floor differences instead of kernel changes.
+fn host_target_cpu() -> String {
+    fn extract(text: &str) -> Option<String> {
+        let start = text.find("target-cpu=")? + "target-cpu=".len();
+        let rest = &text[start..];
+        let end = rest
+            .find(|c: char| c == '"' || c == '\'' || c.is_whitespace() || c == ',' || c == ']')
+            .unwrap_or(rest.len());
+        Some(rest[..end].to_string()).filter(|s| !s.is_empty())
+    }
+    if let Some(cpu) = std::env::var("RUSTFLAGS").ok().as_deref().and_then(extract) {
+        return cpu;
+    }
+    // crates/bench-core/ -> workspace root.
+    let config = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../.cargo/config.toml");
+    if let Some(cpu) = std::fs::read_to_string(config)
+        .ok()
+        .as_deref()
+        .and_then(extract)
+    {
+        return cpu;
+    }
+    "generic".to_string()
+}
+
+/// The thread-count override in effect while recording, if any:
+/// `mcpbench --threads` (programmatic) first, then `MCPB_THREADS`.
+fn thread_override() -> Option<usize> {
+    mcpb_par::thread_override().or_else(|| {
+        std::env::var(mcpb_par::ENV_VAR)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
 }
 
 fn fmt_nanos(n: u128) -> String {
@@ -423,6 +476,15 @@ pub fn render_markdown(reports: &[AreaReport]) -> String {
          `MCPB_THREADS` invariance suites pin that the *results* stay \
          bit-identical at every thread count regardless.\n",
         host_threads()
+    ));
+    out.push_str(&format!(
+        "\nHost: {} thread(s), `target-cpu={}`, thread override {}.\n",
+        host_threads(),
+        host_target_cpu(),
+        match thread_override() {
+            Some(n) => format!("{n}"),
+            None => "none".to_string(),
+        },
     ));
     for r in reports {
         out.push_str(&format!("\n## Area `{}`\n\n", r.area));
@@ -656,6 +718,47 @@ mod tests {
             Some("mcpb-perf/1")
         );
         assert!(compare_benches(&parsed, &parsed, 0.0).is_empty());
+    }
+
+    #[test]
+    fn host_metadata_is_recorded_and_ratchet_ignores_it() {
+        let report = AreaReport {
+            area: "nn",
+            benches: Vec::new(),
+            speedups: Vec::new(),
+        };
+        let text = render_json(&report);
+        let parsed: Value = serde_json::from_str(&text).expect("parse");
+        let host = parsed.get("host").expect("host block");
+        assert!(host.get("threads").and_then(|v| v.as_u64()).unwrap_or(0) >= 1);
+        let cpu = host
+            .get("target_cpu")
+            .and_then(|v| v.as_str())
+            .expect("target_cpu");
+        assert!(!cpu.is_empty());
+        // The override slot exists even when no override is active.
+        assert!(host.get("thread_override").is_some());
+        // A baseline without the host block still compares cleanly.
+        let bare = doc(&[]);
+        assert!(compare_benches(&bare, &parsed, 0.10).is_empty());
+        let md = render_markdown(&[report]);
+        assert!(md.contains("target-cpu="), "{md}");
+    }
+
+    #[test]
+    fn target_cpu_extraction_reads_workspace_config() {
+        // This workspace pins x86-64-v3 in .cargo/config.toml; RUSTFLAGS
+        // (when set by a wrapper) must win instead. Either way the probe
+        // returns a non-empty name rather than panicking.
+        let cpu = host_target_cpu();
+        assert!(!cpu.is_empty());
+        if std::env::var("RUSTFLAGS")
+            .ok()
+            .filter(|f| f.contains("target-cpu="))
+            .is_none()
+        {
+            assert_eq!(cpu, "x86-64-v3");
+        }
     }
 
     #[test]

@@ -164,12 +164,16 @@ pub fn im_config_hash(
 }
 
 /// Per-run bookkeeping: the optional journal writer, the completed-cell
-/// map loaded on resume, and the failure accumulator.
+/// map loaded on resume, the failure accumulator, and the progress clock
+/// behind the `sweep.cells_done` / `sweep.eta_secs` heartbeats.
 struct SweepSession {
     writer: Option<JournalWriter>,
     completed: HashMap<String, SweepRecord>,
     resumed: usize,
     failures: Vec<CellFailure>,
+    planned_cells: usize,
+    cells_done: usize,
+    watch: mcpb_trace::Stopwatch,
 }
 
 impl SweepSession {
@@ -178,6 +182,7 @@ impl SweepSession {
         label: &str,
         seed: u64,
         config_hash: u64,
+        planned_cells: usize,
     ) -> Result<SweepSession, JournalError> {
         let mut completed = HashMap::new();
         let writer = if let Some(path) = &opts.resume {
@@ -219,7 +224,35 @@ impl SweepSession {
             completed,
             resumed: 0,
             failures: Vec::new(),
+            planned_cells,
+            cells_done: 0,
+            watch: mcpb_trace::Stopwatch::start(),
         })
+    }
+
+    /// Ticks the per-cell progress heartbeat: one `sweep.cells_done` and
+    /// one `sweep.eta_secs` Metric event per committed cell (replayed,
+    /// completed, or failed), so a live `MCPB_TRACE` tail shows how far
+    /// through the planned grid the run is. Gated on the collector so the
+    /// disabled path stays a counter bump plus one atomic load.
+    fn heartbeat(&mut self) {
+        self.cells_done += 1;
+        if !mcpb_trace::is_enabled() || self.planned_cells == 0 {
+            return;
+        }
+        mcpb_trace::emit(mcpb_trace::Event::Metric {
+            name: "sweep.cells_done".to_string(),
+            value: self.cells_done as f64,
+        });
+        let elapsed = self.watch.elapsed_secs();
+        if elapsed > 0.0 {
+            let rate = self.cells_done as f64 / elapsed;
+            let remaining = self.planned_cells.saturating_sub(self.cells_done);
+            mcpb_trace::emit(mcpb_trace::Event::Metric {
+                name: "sweep.eta_secs".to_string(),
+                value: remaining as f64 / rate,
+            });
+        }
     }
 
     /// Replays a completed cell from the resume journal, if present.
@@ -391,6 +424,7 @@ fn run_grid_block<S: Send>(
     for (ki, row) in plans.into_iter().enumerate() {
         let k = budgets[ki];
         for (si, plan) in row.into_iter().enumerate() {
+            session.heartbeat();
             match plan {
                 CellPlan::Replay(rec) => records.push(rec),
                 CellPlan::Run(_) => {
@@ -461,7 +495,8 @@ pub fn run_mcp_sweep_resilient(
     opts: &SweepOptions,
 ) -> Result<SweepOutcome, JournalError> {
     let config_hash = mcp_config_hash(methods, datasets, budgets, scale, seed);
-    let mut session = SweepSession::open(opts, "mcp", seed, config_hash)?;
+    let planned = methods.len() * datasets.len() * budgets.len();
+    let mut session = SweepSession::open(opts, "mcp", seed, config_hash, planned)?;
     let mut records = Vec::new();
     let scorer = McpScorer;
     // A method whose training panics becomes an `mcp|prepare|{name}`
@@ -563,7 +598,8 @@ pub fn run_im_sweep_resilient(
         scale,
         seed,
     );
-    let mut session = SweepSession::open(opts, "im", seed, config_hash)?;
+    let planned = weight_models.len() * methods.len() * datasets.len() * budgets.len();
+    let mut session = SweepSession::open(opts, "im", seed, config_hash, planned)?;
     let mut records = Vec::new();
     for &wm in weight_models {
         let weighted_train = assign_weights(train_graph, wm, seed);

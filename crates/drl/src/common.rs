@@ -309,6 +309,7 @@ impl RecoveryHarness {
 pub struct TrainScope {
     solver: &'static str,
     watch: mcpb_trace::Stopwatch,
+    total_episodes: usize,
     _span: Option<mcpb_trace::Span>,
 }
 
@@ -317,6 +318,12 @@ impl TrainScope {
     /// root span that all nested spans (subgraph sampling, NN forward /
     /// backward) aggregate under.
     pub fn start(solver: &'static str) -> Self {
+        Self::start_with_total(solver, 0)
+    }
+
+    /// Like [`TrainScope::start`], but with the planned episode count so
+    /// [`TrainScope::episode_end`] can emit throughput/ETA heartbeats.
+    pub fn start_with_total(solver: &'static str, total_episodes: usize) -> Self {
         let root = if mcpb_trace::is_enabled() {
             Some(mcpb_trace::span_named(format!("train.{solver}")))
         } else {
@@ -325,12 +332,16 @@ impl TrainScope {
         TrainScope {
             solver,
             watch: mcpb_trace::Stopwatch::start(),
+            total_episodes,
             _span: root,
         }
     }
 
     /// Emits one `EpisodeEnd` event plus an episode-reward histogram
-    /// sample. No-op (single atomic load) when tracing is disabled.
+    /// sample, and — when the scope knows its planned episode count —
+    /// `train.episodes_per_sec/<solver>` and `train.eta_secs/<solver>`
+    /// heartbeat metrics so a live `MCPB_TRACE` tail shows progress.
+    /// No-op (single atomic load) when tracing is disabled.
     pub fn episode_end(&self, episode: usize, loss: f64, epsilon: f64, reward: f64) {
         if !mcpb_trace::is_enabled() {
             return;
@@ -343,6 +354,19 @@ impl TrainScope {
             reward,
         });
         mcpb_trace::observe(&format!("train.episode_reward/{}", self.solver), reward);
+        let elapsed = self.watch.elapsed_secs();
+        if self.total_episodes > 0 && elapsed > 0.0 {
+            let rate = episode as f64 / elapsed;
+            mcpb_trace::emit(mcpb_trace::Event::Metric {
+                name: format!("train.episodes_per_sec/{}", self.solver),
+                value: rate,
+            });
+            let remaining = self.total_episodes.saturating_sub(episode);
+            mcpb_trace::emit(mcpb_trace::Event::Metric {
+                name: format!("train.eta_secs/{}", self.solver),
+                value: remaining as f64 / rate.max(f64::MIN_POSITIVE),
+            });
+        }
     }
 
     /// Seconds since [`TrainScope::start`] — the value every method stores

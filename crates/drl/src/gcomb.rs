@@ -250,7 +250,7 @@ impl Gcomb {
 
     /// Full training pipeline: supervised GCN, noise predictor, Q-learning.
     pub fn train(&mut self, train_graph: &Graph) -> TrainReport {
-        let scope = TrainScope::start("GCOMB");
+        let scope = TrainScope::start_with_total("GCOMB", self.cfg.rl_episodes);
         let mut report = TrainReport::default();
         let (tg, _) = sample_training_subgraph(
             train_graph,

@@ -218,7 +218,7 @@ impl GeometricQn {
     /// Trains on `graphs` (the small datasets of Fig. 7b), validating on
     /// the last.
     pub fn train(&mut self, graphs: &[Graph]) -> TrainReport {
-        let scope = TrainScope::start("Geometric-QN");
+        let scope = TrainScope::start_with_total("Geometric-QN", self.cfg.episodes);
         let mut report = TrainReport::default();
         if graphs.is_empty() {
             return report;

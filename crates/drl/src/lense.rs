@@ -183,7 +183,7 @@ impl Lense {
 
     /// Full training pipeline on `train_graph`.
     pub fn train(&mut self, train_graph: &Graph) -> TrainReport {
-        let scope = TrainScope::start("LeNSE");
+        let scope = TrainScope::start_with_total("LeNSE", self.cfg.nav_episodes);
         let mut report = TrainReport::default();
         let n = train_graph.num_nodes();
         if n < self.cfg.subgraph_size {

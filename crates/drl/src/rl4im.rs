@@ -136,7 +136,7 @@ impl Rl4Im {
     /// Trains across `graphs` (the synthetic power-law pool of Fig. 7a),
     /// using the last graph as the validation instance.
     pub fn train(&mut self, graphs: &[Graph]) -> TrainReport {
-        let scope = TrainScope::start("RL4IM");
+        let scope = TrainScope::start_with_total("RL4IM", self.cfg.episodes);
         let mut report = TrainReport::default();
         if graphs.is_empty() {
             return report;

@@ -207,7 +207,7 @@ impl S2vDqn {
     /// subgraph. Keeps the best-validation checkpoint (the paper's
     /// protocol, §4.1).
     pub fn train(&mut self, train_graph: &Graph) -> TrainReport {
-        let scope = TrainScope::start("S2V-DQN");
+        let scope = TrainScope::start_with_total("S2V-DQN", self.cfg.episodes);
         let mut report = TrainReport::default();
         let (val_graph, _) = sample_training_subgraph(
             train_graph,

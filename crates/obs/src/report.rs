@@ -1,0 +1,244 @@
+//! Per-run profile report: `mcpbench obs report`.
+//!
+//! Renders a [`RunModel`] as markdown-flavoured text: top-k self-time
+//! spans, allocation hot spots, episode/cell throughput (from the
+//! heartbeat metrics the training loops and sweep drivers emit), counters,
+//! histogram quantiles, and cell failures.
+
+use crate::model::RunModel;
+use mcpb_trace::fmt_nanos;
+use std::fmt::Write as _;
+
+/// Default number of rows in the top-k tables.
+pub const DEFAULT_TOP_K: usize = 12;
+
+/// Renders the full report. `top_k` bounds the span and alloc tables.
+pub fn render_report(model: &RunModel, top_k: usize) -> String {
+    let top_k = top_k.max(1);
+    let mut out = String::new();
+    let kind = model
+        .kind
+        .map(|k| k.to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let _ = writeln!(out, "# Run report: {}", model.label);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "source: {kind} · {} event(s){}",
+        model.events,
+        if model.torn_tail {
+            " · torn tail line dropped"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(out);
+
+    let by_self = model.spans_by_self_time();
+    if !by_self.is_empty() {
+        let total = model.total_self_nanos().max(1) as f64;
+        let _ = writeln!(out, "## Top self-time spans");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| span path | calls | total | self | % of run |");
+        let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+        for s in by_self.iter().take(top_k) {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {:.1}% |",
+                s.path,
+                s.calls,
+                fmt_nanos(s.total_nanos),
+                fmt_nanos(s.self_nanos),
+                100.0 * s.self_nanos as f64 / total,
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    let mut by_heap: Vec<_> = model
+        .spans
+        .iter()
+        .filter(|s| s.heap_peak_bytes > 0)
+        .collect();
+    by_heap.sort_by(|a, b| {
+        b.heap_peak_bytes
+            .cmp(&a.heap_peak_bytes)
+            .then(a.path.cmp(&b.path))
+    });
+    if !by_heap.is_empty() {
+        let _ = writeln!(out, "## Alloc hot spots (peak heap delta)");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| span path | peak bytes |");
+        let _ = writeln!(out, "|---|---:|");
+        for s in by_heap.iter().take(top_k) {
+            let _ = writeln!(out, "| {} | {} |", s.path, s.heap_peak_bytes);
+        }
+        let _ = writeln!(out);
+    }
+
+    let mut throughput: Vec<String> = Vec::new();
+    if model.episodes > 0 {
+        throughput.push(format!("{} training episode(s)", model.episodes));
+    }
+    if model.sweep_points > 0 {
+        throughput.push(format!("{} sweep cell(s)", model.sweep_points));
+    }
+    for (name, value) in &model.last_metrics {
+        throughput.push(format!("{name} = {value}"));
+    }
+    if !throughput.is_empty() {
+        let _ = writeln!(out, "## Throughput");
+        let _ = writeln!(out);
+        for line in throughput {
+            let _ = writeln!(out, "- {line}");
+        }
+        let _ = writeln!(out);
+    }
+
+    if !model.counters.is_empty() {
+        let _ = writeln!(out, "## Counters");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| counter | value |");
+        let _ = writeln!(out, "|---|---:|");
+        for (name, value) in &model.counters {
+            let _ = writeln!(out, "| {name} | {value} |");
+        }
+        let _ = writeln!(out);
+    }
+
+    if !model.histograms.is_empty() {
+        let _ = writeln!(out, "## Histograms");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| histogram | count | mean | p50 | p90 | p99 | max |");
+        let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|");
+        for h in &model.histograms {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.6} | {:.6} | {:.6} | {:.6} | {:.6} |",
+                h.name, h.count, h.mean, h.p50, h.p90, h.p99, h.max
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    let failed: Vec<_> = model.cells.iter().filter(|c| !c.ok).collect();
+    if !failed.is_empty() {
+        let _ = writeln!(out, "## Failed cells");
+        let _ = writeln!(out);
+        for c in failed {
+            let _ = writeln!(
+                out,
+                "- `{}` after {} attempt(s) in {:.2}s: {}",
+                c.key,
+                c.attempts,
+                c.elapsed_secs,
+                c.error.as_deref().unwrap_or("unknown error"),
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    if model.spans.is_empty() && model.counters.is_empty() && model.histograms.is_empty() {
+        let _ = writeln!(out, "(empty run: no spans, counters, or histograms)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CellRow, HistRow, SpanAgg};
+
+    #[test]
+    fn report_has_every_section() {
+        let model = RunModel {
+            label: "demo".into(),
+            kind: Some(crate::model::RunKind::Trace),
+            spans: vec![
+                SpanAgg {
+                    path: "sweep.mcp/LazyGreedy".into(),
+                    calls: 4,
+                    total_nanos: 8_000_000,
+                    self_nanos: 6_000_000,
+                    heap_peak_bytes: 2048,
+                },
+                SpanAgg {
+                    path: "train.S2V-DQN".into(),
+                    calls: 1,
+                    total_nanos: 3_000_000,
+                    self_nanos: 1_000_000,
+                    heap_peak_bytes: 0,
+                },
+            ],
+            counters: vec![("sweep.cells".into(), 4)],
+            histograms: vec![HistRow {
+                name: "sweep.query_secs/LazyGreedy".into(),
+                count: 4,
+                mean: 0.1,
+                p50: 0.09,
+                p90: 0.2,
+                p99: 0.2,
+                min: 0.05,
+                max: 0.21,
+            }],
+            cells: vec![CellRow {
+                key: "mcp|TD|D|3".into(),
+                ok: false,
+                error: Some("panicked: boom".into()),
+                attempts: 2,
+                elapsed_secs: 0.4,
+            }],
+            episodes: 10,
+            sweep_points: 4,
+            last_metrics: vec![("sweep.cells_done".into(), 4.0)],
+            events: 25,
+            torn_tail: false,
+        };
+        let text = render_report(&model, 10);
+        for needle in [
+            "# Run report: demo",
+            "## Top self-time spans",
+            "sweep.mcp/LazyGreedy",
+            "## Alloc hot spots",
+            "## Throughput",
+            "10 training episode(s)",
+            "sweep.cells_done = 4",
+            "## Counters",
+            "## Histograms",
+            "## Failed cells",
+            "panicked: boom",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_model_reports_emptiness() {
+        let text = render_report(&RunModel::default(), 5);
+        assert!(text.contains("empty run"), "{text}");
+    }
+
+    #[test]
+    fn top_k_bounds_the_span_table() {
+        let spans = (0..30)
+            .map(|i| SpanAgg {
+                path: format!("s{i:02}"),
+                calls: 1,
+                total_nanos: 1_000_000 + i,
+                self_nanos: 1_000_000 + i,
+                heap_peak_bytes: 0,
+            })
+            .collect();
+        let model = RunModel {
+            label: "k".into(),
+            spans,
+            ..RunModel::default()
+        };
+        let text = render_report(&model, 3);
+        let rows = text
+            .lines()
+            .filter(|l| l.starts_with("| s") && l.as_bytes().get(3).is_some_and(u8::is_ascii_digit))
+            .count();
+        assert_eq!(rows, 3);
+    }
+}

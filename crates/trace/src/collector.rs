@@ -197,6 +197,53 @@ pub fn events_seen() -> u64 {
     state().events_seen
 }
 
+/// Flushes every aggregate (span stats, counters, histogram summaries) to
+/// the event stream as [`Event::SpanStat`] / [`Event::Counter`] /
+/// [`Event::HistSummary`] rows, then flushes the JSONL sink. Nested spans
+/// aggregate silently during a run, so this is the only way the full span
+/// tree reaches a `MCPB_TRACE` capture; call it once at orderly shutdown
+/// (the `mcpbench` binary does). Rows emit in deterministic (sorted)
+/// order. No-op when disabled. Returns the number of rows emitted.
+pub fn flush_summary() -> usize {
+    if !is_enabled() {
+        return 0;
+    }
+    let summary = snapshot();
+    let mut rows = 0;
+    for s in &summary.spans {
+        emit(Event::SpanStat {
+            path: s.path.clone(),
+            calls: s.calls,
+            total_nanos: s.total_nanos,
+            self_nanos: s.self_nanos,
+            heap_peak_bytes: s.heap_peak_bytes as u64,
+        });
+        rows += 1;
+    }
+    for c in &summary.counters {
+        emit(Event::Counter {
+            name: c.name.clone(),
+            value: c.value,
+        });
+        rows += 1;
+    }
+    for h in &summary.histograms {
+        emit(Event::HistSummary {
+            name: h.name.clone(),
+            count: h.count,
+            mean: h.mean,
+            p50: h.p50,
+            p90: h.p90,
+            p99: h.p99,
+            min: h.min,
+            max: h.max,
+        });
+        rows += 1;
+    }
+    flush();
+    rows
+}
+
 /// Snapshots every aggregate into an owned, deterministic summary.
 pub fn snapshot() -> TraceSummary {
     let mut st = state();

@@ -77,6 +77,50 @@ pub enum Event {
         /// Total wall-clock seconds across attempts.
         elapsed: f64,
     },
+    /// Aggregated statistics for one span path, flushed at run end by
+    /// [`crate::flush_summary`]. Nested spans aggregate silently during the
+    /// run (only root closes emit [`Event::SpanClose`]); these rows are how
+    /// the full span tree reaches the JSONL stream for offline analysis.
+    SpanStat {
+        /// Full `/`-separated span path.
+        path: String,
+        /// Number of times the span was entered.
+        calls: u64,
+        /// Total wall-clock nanoseconds across all calls.
+        total_nanos: u64,
+        /// Total minus direct children's totals.
+        self_nanos: u64,
+        /// Peak heap delta observed while open (0 without the tracking
+        /// allocator).
+        heap_peak_bytes: u64,
+    },
+    /// Final value of one named counter, flushed at run end.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Final accumulated value.
+        value: u64,
+    },
+    /// Summary of one named histogram, flushed at run end. Quantiles are
+    /// bucket-midpoint estimates except `p=0`/`p=1`, which are exact.
+    HistSummary {
+        /// Histogram name.
+        name: String,
+        /// Finite samples observed.
+        count: u64,
+        /// Arithmetic mean of the samples.
+        mean: f64,
+        /// Estimated median.
+        p50: f64,
+        /// Estimated 90th percentile.
+        p90: f64,
+        /// Estimated 99th percentile.
+        p99: f64,
+        /// Exact minimum sample.
+        min: f64,
+        /// Exact maximum sample.
+        max: f64,
+    },
 }
 
 impl Event {
@@ -89,6 +133,9 @@ impl Event {
             Event::Metric { .. } => "metric",
             Event::Recovery { .. } => "recovery",
             Event::CellFailed { .. } => "cell_failed",
+            Event::SpanStat { .. } => "span_stat",
+            Event::Counter { .. } => "counter",
+            Event::HistSummary { .. } => "hist_summary",
         }
     }
 
@@ -154,6 +201,42 @@ impl Event {
                 push_u64_field(&mut out, "attempts", *attempts);
                 push_f64_field(&mut out, "elapsed", *elapsed);
             }
+            Event::SpanStat {
+                path,
+                calls,
+                total_nanos,
+                self_nanos,
+                heap_peak_bytes,
+            } => {
+                push_str_field(&mut out, "path", path);
+                push_u64_field(&mut out, "calls", *calls);
+                push_u64_field(&mut out, "total_nanos", *total_nanos);
+                push_u64_field(&mut out, "self_nanos", *self_nanos);
+                push_u64_field(&mut out, "heap_peak_bytes", *heap_peak_bytes);
+            }
+            Event::Counter { name, value } => {
+                push_str_field(&mut out, "name", name);
+                push_u64_field(&mut out, "value", *value);
+            }
+            Event::HistSummary {
+                name,
+                count,
+                mean,
+                p50,
+                p90,
+                p99,
+                min,
+                max,
+            } => {
+                push_str_field(&mut out, "name", name);
+                push_u64_field(&mut out, "count", *count);
+                push_f64_field(&mut out, "mean", *mean);
+                push_f64_field(&mut out, "p50", *p50);
+                push_f64_field(&mut out, "p90", *p90);
+                push_f64_field(&mut out, "p99", *p99);
+                push_f64_field(&mut out, "min", *min);
+                push_f64_field(&mut out, "max", *max);
+            }
         }
         out.push('}');
         out
@@ -197,6 +280,27 @@ impl Event {
                 error: get_str(&fields, "error")?,
                 attempts: get_u64(&fields, "attempts")?,
                 elapsed: get_f64(&fields, "elapsed")?,
+            }),
+            "span_stat" => Ok(Event::SpanStat {
+                path: get_str(&fields, "path")?,
+                calls: get_u64(&fields, "calls")?,
+                total_nanos: get_u64(&fields, "total_nanos")?,
+                self_nanos: get_u64(&fields, "self_nanos")?,
+                heap_peak_bytes: get_u64(&fields, "heap_peak_bytes")?,
+            }),
+            "counter" => Ok(Event::Counter {
+                name: get_str(&fields, "name")?,
+                value: get_u64(&fields, "value")?,
+            }),
+            "hist_summary" => Ok(Event::HistSummary {
+                name: get_str(&fields, "name")?,
+                count: get_u64(&fields, "count")?,
+                mean: get_f64(&fields, "mean")?,
+                p50: get_f64(&fields, "p50")?,
+                p90: get_f64(&fields, "p90")?,
+                p99: get_f64(&fields, "p99")?,
+                min: get_f64(&fields, "min")?,
+                max: get_f64(&fields, "max")?,
             }),
             other => Err(ParseError::new(format!("unknown event type {other:?}"))),
         }
@@ -275,11 +379,14 @@ fn push_json_string(out: &mut String, s: &str) {
 
 // ---- decoding helpers -------------------------------------------------
 
-/// A parsed scalar field value.
+/// A parsed scalar field value. Plain non-negative integer literals keep
+/// their exact `u64` value (`Int`): routing them through `f64` would
+/// silently round counters and nanosecond totals above 2^53.
 #[derive(Debug, Clone, PartialEq)]
 enum Scalar {
     Str(String),
     Num(f64),
+    Int(u64),
     Null,
     Bool(bool),
 }
@@ -296,6 +403,7 @@ fn get_str(fields: &[(String, Scalar)], key: &str) -> Result<String, ParseError>
 fn get_f64(fields: &[(String, Scalar)], key: &str) -> Result<f64, ParseError> {
     match lookup(fields, key)? {
         Scalar::Num(n) => Ok(*n),
+        Scalar::Int(n) => Ok(*n as f64),
         Scalar::Null => Ok(f64::NAN),
         other => Err(ParseError::new(format!(
             "field {key:?}: expected number, found {other:?}"
@@ -305,7 +413,13 @@ fn get_f64(fields: &[(String, Scalar)], key: &str) -> Result<f64, ParseError> {
 
 fn get_u64(fields: &[(String, Scalar)], key: &str) -> Result<u64, ParseError> {
     match lookup(fields, key)? {
-        Scalar::Num(n) if *n >= 0.0 && n.fract() <= f64::EPSILON => Ok(*n as u64),
+        Scalar::Int(n) => Ok(*n),
+        // Scientific/decimal spellings of an integer are accepted only while
+        // exactly representable; beyond 2^53 the value would be a rounded
+        // guess, which for a counter is corruption.
+        Scalar::Num(n) if *n >= 0.0 && n.fract() <= f64::EPSILON && *n <= (1u64 << 53) as f64 => {
+            Ok(*n as u64)
+        }
         other => Err(ParseError::new(format!(
             "field {key:?}: expected non-negative integer, found {other:?}"
         ))),
@@ -404,7 +518,7 @@ impl Parser<'_> {
             Some(b'n') => self.parse_keyword("null").map(|_| Scalar::Null),
             Some(b't') => self.parse_keyword("true").map(|_| Scalar::Bool(true)),
             Some(b'f') => self.parse_keyword("false").map(|_| Scalar::Bool(false)),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number().map(Scalar::Num),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
             other => Err(ParseError::new(format!(
                 "unexpected {other:?} at byte {}",
                 self.pos
@@ -424,7 +538,7 @@ impl Parser<'_> {
         }
     }
 
-    fn parse_number(&mut self) -> Result<f64, ParseError> {
+    fn parse_number(&mut self) -> Result<Scalar, ParseError> {
         let start = self.pos;
         while matches!(
             self.peek(),
@@ -434,7 +548,15 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|e| ParseError::new(format!("invalid utf8 in number: {e}")))?;
+        // A plain digit run is kept exact — u64 counters/nanos must not
+        // round through f64. Decimal/scientific spellings stay floats.
+        if text.bytes().all(|b| b.is_ascii_digit()) && !text.is_empty() {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Scalar::Int(n));
+            }
+        }
         text.parse::<f64>()
+            .map(Scalar::Num)
             .map_err(|e| ParseError::new(format!("bad number {text:?}: {e}")))
     }
 
@@ -576,6 +698,55 @@ mod tests {
             attempts: 3,
             elapsed: 0.125,
         });
+    }
+
+    #[test]
+    fn summary_rows_round_trip() {
+        round_trip(Event::SpanStat {
+            path: "sweep.mcp/LazyGreedy".into(),
+            calls: 12,
+            total_nanos: 9_876_543,
+            self_nanos: 1_234_567,
+            heap_peak_bytes: 4096,
+        });
+        round_trip(Event::Counter {
+            name: "sweep.cells".into(),
+            value: 40,
+        });
+        round_trip(Event::HistSummary {
+            name: "sweep.query_secs/CELF".into(),
+            count: 8,
+            mean: 0.25,
+            p50: 0.2,
+            p90: 0.4,
+            p99: 0.5,
+            min: 0.01,
+            max: 0.55,
+        });
+    }
+
+    #[test]
+    fn summary_wire_format_is_stable() {
+        let e = Event::SpanStat {
+            path: "a/b".into(),
+            calls: 2,
+            total_nanos: 10,
+            self_nanos: 4,
+            heap_peak_bytes: 0,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"span_stat\",\"path\":\"a/b\",\"calls\":2,\
+             \"total_nanos\":10,\"self_nanos\":4,\"heap_peak_bytes\":0}"
+        );
+        let c = Event::Counter {
+            name: "n".into(),
+            value: 7,
+        };
+        assert_eq!(
+            c.to_json(),
+            "{\"type\":\"counter\",\"name\":\"n\",\"value\":7}"
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@ mod span;
 
 pub use clock::Stopwatch;
 pub use collector::{
-    counter_add, emit, events_seen, flush, init_from_env, is_enabled, observe, recent_events,
-    reset, set_enabled, set_jsonl_path, snapshot,
+    counter_add, emit, events_seen, flush, flush_summary, init_from_env, is_enabled, observe,
+    recent_events, reset, set_enabled, set_jsonl_path, snapshot,
 };
 pub use event::Event;
 pub use metrics::{Histogram, HistogramSummary};
@@ -125,6 +125,45 @@ mod tests {
             other => panic!("unexpected tail {other:?}"),
         }
         reset();
+    }
+
+    #[test]
+    fn flush_summary_emits_sorted_rows_once() {
+        let _g = test_lock();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span("outer");
+            let _inner = span("leaf");
+        }
+        counter_add("widgets", 3);
+        observe("lat", 2.0);
+        let rows = flush_summary();
+        // 2 span paths + 1 counter + 1 histogram.
+        assert_eq!(rows, 4);
+        set_enabled(false);
+        let events = recent_events(usize::MAX);
+        let stats: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::SpanStat { .. }))
+            .collect();
+        assert_eq!(stats.len(), 2, "nested path reaches the stream: {events:?}");
+        match stats[1] {
+            Event::SpanStat { path, calls, .. } => {
+                assert_eq!(path, "outer/leaf");
+                assert_eq!(*calls, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(events.iter().any(
+            |e| matches!(e, Event::Counter { name, value } if name == "widgets" && *value == 3)
+        ));
+        assert!(events.iter().any(
+            |e| matches!(e, Event::HistSummary { name, count, .. } if name == "lat" && *count == 1)
+        ));
+        reset();
+        // Disabled flushes are inert.
+        assert_eq!(flush_summary(), 0);
     }
 
     #[test]

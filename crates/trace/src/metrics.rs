@@ -105,14 +105,24 @@ impl Histogram {
     }
 
     /// Approximate `q`-quantile (`0.0 <= q <= 1.0`): the geometric midpoint
-    /// of the bucket holding the rank-`ceil(q * n)` observation. Exact
-    /// `min`/`max` are substituted at the extremes so the estimate never
-    /// leaves the observed range.
+    /// of the bucket holding the rank-`ceil(q * n)` observation. The
+    /// extremes are exact — `q <= 0` returns [`Histogram::min`] and
+    /// `q >= 1` returns [`Histogram::max`] — and interior estimates are
+    /// clamped to the observed range. NaN `q` is treated as `0`.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
+        // `clamp` alone is not enough at the edges: q=0 would still rank the
+        // first sample into its bucket midpoint, and q=1 can overshoot the
+        // max's bucket midpoint before clamping. Both extremes are tracked
+        // exactly, so answer them exactly.
+        if !(q > 0.0) {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max();
+        }
         let rank = ((q * self.total as f64).ceil() as u64).max(1);
         let mut seen = self.underflow;
         if rank <= seen {
@@ -207,6 +217,19 @@ mod tests {
             let est = h.quantile(q);
             assert!((est - 42.0).abs() / 42.0 < 0.2, "q={q} est={est}");
         }
+    }
+
+    #[test]
+    fn extreme_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0.37, 1.0, 5.5, 129.4] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.37);
+        assert_eq!(h.quantile(1.0), 129.4);
+        assert_eq!(h.quantile(-0.5), 0.37);
+        assert_eq!(h.quantile(2.0), 129.4);
+        assert_eq!(h.quantile(f64::NAN), 0.37, "NaN q behaves like q=0");
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Wire-format fuzz suite for [`mcpb_trace::Event`]: every event kind
+//! round-trips through JSONL, and malformed input — torn lines, non-finite
+//! fields, fractional or negative integers, unknown kinds — errors instead
+//! of panicking. This is the trace-stream analogue of the resilience
+//! journal's torn-tail tolerance: a reader (`mcpbench obs`, `trace-validate`)
+//! must survive any bytes a crashed writer can leave behind.
+
+use mcpb_trace::Event;
+use proptest::prelude::*;
+
+/// Builds one event of each kind from fuzzed scalars. The selector widens
+/// `f64` fields into the hostile cases (NaN, ±inf) that serialize as
+/// `null` and must parse back as NaN.
+fn build_event(kind: u8, s1: String, s2: String, u1: u64, u2: u64, f1: f64, f2: f64) -> Event {
+    match kind % 9 {
+        0 => Event::EpisodeEnd {
+            solver: s1,
+            episode: u1,
+            loss: f1,
+            epsilon: f2,
+            reward: f1,
+        },
+        1 => Event::SweepPoint {
+            method: s1,
+            dataset: s2,
+            budget: u1,
+            quality: f1,
+            runtime: f2,
+        },
+        2 => Event::SpanClose {
+            path: s1,
+            nanos: u1,
+        },
+        3 => Event::Metric {
+            name: s1,
+            value: f1,
+        },
+        4 => Event::Recovery {
+            solver: s1,
+            episode: u1,
+            loss: f1,
+            lr: f2,
+        },
+        5 => Event::CellFailed {
+            key: s1,
+            error: s2,
+            attempts: u1,
+            elapsed: f1,
+        },
+        6 => Event::SpanStat {
+            path: s1,
+            calls: u1,
+            total_nanos: u2,
+            self_nanos: u2.min(u1),
+            heap_peak_bytes: u2,
+        },
+        7 => Event::Counter {
+            name: s1,
+            value: u1,
+        },
+        _ => Event::HistSummary {
+            name: s1,
+            count: u1,
+            mean: f1,
+            p50: f2,
+            p90: f1,
+            p99: f2,
+            min: f1,
+            max: f2,
+        },
+    }
+}
+
+/// Widens a finite fuzzed f64 into the non-finite cases by selector.
+fn widen(selector: u8, finite: f64) -> f64 {
+    match selector % 5 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -finite,
+        _ => finite,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → decode → encode is a fixed point for every event kind,
+    /// every hostile string (controls, unicode, quotes), and every f64
+    /// including NaN/±inf (which canonicalize to `null` ↔ NaN).
+    #[test]
+    fn round_trip_is_stable(
+        kind in any::<u8>(),
+        s1 in ".{0,8}",
+        s2 in ".{0,8}",
+        u1 in any::<u64>(),
+        u2 in any::<u64>(),
+        raw1 in 0.0f64..1e12,
+        raw2 in 0.0f64..1e12,
+        w1 in any::<u8>(),
+        w2 in any::<u8>(),
+    ) {
+        let event = build_event(kind, s1, s2, u1, u2, widen(w1, raw1), widen(w2, raw2));
+        let line = event.to_json();
+        prop_assert!(!line.contains('\n'), "JSONL lines must stay single-line: {line:?}");
+        let decoded = Event::from_json(&line)
+            .unwrap_or_else(|e| panic!("encoder emitted unparseable line {line:?}: {e}"));
+        prop_assert_eq!(decoded.kind(), event.kind());
+        // Re-encoding the decoded event must reproduce the bytes exactly:
+        // string escapes, non-finite canonicalization, and field order are
+        // all pinned by this equality.
+        prop_assert_eq!(decoded.to_json(), line);
+    }
+
+    /// A torn line — any strict prefix of a valid line, the journal-style
+    /// crash artifact — errors without panicking.
+    #[test]
+    fn torn_lines_error_cleanly(
+        kind in any::<u8>(),
+        s1 in ".{0,8}",
+        u1 in any::<u64>(),
+        f1 in 0.0f64..1e9,
+        cut in any::<u16>(),
+    ) {
+        let event = build_event(kind, s1, "d".to_string(), u1, u1, f1, f1);
+        let line = event.to_json();
+        // Cut at a char boundary strictly inside the line.
+        let boundaries: Vec<usize> =
+            line.char_indices().map(|(i, _)| i).filter(|&i| i > 0).collect();
+        let cut = boundaries[cut as usize % boundaries.len()];
+        prop_assert!(
+            Event::from_json(&line[..cut]).is_err(),
+            "strict prefix parsed as valid: {:?}",
+            &line[..cut]
+        );
+    }
+
+    /// Unknown event kinds are rejected, not silently dropped or misparsed.
+    #[test]
+    fn unknown_kinds_error(suffix in ".{0,6}") {
+        // No real kind starts with "x_"; keep only chars that need no JSON
+        // escaping (hostile strings are covered by the round-trip test).
+        let safe: String = suffix.chars().filter(char::is_ascii_alphanumeric).collect();
+        let line = format!("{{\"type\":\"x_{safe}\",\"name\":\"n\",\"value\":1}}");
+        prop_assert!(Event::from_json(&line).is_err(), "{line}");
+    }
+
+    /// Integer fields reject negative and fractional JSON numbers.
+    #[test]
+    fn integer_fields_reject_non_integers(
+        whole in 0u32..1_000_000,
+        frac in 1u32..1000,
+    ) {
+        let fractional = format!(
+            "{{\"type\":\"counter\",\"name\":\"n\",\"value\":{whole}.{frac:03}}}"
+        );
+        if frac % 1000 != 0 {
+            prop_assert!(Event::from_json(&fractional).is_err(), "{fractional}");
+        }
+        let negative = format!("{{\"type\":\"counter\",\"name\":\"n\",\"value\":-{}}}", whole + 1);
+        prop_assert!(Event::from_json(&negative).is_err(), "{negative}");
+    }
+
+    /// Trailing garbage after a complete object is rejected (a reader that
+    /// accepted it would mask two events fused by a lost newline).
+    #[test]
+    fn trailing_garbage_is_rejected(tail in ".{1,6}") {
+        let line = format!(
+            "{}{tail}",
+            Event::Counter { name: "n".into(), value: 3 }.to_json()
+        );
+        // Appending whitespace alone is legal JSON trailing space? No:
+        // the decoder permits trailing whitespace only; anything else errs.
+        if !tail.trim().is_empty() {
+            prop_assert!(Event::from_json(&line).is_err(), "{line:?}");
+        }
+    }
+}
+
+#[test]
+fn nan_fields_canonicalize_to_null() {
+    let event = Event::Metric {
+        name: "loss".into(),
+        value: f64::NAN,
+    };
+    let line = event.to_json();
+    assert!(line.contains("\"value\":null"), "{line}");
+    let decoded = Event::from_json(&line).expect("null value parses");
+    match decoded {
+        Event::Metric { value, .. } => assert!(value.is_nan()),
+        other => panic!("wrong kind: {}", other.kind()),
+    }
+}

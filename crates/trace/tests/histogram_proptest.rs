@@ -1,0 +1,163 @@
+//! Property suite for [`mcpb_trace::Histogram`] bucket-edge behavior:
+//! quantiles are monotone in `q`, bounded by the exact min/max, exact at
+//! the extremes (`q<=0`, `q>=1`), and well-defined for single samples,
+//! denormal-scale values below the bucket grid, and zero/negative
+//! observations that land in the underflow bucket.
+
+use mcpb_trace::Histogram;
+use proptest::prelude::*;
+
+/// Spreads a fuzzed mantissa/exponent pair across the histogram's whole
+/// dynamic range (and past it, into the clamped outer buckets).
+fn spread(mantissa: f64, exp: i32) -> f64 {
+    mantissa * 2f64.powi(exp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// For any sample set: quantiles never leave `[min, max]`, are
+    /// monotone in `q`, and hit the tracked extremes exactly at the edges.
+    #[test]
+    fn quantiles_are_bounded_monotone_and_edge_exact(
+        mantissas in proptest::collection::vec(0.5f64..2.0, 1..40),
+        exps in proptest::collection::vec(-80i32..80, 1..40),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for (m, e) in mantissas.iter().zip(&exps) {
+            h.observe(spread(*m, *e));
+        }
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        let (v_lo, v_hi) = (h.quantile(lo), h.quantile(hi));
+        prop_assert!(v_lo <= v_hi, "quantile not monotone: q{lo}={v_lo} > q{hi}={v_hi}");
+        for v in [v_lo, v_hi] {
+            prop_assert!(
+                (h.min()..=h.max()).contains(&v),
+                "quantile {v} outside [{}, {}]",
+                h.min(),
+                h.max()
+            );
+        }
+        prop_assert_eq!(h.quantile(0.0), h.min());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+        // Out-of-domain q clamps to the same exact answers.
+        prop_assert_eq!(h.quantile(-3.5), h.min());
+        prop_assert_eq!(h.quantile(7.0), h.max());
+        prop_assert_eq!(h.quantile(f64::NAN), h.min());
+    }
+
+    /// One sample: every quantile is that sample, exactly — the bucket
+    /// midpoint must clamp to the degenerate [v, v] range.
+    #[test]
+    fn single_sample_answers_every_quantile_exactly(
+        mantissa in 0.5f64..2.0,
+        exp in -300i32..300,
+        q in 0.0f64..1.0,
+    ) {
+        let v = spread(mantissa, exp);
+        let mut h = Histogram::new();
+        h.observe(v);
+        prop_assert_eq!(h.quantile(q), v);
+        let s = h.summarize("one");
+        prop_assert_eq!(s.count, 1);
+        prop_assert_eq!(s.min, v);
+        prop_assert_eq!(s.max, v);
+        prop_assert_eq!(s.p50, v);
+        prop_assert_eq!(s.p99, v);
+    }
+
+    /// Values below the bucket grid's 2^-64 floor (down to subnormals)
+    /// clamp into the bottom bucket without leaving the observed range.
+    #[test]
+    fn sub_bucket_min_values_stay_in_range(
+        // `powi` evaluates 1/2^|e| and 2^|e| overflows past 2^1023, so the
+        // fuzzed range stays normal; subnormals get a dedicated unit test.
+        tiny_exp in -1020i32..-70,
+        q in 0.0f64..1.0,
+    ) {
+        let tiny = 2f64.powi(tiny_exp);
+        prop_assert!(tiny > 0.0, "2^{tiny_exp} underflowed the test itself");
+        let mut h = Histogram::new();
+        h.observe(tiny);
+        h.observe(1.0);
+        let v = h.quantile(q);
+        prop_assert!(
+            (tiny..=1.0).contains(&v),
+            "quantile {v} escaped [{tiny}, 1.0]"
+        );
+    }
+
+    /// Zero and negative observations land in the underflow bucket: low
+    /// quantiles resolve to the exact minimum, and the extremes stay exact.
+    #[test]
+    fn underflow_bucket_keeps_quantiles_defined(
+        negatives in proptest::collection::vec(-1e6f64..0.0, 1..10),
+        positives in proptest::collection::vec(0.5f64..2.0, 0..10),
+    ) {
+        let mut h = Histogram::new();
+        for v in &negatives {
+            h.observe(*v);
+        }
+        for v in &positives {
+            h.observe(*v);
+        }
+        let exact_min = negatives.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(h.quantile(0.0), exact_min);
+        // Ranks inside the underflow mass answer the exact minimum.
+        let under_frac = negatives.len() as f64 / h.count() as f64;
+        let q_inside = (under_frac * 0.5).max(f64::MIN_POSITIVE);
+        prop_assert_eq!(h.quantile(q_inside), exact_min);
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// `summarize` is consistent with `quantile` and the exact aggregates.
+    #[test]
+    fn summarize_matches_point_queries(
+        mantissas in proptest::collection::vec(0.5f64..2.0, 1..30),
+    ) {
+        let mut h = Histogram::new();
+        for m in &mantissas {
+            h.observe(*m);
+        }
+        let s = h.summarize("x");
+        prop_assert_eq!(s.count, mantissas.len() as u64);
+        prop_assert_eq!(s.p50, h.quantile(0.5));
+        prop_assert_eq!(s.p90, h.quantile(0.9));
+        prop_assert_eq!(s.p99, h.quantile(0.99));
+        prop_assert_eq!(s.min, h.min());
+        prop_assert_eq!(s.max, h.max());
+        let exact_mean: f64 = mantissas.iter().sum::<f64>() / mantissas.len() as f64;
+        prop_assert!((s.mean - exact_mean).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn subnormal_observations_stay_in_range() {
+    // 1e-310 is subnormal; MIN_POSITIVE is the smallest normal. Both sit
+    // far below the 2^-64 bucket floor and must clamp, not panic or escape.
+    for tiny in [1e-310f64, f64::MIN_POSITIVE] {
+        let mut h = Histogram::new();
+        h.observe(tiny);
+        h.observe(1.0);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = h.quantile(q);
+            assert!(
+                (tiny..=1.0).contains(&v),
+                "q={q}: {v} escaped [{tiny}, 1.0]"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_histogram_is_all_zeros() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.quantile(0.0), 0.0);
+    assert_eq!(h.quantile(0.5), 0.0);
+    assert_eq!(h.quantile(1.0), 0.0);
+    let s = h.summarize("empty");
+    assert_eq!((s.min, s.max, s.mean), (0.0, 0.0, 0.0));
+}

@@ -66,6 +66,10 @@ for area in "${AREAS[@]}"; do
   git show "HEAD:$file" > "$base"
   if ! cargo run -q --release -- bench-check "$base" "$file" --tolerance "$TOLERANCE"; then
     status=1
+    # Diagnostic only: rank which benches moved, worst first, so the failure
+    # message names the culprit without re-running the suite.
+    echo "bench-ratchet: per-bench attribution for ${area}:" >&2
+    cargo run -q --release -- obs diff "$base" "$file" >&2 || true
   fi
   rm -f "$base"
 done

@@ -33,6 +33,18 @@ rm -f "$TRACE_OUT"
 MCPB_TRACE="$TRACE_OUT" cargo run -q -- trace-smoke
 cargo run -q -- trace-validate "$TRACE_OUT"
 
+echo "==> obs smoke (trace a sweep twice; report/diff/chrome/flame must hold together)"
+OBS_A="target/check-obs-a.jsonl"
+OBS_B="target/check-obs-b.jsonl"
+rm -f "$OBS_A" "$OBS_B"
+MCPB_TRACE="$OBS_A" cargo run -q -- --threads 1 sweep >/dev/null
+MCPB_TRACE="$OBS_B" cargo run -q -- --threads 1 sweep >/dev/null
+cargo run -q -- obs report "$OBS_A" | grep -q "Top self-time spans"
+cargo run -q -- obs diff "$OBS_A" "$OBS_B" >/dev/null
+cargo run -q -- obs chrome "$OBS_A" --out target/check-obs-chrome.json
+cargo run -q -- obs flame "$OBS_A" >/dev/null
+cargo run -q -- obs metrics "$OBS_A" | grep -q "mcpb_span_self_seconds"
+
 echo "==> resilience tests (journal, fault isolation, divergence recovery)"
 cargo test -q -p mcpb-resilience
 cargo test -q -p mcpb-bench --test fault_injection

@@ -73,7 +73,10 @@ fn finish_trace() {
     if !mcpb_trace::is_enabled() {
         return;
     }
-    mcpb_trace::flush();
+    // Emit the aggregated span/counter/histogram rows into the JSONL stream
+    // (so `mcpbench obs` sees nested-span self-time, not just root closes),
+    // then flush the sink.
+    mcpb_trace::flush_summary();
     let summary = mcpb_trace::snapshot();
     if let Some(table) = mcpb_bench::results::profile_table(&summary) {
         println!("\n{}", table.render());
@@ -426,6 +429,101 @@ fn bench_check_cmd(args: &[String]) {
     }
 }
 
+/// `obs <report|diff|chrome|flame|metrics> …`: trace analysis over recorded
+/// telemetry. Every subcommand ingests a run file — an `MCPB_TRACE` JSONL
+/// stream, an `mcpb-resilience` sweep journal, or a `BENCH_*.json`
+/// (mcpb-perf/1) record; the format is sniffed — into a unified run model,
+/// then renders a profile report, a span-path-aligned regression diff, a
+/// Chrome trace-event export, a folded-stack flamegraph, or Prometheus-style
+/// metrics text.
+fn obs_cmd(args: &[String]) {
+    fn usage() -> ! {
+        eprintln!(
+            "usage: mcpbench obs report  <run> [--top <k>]\n\
+             \u{20}      mcpbench obs diff    <before> <after> [--noise <frac>]\n\
+             \u{20}      mcpbench obs chrome  <run> [--out <file>]\n\
+             \u{20}      mcpbench obs flame   <run> [--out <file>]\n\
+             \u{20}      mcpbench obs metrics <run>\n\
+             <run> is an MCPB_TRACE JSONL file, a sweep journal, or a BENCH_*.json record"
+        );
+        std::process::exit(2);
+    }
+    fn load(path: &str) -> mcpb_obs::RunModel {
+        mcpb_obs::RunModel::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("mcpbench obs: {e}");
+            std::process::exit(1);
+        })
+    }
+    fn emit(text: &str, out: Option<&String>) {
+        match out {
+            Some(path) => {
+                std::fs::write(path, text).unwrap_or_else(|e| {
+                    eprintln!("mcpbench obs: cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                println!("wrote {path}");
+            }
+            None => print!("{text}"),
+        }
+    }
+    // Split `<paths…>` from `--flag value` pairs (order-insensitive).
+    let mut paths: Vec<&String> = Vec::new();
+    let mut top_k = mcpb_obs::DEFAULT_TOP_K;
+    let mut noise = mcpb_obs::DEFAULT_NOISE;
+    let mut out: Option<&String> = None;
+    let (Some(sub), rest) = (args.first().map(|s| s.as_str()), &args[args.len().min(1)..]) else {
+        usage()
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(k) if k >= 1 => top_k = k,
+                _ => usage(),
+            },
+            "--noise" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f.is_finite() && f >= 0.0 => noise = f,
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(p),
+                None => usage(),
+            },
+            _ if a.starts_with("--") => usage(),
+            _ => paths.push(a),
+        }
+    }
+    match (sub, paths.as_slice()) {
+        ("report", [run]) => {
+            let model = load(run);
+            emit(&mcpb_obs::render_report(&model, top_k), out);
+        }
+        ("diff", [before, after]) => {
+            let diff = mcpb_obs::diff_runs(&load(before), &load(after), noise);
+            emit(&mcpb_obs::render_diff(&diff), out);
+        }
+        ("chrome", [run]) => {
+            let json = mcpb_obs::render_chrome(&load(run));
+            if let Err(e) = mcpb_obs::validate_chrome(&json) {
+                eprintln!("mcpbench obs: chrome export self-check failed: {e}");
+                std::process::exit(1);
+            }
+            emit(&json, out);
+        }
+        ("flame", [run]) => {
+            emit(&mcpb_obs::render_flame(&load(run)), out);
+        }
+        ("metrics", [run]) => {
+            let model = load(run);
+            emit(
+                &mcpb_obs::MetricsRegistry::from_model(&model).render_prometheus(),
+                out,
+            );
+        }
+        _ => usage(),
+    }
+}
+
 /// `trace-validate <file>`: parses every line of a JSONL event file back
 /// through the typed decoder; exits non-zero on the first malformed line.
 fn trace_validate(path: &str) {
@@ -522,6 +620,10 @@ fn main() {
             bench_check_cmd(&args[1..]);
             return;
         }
+        Some("obs") => {
+            obs_cmd(&args[1..]);
+            return;
+        }
         _ => {}
     }
     let full = args.iter().any(|a| a == "--full");
@@ -559,6 +661,14 @@ fn main() {
         println!("                              perf ratchet: fail if any baseline bench median");
         println!(
             "                              regressed by more than the tolerance (default 10%)"
+        );
+        println!("  obs report <run> [--top <k>]           per-run profile report");
+        println!("  obs diff <before> <after> [--noise <f>] span-aligned regression attribution");
+        println!("  obs chrome <run> [--out <file>]        Chrome trace-event JSON export");
+        println!("  obs flame <run> [--out <file>]         folded-stack flamegraph text");
+        println!("  obs metrics <run>                      Prometheus-style metrics exposition");
+        println!(
+            "                              <run> = MCPB_TRACE JSONL | sweep journal | BENCH_*.json"
         );
         println!("\nglobal flags: --threads <n> sets the worker-pool size for this invocation");
         println!("set MCPB_THREADS=<n> to control parallelism (default: all cores)");
