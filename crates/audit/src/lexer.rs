@@ -269,6 +269,14 @@ impl<'s> Lexer<'s> {
     /// Scans ahead of a quote for a close within one (possibly multi-byte)
     /// character, i.e. `'x'` but not `'abc`.
     fn char_closes_soon(&self) -> bool {
+        // `'` + one byte + `'` is always a char literal, whatever the byte:
+        // punctuation literals like `'"'` or `'{'` can never be lifetimes,
+        // and misreading them leaks a quote that de-phases the whole file.
+        if let (Some(b), Some(b'\'')) = (self.peek(1), self.peek(2)) {
+            if b != b'\'' {
+                return true;
+            }
+        }
         let mut j = 1usize;
         let mut chars = 0usize;
         while let Some(b) = self.peek(j) {
@@ -423,6 +431,17 @@ mod tests {
         assert!(got.contains(&(TokenKind::Char, "'y'")));
         assert!(got.contains(&(TokenKind::Char, "'\\n'")));
         assert!(got.contains(&(TokenKind::Char, "b'z'")));
+    }
+
+    #[test]
+    fn punctuation_char_literals_do_not_leak_quotes() {
+        // `'"'` must lex as a char literal; treating it as a lifetime leaks
+        // the inner `"` as a string opener and de-phases everything after.
+        let got = kinds("out.push('\"'); let x = \"s\"; match c { '{' => 1, ' ' => 2, _ => 0 };");
+        assert!(got.contains(&(TokenKind::Char, "'\"'")), "{got:?}");
+        assert!(got.contains(&(TokenKind::Char, "'{'")), "{got:?}");
+        assert!(got.contains(&(TokenKind::Char, "' '")), "{got:?}");
+        assert!(got.contains(&(TokenKind::Str, "\"s\"")), "{got:?}");
     }
 
     #[test]

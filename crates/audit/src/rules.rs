@@ -1,11 +1,11 @@
-//! The lint rules (MCPB001–MCPB015).
+//! The lint rules (MCPB001–MCPB016).
 //!
 //! Rules come in two flavors, both dependency-free (no `syn`, no type
 //! resolution):
 //!
 //! - *line rules* (MCPB001–MCPB008) scan the sanitized line view, where
 //!   comment and string contents are already blanked;
-//! - *token rules* (MCPB009–MCPB015) walk the lossless token stream from
+//! - *token rules* (MCPB009–MCPB016) walk the lossless token stream from
 //!   [`crate::lexer`] with the [`crate::syntax::ScopeMap`] annotations, so
 //!   they can require a pattern to sit inside a loop body or match exact
 //!   token sequences like `Ordering :: Relaxed`.
@@ -176,6 +176,12 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Warn,
         fix_hint: "trace::observe/counter_add with a computed metric name in a hot loop formats a String and defeats per-name aggregation; use a string literal (one stable series per site), or hoist the name construction out of the loop",
     },
+    Rule {
+        id: "MCPB016",
+        name: "unbounded-queue-or-undeadlined-io",
+        severity: Severity::Warn,
+        fix_hint: "the serving path must stay bounded under load: replace mpsc::channel with mpsc::sync_channel (admission control needs backpressure), and give every blocking read a timeout (recv_timeout, set_read_timeout) — or annotate a read whose deadline is set elsewhere with `// audit: deadline-ok(reason)`",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -214,6 +220,11 @@ const HOT_LOOP_PATHS: &[&str] = &[
     "crates/im/src/rrset.rs",
     "crates/im/src/cascade.rs",
 ];
+
+/// Long-lived serving code, where an unbounded queue or a blocking read
+/// without a deadline turns one slow client into a stalled server
+/// (MCPB016). Batch/CLI crates may block forever; the query service may not.
+const SERVING_CRATE_PREFIXES: &[&str] = &["crates/serve/src/"];
 
 fn in_scope(rel_path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| rel_path.starts_with(p))
@@ -628,7 +639,7 @@ fn check_solver_panic_surface(
     }
 }
 
-/// Dispatches the token-stream rules (MCPB010–MCPB015). MCPB009 shares the
+/// Dispatches the token-stream rules (MCPB010–MCPB016). MCPB009 shares the
 /// declaration-tracking line scan with MCPB005 above.
 fn check_token_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
     // Indices of non-trivia tokens, so rules can match adjacent-token
@@ -660,6 +671,7 @@ fn check_token_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
 
     let det_scope = in_scope(&file.rel_path, DETERMINISM_CRATE_PREFIXES);
     let hot_scope = in_scope(&file.rel_path, HOT_LOOP_PATHS);
+    let serve_scope = in_scope(&file.rel_path, SERVING_CRATE_PREFIXES);
 
     for k in 0..code.len() {
         let in_loop = file.scopes.loop_depth[code[k]] > 0;
@@ -755,6 +767,35 @@ fn check_token_rules(file: &SourceFile, findings: &mut Vec<Finding>) {
             && kind(k + 2) != Some(TokenKind::Str)
         {
             push_tok(k, "MCPB015", findings);
+        }
+
+        // MCPB016a: `mpsc::channel(` in serving code — an unbounded queue
+        // defeats admission control, so this form is never waivable; use
+        // `mpsc::sync_channel(depth)` and shed when `try_send` fails.
+        if serve_scope
+            && txt(k) == "mpsc"
+            && txt(k + 1) == ":"
+            && txt(k + 2) == ":"
+            && txt(k + 3) == "channel"
+            && matches!(txt(k + 4), "(" | ":")
+        // plain call or turbofish
+        {
+            push_tok(k + 3, "MCPB016", findings);
+        }
+
+        // MCPB016b: blocking reads with no deadline in serving code —
+        // `.recv()` (use recv_timeout/try_recv) and buffered reads
+        // (`.read_line(` / `.read_to_end(` / `.read_to_string(`). A read
+        // whose timeout is configured elsewhere (e.g. at accept time) can
+        // carry a `// audit: deadline-ok(reason)` annotation.
+        let blocking_read = (txt(k) == "recv" && txt(k + 1) == "(" && txt(k + 2) == ")")
+            || (matches!(txt(k), "read_line" | "read_to_end" | "read_to_string")
+                && txt(k + 1) == "(");
+        if serve_scope && blocking_read && k > 0 && txt(k - 1) == "." {
+            let line = file.tokens[code[k]].line;
+            if !file.has_deadline_waiver(line) {
+                push_tok(k, "MCPB016", findings);
+            }
         }
     }
 }
@@ -1102,6 +1143,42 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_channel_in_serve_flagged_everywhere_else_clean() {
+        let src = "fn f() { let (tx, rx) = mpsc::channel(); }\n";
+        let f = scan_at("crates/serve/src/socket.rs", src);
+        assert_eq!(rules_of(&f), ["MCPB016"]);
+        // The same code outside the serving crate is not MCPB016's business.
+        let f = scan_at("crates/graph/src/lib.rs", src);
+        assert!(!rules_of(&f).contains(&"MCPB016"), "{f:?}");
+    }
+
+    #[test]
+    fn bounded_channel_and_timed_receives_are_clean() {
+        let src = "fn f(rx: &Receiver<u32>) {\n    let (tx, rx2) = mpsc::sync_channel::<u32>(32);\n    let _ = rx.recv_timeout(d);\n    let _ = rx.try_recv();\n}\n";
+        let f = scan_at("crates/serve/src/socket.rs", src);
+        assert!(!rules_of(&f).contains(&"MCPB016"), "{f:?}");
+    }
+
+    #[test]
+    fn blocking_reads_need_a_deadline_waiver() {
+        let src = "fn f(rx: &Receiver<u32>, r: &mut BufReader<TcpStream>, s: &mut String) {\n    let _ = rx.recv();\n    let _ = r.read_line(s);\n}\n";
+        let f = scan_at("crates/serve/src/socket.rs", src);
+        assert_eq!(rules_of(&f), ["MCPB016", "MCPB016"]);
+
+        let waived = "fn f(r: &mut BufReader<TcpStream>, s: &mut String) {\n    // audit: deadline-ok(read timeout set at accept time)\n    let _ = r.read_line(s);\n}\n";
+        let f = scan_at("crates/serve/src/socket.rs", waived);
+        assert!(!rules_of(&f).contains(&"MCPB016"), "{f:?}");
+    }
+
+    #[test]
+    fn deadline_waiver_does_not_excuse_an_unbounded_channel() {
+        let src =
+            "fn f() {\n    // audit: deadline-ok(reason)\n    let (tx, rx) = mpsc::channel();\n}\n";
+        let f = scan_at("crates/serve/src/engine.rs", src);
+        assert_eq!(rules_of(&f), ["MCPB016"]);
+    }
+
+    #[test]
     fn findings_carry_columns() {
         let f = scan("let a = x.unwrap();\n");
         assert_eq!(f.len(), 1);
@@ -1112,7 +1189,7 @@ mod tests {
 
     #[test]
     fn rule_table_is_consistent() {
-        assert_eq!(RULES.len(), 15);
+        assert_eq!(RULES.len(), 16);
         for r in RULES {
             assert!(r.id.starts_with("MCPB"));
             assert!(!r.fix_hint.is_empty());

@@ -44,7 +44,8 @@ pub struct FixtureSpec {
 /// The golden fixture set. Paths are chosen so each pack's scope applies:
 /// `solver_positive` under a solver crate (MCPB008), `det_positive` under
 /// a determinism-critical crate (MCPB009/010), `hot_loop_positive` under a
-/// hot-kernel path (MCPB013).
+/// hot-kernel path (MCPB013), `serve_positive` under the serving crate
+/// (MCPB016).
 pub const FIXTURES: &[FixtureSpec] = &[
     FixtureSpec {
         name: "positive.rs",
@@ -69,6 +70,11 @@ pub const FIXTURES: &[FixtureSpec] = &[
     FixtureSpec {
         name: "concurrency_positive.rs",
         scan_path: "crates/fixture/src/lib.rs",
+        kind: FixtureKind::Positive,
+    },
+    FixtureSpec {
+        name: "serve_positive.rs",
+        scan_path: "crates/serve/src/fixture.rs",
         kind: FixtureKind::Positive,
     },
     FixtureSpec {

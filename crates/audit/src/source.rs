@@ -10,7 +10,8 @@
 //!   token-oriented rules can reason about *where* a pattern occurs (e.g.
 //!   inside a loop body);
 //! - side tables for `audit:allow(RULE)` waivers, `audit: relaxed-ok(reason)`
-//!   concurrency annotations, and `#[cfg(test)]` region tracking.
+//!   concurrency annotations, `audit: deadline-ok(reason)` blocking-I/O
+//!   annotations, and `#[cfg(test)]` region tracking.
 
 use std::path::Path;
 
@@ -43,6 +44,10 @@ pub struct SourceFile {
     /// Per line: an `audit: relaxed-ok(reason)` annotation with a non-empty
     /// reason covers this line (MCPB012's dedicated allowlist).
     pub relaxed_ok: Vec<bool>,
+    /// Per line: an `audit: deadline-ok(reason)` annotation with a non-empty
+    /// reason covers this line (MCPB016's dedicated allowlist for blocking
+    /// reads that provably carry a timeout).
+    pub deadline_ok: Vec<bool>,
 }
 
 impl SourceFile {
@@ -59,6 +64,7 @@ impl SourceFile {
 
         let mut allowed = vec![Vec::new(); n_lines + 1];
         let mut relaxed_ok = vec![false; n_lines + 1];
+        let mut deadline_ok = vec![false; n_lines + 1];
         for tok in &tokens {
             if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
                 continue;
@@ -73,15 +79,22 @@ impl SourceFile {
                     allowed[tok.line + 1].push(rule);
                 }
             }
-            if has_relaxed_ok(comment) {
+            if has_reasoned_marker(comment, "relaxed-ok(") {
                 relaxed_ok[tok.line] = true;
                 if tok.line + 1 < relaxed_ok.len() {
                     relaxed_ok[tok.line + 1] = true;
                 }
             }
+            if has_reasoned_marker(comment, "deadline-ok(") {
+                deadline_ok[tok.line] = true;
+                if tok.line + 1 < deadline_ok.len() {
+                    deadline_ok[tok.line + 1] = true;
+                }
+            }
         }
         allowed.truncate(n_lines);
         relaxed_ok.truncate(n_lines);
+        deadline_ok.truncate(n_lines);
 
         SourceFile {
             rel_path: rel_path.to_owned(),
@@ -94,6 +107,7 @@ impl SourceFile {
             lines,
             allowed,
             relaxed_ok,
+            deadline_ok,
         }
     }
 
@@ -117,6 +131,11 @@ impl SourceFile {
     /// True when 0-based `line` carries a `audit: relaxed-ok(reason)` waiver.
     pub fn has_relaxed_waiver(&self, line: usize) -> bool {
         self.relaxed_ok.get(line).copied().unwrap_or(false)
+    }
+
+    /// True when 0-based `line` carries a `audit: deadline-ok(reason)` waiver.
+    pub fn has_deadline_waiver(&self, line: usize) -> bool {
+        self.deadline_ok.get(line).copied().unwrap_or(false)
     }
 
     /// 1-based column of byte offset `at` on 0-based `line` (byte columns —
@@ -215,13 +234,15 @@ fn parse_allow_markers(comment: &str) -> Vec<String> {
     rules
 }
 
-/// True when the comment carries `relaxed-ok(<non-empty reason>)` — the
-/// MCPB012 annotation: `// audit: relaxed-ok(counter, no data gated)`.
-fn has_relaxed_ok(comment: &str) -> bool {
-    let Some(idx) = comment.find("relaxed-ok(") else {
+/// True when the comment carries `<marker><non-empty reason>)` — the shape
+/// shared by the MCPB012 annotation `// audit: relaxed-ok(counter, no data
+/// gated)` and the MCPB016 annotation `// audit: deadline-ok(read timeout
+/// set at accept time)`. An empty reason does not waive.
+fn has_reasoned_marker(comment: &str, marker: &str) -> bool {
+    let Some(idx) = comment.find(marker) else {
         return false;
     };
-    let rest = &comment[idx + "relaxed-ok(".len()..];
+    let rest = &comment[idx + marker.len()..];
     rest.find(')')
         .map(|end| !rest[..end].trim().is_empty())
         .unwrap_or(false)
@@ -327,6 +348,19 @@ mod tests {
         assert!(f.has_relaxed_waiver(1));
         assert!(!f.has_relaxed_waiver(2), "empty reason must not waive");
         assert!(!f.has_relaxed_waiver(3));
+    }
+
+    #[test]
+    fn deadline_ok_markers_cover_their_line_and_the_next() {
+        let src =
+            "// audit: deadline-ok(read timeout set)\na();\nb();\n// audit: deadline-ok()\nc();\n";
+        let f = SourceFile::parse("crates/foo/src/lib.rs", src);
+        assert!(f.has_deadline_waiver(0));
+        assert!(f.has_deadline_waiver(1));
+        assert!(!f.has_deadline_waiver(2));
+        assert!(!f.has_deadline_waiver(4), "empty reason must not waive");
+        // The two marker families do not leak into each other.
+        assert!(!f.has_relaxed_waiver(0));
     }
 
     #[test]

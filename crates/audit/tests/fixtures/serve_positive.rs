@@ -1,0 +1,46 @@
+//! Positive fixture for the serving pack (MCPB016). Scanned under a
+//! `crates/serve/src/` path so the serving scope applies. The bounded
+//! channel, timed receives, and `deadline-ok(reason)` allowlist cases are
+//! untagged and must stay clean. Never compiled — scanned as text.
+
+use std::io::BufRead;
+use std::sync::mpsc;
+
+pub fn unbounded_queue_defeats_admission() {
+    let (tx, rx) = mpsc::channel(); // FIRE:MCPB016
+    let (tx2, rx2) = mpsc::channel::<String>(); // FIRE:MCPB016
+    let _ = (tx, rx, tx2, rx2);
+}
+
+pub fn blocking_receive_without_deadline(rx: &mpsc::Receiver<String>) -> String {
+    rx.recv().unwrap_or_default() // FIRE:MCPB016
+}
+
+pub fn blocking_read_without_deadline(reader: &mut impl BufRead) -> usize {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap_or(0) // FIRE:MCPB016
+}
+
+pub fn slurping_reads_without_deadline(reader: &mut impl std::io::Read) {
+    let mut buf = Vec::new();
+    let _ = reader.read_to_end(&mut buf); // FIRE:MCPB016
+    let mut text = String::new();
+    let _ = reader.read_to_string(&mut text); // FIRE:MCPB016
+}
+
+pub fn bounded_queue_and_timed_receives_are_clean(rx: &mpsc::Receiver<String>) {
+    let (tx, bounded_rx) = mpsc::sync_channel::<String>(32);
+    let _ = tx.try_send(String::new());
+    let _ = bounded_rx.recv_timeout(std::time::Duration::from_millis(50));
+    let _ = rx.try_recv();
+}
+
+pub fn waived_read_with_external_deadline(reader: &mut impl BufRead) -> usize {
+    let mut line = String::new();
+    // audit: deadline-ok(the stream carries a read timeout set at accept time)
+    reader.read_line(&mut line).unwrap_or(0)
+}
+
+pub fn waiver_on_the_same_line(rx: &mpsc::Receiver<String>) {
+    let _ = rx.recv(); // audit: deadline-ok(sender drops before join, cannot block)
+}

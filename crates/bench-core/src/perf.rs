@@ -312,19 +312,33 @@ pub fn run_im() -> AreaReport {
     report
 }
 
-/// Runs every area and writes `BENCH_nn.json`, `BENCH_kernels.json`,
-/// `BENCH_im.json`, and `BENCH_REPORT.md` under `root`. Returns the
-/// reports for further inspection.
-pub fn run_all(root: &Path) -> std::io::Result<Vec<AreaReport>> {
-    let reports = vec![run_nn(), run_kernels(), run_im()];
-    for r in &reports {
+/// Runs the areas defined in this crate (`nn`, `kernels`, `im`). Callers
+/// that own additional areas (e.g. `mcpb-serve`'s latency suite) append
+/// theirs before [`write_reports`].
+pub fn collect_areas() -> Vec<AreaReport> {
+    vec![run_nn(), run_kernels(), run_im()]
+}
+
+/// Writes one `BENCH_<area>.json` per report plus the combined
+/// `BENCH_REPORT.md` under `root`.
+pub fn write_reports(root: &Path, reports: &[AreaReport]) -> std::io::Result<()> {
+    for r in reports {
         let path = root.join(format!("BENCH_{}.json", r.area));
         std::fs::write(&path, render_json(r))?;
         println!("wrote {}", path.display());
     }
     let report_path = root.join("BENCH_REPORT.md");
-    std::fs::write(&report_path, render_markdown(&reports))?;
+    std::fs::write(&report_path, render_markdown(reports))?;
     println!("wrote {}", report_path.display());
+    Ok(())
+}
+
+/// Runs every area defined in this crate and writes `BENCH_nn.json`,
+/// `BENCH_kernels.json`, `BENCH_im.json`, and `BENCH_REPORT.md` under
+/// `root`. Returns the reports for further inspection.
+pub fn run_all(root: &Path) -> std::io::Result<Vec<AreaReport>> {
+    let reports = collect_areas();
+    write_reports(root, &reports)?;
     Ok(reports)
 }
 

@@ -205,17 +205,14 @@ impl SweepSession {
                     completed.insert(entry.cell.clone(), rec);
                 }
             }
-            Some(JournalWriter::append_to(path).map_err(|e| JournalError::Io(e.to_string()))?)
+            Some(JournalWriter::append_to(path)?)
         } else if let Some(path) = &opts.journal {
             let header = JournalHeader {
                 seed,
                 config_hash,
                 label: label.to_string(),
             };
-            Some(
-                JournalWriter::create(path, &header)
-                    .map_err(|e| JournalError::Io(e.to_string()))?,
-            )
+            Some(JournalWriter::create(path, &header)?)
         } else {
             None
         };

@@ -3,9 +3,16 @@
 //! One header line records the run's seed, a config hash, and a label; each
 //! subsequent line is one cell outcome. Lines are appended and fsync'd per
 //! cell, so after a crash the journal holds every durably completed cell
-//! plus at most one torn final line, which the reader drops. A resumed run
-//! verifies the header hash, replays completed cells from their stored
-//! payloads, and reruns only failed or missing cells.
+//! plus a torn suffix, which the reader drops. The torn suffix is usually a
+//! single partial line, but a crash during a multi-block append (or a
+//! filesystem that reorders block flushes on power loss) can tear *several*
+//! trailing lines — any maximal run of unparseable lines at the end of the
+//! file is tolerated; an unparseable line followed by a parseable one is
+//! corruption and errors out. A resumed run verifies the header hash,
+//! replays completed cells from their stored payloads, and reruns only
+//! failed or missing cells; [`JournalWriter::append_to`] truncates the torn
+//! suffix before appending so a resumed journal never embeds interior
+//! garbage.
 //!
 //! The codec is hand-rolled (this crate is dependency-free) and the field
 //! order is fixed. `payload` is deliberately the *last* field: the parser
@@ -13,7 +20,7 @@
 //! produced by a richer serializer upstream.
 
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Journal file header: identifies the run a journal belongs to.
@@ -69,8 +76,10 @@ pub struct Journal {
     pub header: JournalHeader,
     /// Durable entries, in append order.
     pub entries: Vec<JournalEntry>,
-    /// True when the final line was torn (crash mid-append) and dropped.
+    /// True when a torn suffix (crash mid-append) was dropped.
     pub torn_tail: bool,
+    /// Number of torn trailing lines dropped (0 when `torn_tail` is false).
+    pub torn_lines: usize,
 }
 
 /// Errors from reading or parsing a journal.
@@ -94,6 +103,12 @@ pub enum JournalError {
         /// Hash stored in the journal header.
         found: u64,
     },
+    /// `fsync` failed after a write: the line may be in the page cache but
+    /// is not durable, so the caller must treat the entry as unjournaled.
+    Sync(String),
+    /// A write landed short or failed partway: the file may hold a torn
+    /// line (which a later reader will drop as a torn tail).
+    ShortWrite(String),
 }
 
 impl std::fmt::Display for JournalError {
@@ -108,6 +123,8 @@ impl std::fmt::Display for JournalError {
                 f,
                 "journal belongs to a different run: config hash {found:016x} != {expected:016x}"
             ),
+            JournalError::Sync(e) => write!(f, "journal fsync failed (entry not durable): {e}"),
+            JournalError::ShortWrite(e) => write!(f, "journal write landed short or failed: {e}"),
         }
     }
 }
@@ -329,9 +346,11 @@ fn payload_is_balanced(p: &str) -> bool {
     depth == 0 && !in_str
 }
 
-/// Parses journal text. The final line, if unparseable, is treated as a
-/// torn tail (crash mid-append) and dropped; unparseable *earlier* lines
-/// are corruption and error out.
+/// Parses journal text. Any maximal run of unparseable lines at the *end*
+/// of the file is treated as a torn tail (crash mid-append — possibly
+/// spanning several lines when the final write crossed block boundaries)
+/// and dropped; an unparseable line *followed by a parseable one* is
+/// corruption and errors out.
 pub fn parse_journal(text: &str) -> Result<Journal, JournalError> {
     let lines: Vec<&str> = text.lines().collect();
     let Some((first, rest)) = lines.split_first() else {
@@ -339,30 +358,68 @@ pub fn parse_journal(text: &str) -> Result<Journal, JournalError> {
     };
     let header = parse_header_line(first).map_err(|_| JournalError::MissingHeader)?;
     let mut entries = Vec::new();
-    let mut torn_tail = false;
+    // Unparseable lines are held here until proven torn (no parseable line
+    // after them). A parseable line after a bad one upgrades the first bad
+    // line to a hard corruption error.
+    let mut pending_torn: Option<(usize, String)> = None;
+    let mut torn_lines = 0usize;
     for (i, line) in rest.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         match parse_entry_line(line) {
-            Ok(entry) => entries.push(entry),
-            Err(detail) => {
-                if i + 1 == rest.len() {
-                    torn_tail = true;
-                } else {
+            Ok(entry) => {
+                if let Some((bad_line, detail)) = pending_torn.take() {
                     return Err(JournalError::Malformed {
-                        line: i + 2,
+                        line: bad_line,
                         detail,
                     });
                 }
+                entries.push(entry);
+            }
+            Err(detail) => {
+                if pending_torn.is_none() {
+                    pending_torn = Some((i + 2, detail));
+                }
+                torn_lines += 1;
             }
         }
     }
     Ok(Journal {
         header,
         entries,
-        torn_tail,
+        torn_tail: torn_lines > 0,
+        torn_lines,
     })
+}
+
+/// Byte length of the durable prefix of journal text: the header plus every
+/// newline-terminated, parseable entry line. Everything past it is a torn
+/// suffix that [`JournalWriter::append_to`] truncates before appending.
+fn durable_prefix_len(text: &str) -> usize {
+    let mut durable = 0usize;
+    let mut offset = 0usize;
+    let mut first = true;
+    while offset < text.len() {
+        let line_end = match text[offset..].find('\n') {
+            Some(i) => offset + i + 1,
+            // No trailing newline: the line is torn by definition.
+            None => break,
+        };
+        let line = text[offset..line_end].trim_end_matches(['\n', '\r']);
+        let ok = if first {
+            parse_header_line(line).is_ok()
+        } else {
+            line.trim().is_empty() || parse_entry_line(line).is_ok()
+        };
+        if !ok {
+            break;
+        }
+        first = false;
+        durable = line_end;
+        offset = line_end;
+    }
+    durable
 }
 
 /// Reads and parses a journal file.
@@ -372,7 +429,11 @@ pub fn read_journal(path: &Path) -> Result<Journal, JournalError> {
 }
 
 /// Append-only journal writer; every line is flushed and fsync'd so a
-/// killed process loses at most the line being written.
+/// killed process loses at most the suffix being written. All failure
+/// modes are surfaced as typed [`JournalError`]s — a write that lands
+/// short is [`JournalError::ShortWrite`], a failed fsync (the line may sit
+/// in the page cache but is not durable) is [`JournalError::Sync`] — so
+/// callers can degrade instead of panicking.
 #[derive(Debug)]
 pub struct JournalWriter {
     file: File,
@@ -380,27 +441,53 @@ pub struct JournalWriter {
 
 impl JournalWriter {
     /// Creates (truncating) a journal and durably writes its header.
-    pub fn create(path: &Path, header: &JournalHeader) -> std::io::Result<JournalWriter> {
-        let mut file = File::create(path)?;
-        file.write_all(header.to_line().as_bytes())?;
-        file.write_all(b"\n")?;
-        file.sync_data()?;
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<JournalWriter, JournalError> {
+        let mut file = File::create(path).map_err(|e| JournalError::Io(e.to_string()))?;
+        write_line(&mut file, &header.to_line())?;
         Ok(JournalWriter { file })
     }
 
-    /// Reopens an existing journal for appending (resume). The caller is
-    /// expected to have validated the header via [`read_journal`].
-    pub fn append_to(path: &Path) -> std::io::Result<JournalWriter> {
-        let file = OpenOptions::new().append(true).open(path)?;
+    /// Reopens an existing journal for appending (resume). The journal is
+    /// re-parsed: interior corruption is rejected as
+    /// [`JournalError::Malformed`], and any torn trailing suffix (one *or
+    /// more* partial lines from a crash mid-append) is truncated away so the
+    /// next append starts on a clean line boundary.
+    pub fn append_to(path: &Path) -> Result<JournalWriter, JournalError> {
+        let text = std::fs::read_to_string(path).map_err(|e| JournalError::Io(e.to_string()))?;
+        let journal = parse_journal(&text)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| JournalError::Io(e.to_string()))?;
+        if journal.torn_tail {
+            let keep = durable_prefix_len(&text) as u64;
+            file.set_len(keep)
+                .map_err(|e| JournalError::Io(e.to_string()))?;
+            file.sync_data()
+                .map_err(|e| JournalError::Sync(e.to_string()))?;
+        }
+        let mut file = file;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| JournalError::Io(e.to_string()))?;
         Ok(JournalWriter { file })
     }
 
     /// Durably appends one cell outcome.
-    pub fn append(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
-        self.file.write_all(entry.to_line().as_bytes())?;
-        self.file.write_all(b"\n")?;
-        self.file.sync_data()
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<(), JournalError> {
+        write_line(&mut self.file, &entry.to_line())
     }
+}
+
+/// Writes `line` + newline and fsyncs, mapping each failure mode to its
+/// typed error: partial/failed writes to [`JournalError::ShortWrite`],
+/// fsync failures to [`JournalError::Sync`].
+fn write_line(file: &mut File, line: &str) -> Result<(), JournalError> {
+    file.write_all(line.as_bytes())
+        .and_then(|()| file.write_all(b"\n"))
+        .map_err(|e| JournalError::ShortWrite(e.to_string()))?;
+    file.sync_data()
+        .map_err(|e| JournalError::Sync(e.to_string()))
 }
 
 // -- timing-insensitive comparison ----------------------------------------
@@ -619,7 +706,88 @@ mod tests {
             let j = parse_journal(&text).expect("torn tail tolerated");
             assert_eq!(j.entries.len(), 1, "cut at {cut}");
             assert!(j.torn_tail, "cut at {cut}");
+            assert_eq!(j.torn_lines, 1, "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn multiple_torn_tail_lines_are_dropped() {
+        // A crash mid-append can tear more than one trailing line when the
+        // final write spanned several buffered blocks. Every maximal
+        // unparseable suffix must be tolerated, whatever its length.
+        let mut text = header().to_line();
+        text.push('\n');
+        text.push_str(&entry("mcp|Lazy|DS|1", true).to_line());
+        text.push('\n');
+        text.push_str("{\"cell\":\"mcp|Lazy|DS|2\",\"status\":\"comp\n");
+        text.push_str("{\"cell\":garbage\n");
+        text.push_str("{\"ce");
+        let j = parse_journal(&text).expect("multi-line torn tail tolerated");
+        assert_eq!(j.entries.len(), 1);
+        assert!(j.torn_tail);
+        assert_eq!(j.torn_lines, 3);
+    }
+
+    #[test]
+    fn append_to_truncates_torn_suffix_before_appending() {
+        let dir = std::env::temp_dir().join("mcpb-resilience-journal-torn-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("torn.jsonl");
+        {
+            let mut w = JournalWriter::create(&path, &header()).expect("create");
+            w.append(&entry("a", true)).expect("append");
+        }
+        // Simulated crash: two torn lines land after the durable prefix.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+            f.write_all(b"{\"cell\":\"b\",\"status\":\"comp\n{\"cel")
+                .expect("tear");
+        }
+        assert_eq!(read_journal(&path).expect("readable").torn_lines, 2);
+        {
+            let mut w = JournalWriter::append_to(&path).expect("reopen truncates");
+            w.append(&entry("c", true)).expect("append");
+        }
+        let j = read_journal(&path).expect("clean after resume");
+        assert!(!j.torn_tail, "resume must remove the torn suffix");
+        assert_eq!(j.torn_lines, 0);
+        let cells: Vec<&str> = j.entries.iter().map(|e| e.cell.as_str()).collect();
+        assert_eq!(cells, ["a", "c"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_errors_are_typed_not_panics() {
+        // Creating a journal at a directory path must fail with a typed
+        // Io error, never a panic.
+        let dir = std::env::temp_dir().join("mcpb-resilience-journal-dir-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let err = JournalWriter::create(&dir, &header()).expect_err("dir path must fail");
+        assert!(matches!(err, JournalError::Io(_)), "{err:?}");
+        // append_to over interior corruption is rejected, not truncated:
+        // a parseable line after garbage means real corruption, and silently
+        // cutting at the garbage would discard durable entries.
+        let path = dir.join("corrupt.jsonl");
+        let mut text = header().to_line();
+        text.push('\n');
+        text.push_str("{\"cell\":garbage\n");
+        text.push_str(&entry("good", true).to_line());
+        text.push('\n');
+        std::fs::write(&path, &text).expect("write");
+        let err = JournalWriter::append_to(&path).expect_err("corruption rejected");
+        assert!(
+            matches!(err, JournalError::Malformed { line: 2, .. }),
+            "{err:?}"
+        );
+        // The error Displays mention their failure mode for log greppability.
+        assert!(JournalError::Sync("disk".into())
+            .to_string()
+            .contains("fsync"));
+        assert!(JournalError::ShortWrite("disk".into())
+            .to_string()
+            .contains("short"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -681,6 +849,7 @@ mod tests {
                 header: header(),
                 entries: vec![e],
                 torn_tail: false,
+                torn_lines: 0,
             }
         };
         let a = mk("0.5", "0.9", 1.0);

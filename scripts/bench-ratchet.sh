@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Perf ratchet: compares the working tree's BENCH_nn.json / BENCH_kernels.json
-# / BENCH_im.json against the copies committed at HEAD and fails if any bench
-# median regressed by more than the tolerance (default 10%). Baselines are
+# / BENCH_im.json / BENCH_serve.json against the copies committed at HEAD and
+# fails if any bench median regressed by more than the tolerance (default 10%). Baselines are
 # the committed files themselves — a deliberate slowdown is landed by
 # committing the new numbers, which is what `--rebaseline` does.
 #
@@ -16,7 +16,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-AREAS=(nn kernels im)
+AREAS=(nn kernels im serve)
 TOLERANCE=0.10
 REBASELINE=0
 
@@ -46,7 +46,7 @@ if [[ "$REBASELINE" == 1 ]]; then
   fi
   cargo run -q --release -- bench
   echo "bench-ratchet: baselines refreshed — review and commit:"
-  git --no-pager diff --stat -- BENCH_nn.json BENCH_kernels.json BENCH_im.json BENCH_REPORT.md
+  git --no-pager diff --stat -- BENCH_nn.json BENCH_kernels.json BENCH_im.json BENCH_serve.json BENCH_REPORT.md
   exit 0
 fi
 

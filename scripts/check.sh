@@ -67,7 +67,24 @@ cargo run -q -- --threads 4 sweep --journal "$JOURNAL_T4" >/dev/null
 cargo run -q -- journal-diff "$JOURNAL_T1" "$JOURNAL_T4"
 cargo run -q -- --threads 4 par-bench 50000
 
-echo "==> perf suite smoke (quick mode; rewrites BENCH_nn/kernels/im.json + BENCH_REPORT.md)"
+echo "==> serve smoke (replay a fixed request log at 1 vs 4 threads; journals must match)"
+SERVE_LOG="target/check-serve-requests.jsonl"
+SERVE_T1="target/check-serve-t1.jsonl"
+SERVE_T4="target/check-serve-t4.jsonl"
+rm -f "$SERVE_LOG" "$SERVE_T1" "$SERVE_T4"
+cargo run -q -- serve --gen 80 --burst --out "$SERVE_LOG" >/dev/null
+MCPB_THREADS=1 cargo run -q -- serve --replay "$SERVE_LOG" --det-timing --out "$SERVE_T1" \
+  | tee /dev/stderr | grep -q "serve: drain clean"
+MCPB_THREADS=4 cargo run -q -- serve --replay "$SERVE_LOG" --det-timing --out "$SERVE_T4" >/dev/null
+cmp "$SERVE_T1" "$SERVE_T4"
+cargo run -q -- journal-diff "$SERVE_T1" "$SERVE_T4"
+
+echo "==> serve chaos smoke (injected faults must degrade, not kill, and stay typed)"
+MCPB_FAULTS="panic@serve.query:2; stall@serve.query:5=0.02" \
+  cargo run -q -- serve --replay "$SERVE_LOG" --det-timing \
+  | tee /dev/stderr | grep -q "serve: drain clean"
+
+echo "==> perf suite smoke (quick mode; rewrites BENCH_nn/kernels/im/serve.json + BENCH_REPORT.md)"
 MCPB_BENCH_QUICK=1 cargo run -q --release -- bench
 
 echo "==> perf ratchet (working-tree BENCH_*.json vs committed baselines, 10% tolerance)"

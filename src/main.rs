@@ -342,11 +342,11 @@ fn audit_cmd(args: &[String]) {
 }
 
 /// `bench [--quick]`: runs the recorded perf suite and writes
-/// `BENCH_nn.json`, `BENCH_kernels.json`, `BENCH_im.json`, and
-/// `BENCH_REPORT.md` at the workspace root. `--quick` shrinks samples and
-/// warmup (problem sizes and thread counts are unchanged, so medians stay
-/// comparable — just noisier); `MCPB_BENCH_SAMPLES` / `MCPB_BENCH_THREADS`
-/// pin the suite further.
+/// `BENCH_nn.json`, `BENCH_kernels.json`, `BENCH_im.json`,
+/// `BENCH_serve.json`, and `BENCH_REPORT.md` at the workspace root.
+/// `--quick` shrinks samples and warmup (problem sizes and thread counts
+/// are unchanged, so medians stay comparable — just noisier);
+/// `MCPB_BENCH_SAMPLES` / `MCPB_BENCH_THREADS` pin the suite further.
 fn bench_cmd(args: &[String]) {
     for a in args {
         match a.as_str() {
@@ -362,14 +362,207 @@ fn bench_cmd(args: &[String]) {
             eprintln!("mcpbench bench: cannot locate workspace root");
             std::process::exit(2);
         });
-    let reports = mcpb_bench::perf::run_all(&root).unwrap_or_else(|e| {
+    let mut reports = mcpb_bench::perf::collect_areas();
+    reports.push(mcpb_serve::bench::serve_area());
+    if let Err(e) = mcpb_bench::perf::write_reports(&root, &reports) {
         eprintln!("mcpbench bench: {e}");
         std::process::exit(1);
-    });
+    }
     for r in &reports {
         for s in &r.speedups {
             println!("{}: {} is {:.2}x the reference", r.area, s.name, s.ratio);
         }
+    }
+}
+
+/// `serve …`: the online query service. Three modes:
+///
+/// * `--gen <n>` emits a deterministic JSONL request log (seeded; `--burst`
+///   adds a mid-log overload window) for replay and chaos testing;
+/// * `--replay <log>` preloads the serving state and replays the log
+///   through the fault-isolated engine, printing greppable summary lines
+///   and (with `--out`) the response journal — `--det-timing` zeroes
+///   wall-clock fields so journals are byte-identical across thread
+///   counts;
+/// * `--listen <endpoint>` serves live JSONL clients over TCP or a Unix
+///   socket until an admin `{"op":"shutdown"}` line drains it.
+fn serve_cmd(args: &[String]) {
+    use mcpb_serve::{
+        generate_log, preload, replay, serve_listener, EngineOptions, LoadGenConfig, ServeConfig,
+        SocketConfig,
+    };
+
+    fn usage() -> ! {
+        eprintln!(
+            "usage: mcpbench serve --gen <n> [--seed <s>] [--burst] [--out <file>]\n\
+             \u{20}      mcpbench serve --replay <log> [--out <journal>] [--det-timing]\n\
+             \u{20}                     [--no-cache] [--label <text>]\n\
+             \u{20}      mcpbench serve --listen <tcp:HOST:PORT|unix:/path> [--queue <n>]"
+        );
+        std::process::exit(2);
+    }
+
+    let mut gen_n: Option<usize> = None;
+    let mut replay_path: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut seed = 7u64;
+    let mut burst = false;
+    let mut det_timing = false;
+    let mut no_cache = false;
+    let mut label = "serve-replay".to_string();
+    let mut queue = 32usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--gen" => gen_n = it.next().and_then(|v| v.parse().ok()).or_else(|| usage()),
+            "--replay" => replay_path = it.next().cloned().or_else(|| usage()),
+            "--listen" => listen = it.next().cloned().or_else(|| usage()),
+            "--out" => out = it.next().cloned().or_else(|| usage()),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--queue" => {
+                queue = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--label" => label = it.next().cloned().unwrap_or_else(|| usage()),
+            "--burst" => burst = true,
+            "--det-timing" => det_timing = true,
+            "--no-cache" => no_cache = true,
+            _ => usage(),
+        }
+    }
+    if [gen_n.is_some(), replay_path.is_some(), listen.is_some()]
+        .iter()
+        .filter(|&&m| m)
+        .count()
+        != 1
+    {
+        usage();
+    }
+
+    let cfg = ServeConfig::default();
+    let (state, mut pool) = preload(&cfg).unwrap_or_else(|e| {
+        eprintln!("mcpbench serve: preload failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "serve: preloaded {} dataset(s), {} solver lane(s) (config hash {:016x})",
+        state.datasets.len(),
+        state.num_lanes(),
+        state.config_hash
+    );
+
+    if let Some(n) = gen_n {
+        let log = generate_log(
+            &state,
+            &LoadGenConfig {
+                requests: n,
+                seed,
+                burst,
+                ..LoadGenConfig::default()
+            },
+        );
+        match &out {
+            Some(path) => {
+                std::fs::write(path, &log).unwrap_or_else(|e| {
+                    eprintln!("mcpbench serve: cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                println!("serve: generated {n} request line(s) -> {path}");
+            }
+            None => print!("{log}"),
+        }
+        return;
+    }
+
+    if let Some(path) = replay_path {
+        let log = std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!("mcpbench serve: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let opts = EngineOptions {
+            label,
+            deterministic_timing: det_timing,
+            reuse_cache: !no_cache,
+            ..EngineOptions::default()
+        };
+        let report = replay(&state, &mut pool, &log, &opts);
+        let answered = report.served + report.degraded + report.shed + report.errors;
+        println!(
+            "serve: ok requests={} served={} degraded={} shed={} errors={} cache_hits={}",
+            report.requests,
+            report.served,
+            report.degraded,
+            report.shed,
+            report.errors,
+            report.cache_hits
+        );
+        let shed_rate = report.shed as f64 / report.requests.max(1) as f64;
+        println!(
+            "serve: latency p50_ms={:.3} p99_ms={:.3} shed_rate={:.3}",
+            report.p50_ms, report.p99_ms, shed_rate
+        );
+        if let Some(path) = &out {
+            std::fs::write(path, &report.journal).unwrap_or_else(|e| {
+                eprintln!("mcpbench serve: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("serve: wrote response journal -> {path}");
+        }
+        if report.lost == 0 && report.duplicated == 0 && answered == report.requests {
+            println!(
+                "serve: drain clean ({answered}/{} responses, 0 lost, 0 duplicated)",
+                report.requests
+            );
+        } else {
+            eprintln!(
+                "serve: drain FAILED ({answered}/{} responses, {} lost, {} duplicated)",
+                report.requests, report.lost, report.duplicated
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let endpoint = listen.unwrap_or_else(|| usage());
+    let sock_cfg = SocketConfig {
+        endpoint,
+        queue_depth: queue,
+        ..SocketConfig::default()
+    };
+    let handle = serve_listener(state, pool, &sock_cfg).unwrap_or_else(|e| {
+        eprintln!("mcpbench serve: {e}");
+        std::process::exit(1);
+    });
+    println!("serve: listening on {}", handle.endpoint());
+    println!("serve: send {{\"op\":\"shutdown\"}} on any connection to drain");
+    while !handle.draining() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let (_pool, stats) = handle.shutdown_and_join();
+    let answered = stats.served + stats.degraded + stats.shed + stats.errors;
+    println!(
+        "serve: ok requests={} served={} degraded={} shed={} errors={}",
+        stats.requests, stats.served, stats.degraded, stats.shed, stats.errors
+    );
+    if stats.drained_clean() {
+        println!(
+            "serve: drain clean ({answered}/{} responses, 0 lost, 0 duplicated)",
+            stats.requests
+        );
+    } else {
+        eprintln!(
+            "serve: drain FAILED ({answered}/{} responses answered)",
+            stats.requests
+        );
+        std::process::exit(1);
     }
 }
 
@@ -616,6 +809,11 @@ fn main() {
             bench_cmd(&args[1..]);
             return;
         }
+        Some("serve") => {
+            serve_cmd(&args[1..]);
+            finish_trace();
+            return;
+        }
         Some("bench-check") => {
             bench_check_cmd(&args[1..]);
             return;
@@ -662,6 +860,14 @@ fn main() {
         println!(
             "                              regressed by more than the tolerance (default 10%)"
         );
+        println!("  serve --gen <n> [--seed <s>] [--burst] [--out <file>]");
+        println!("                              emit a deterministic JSONL request log");
+        println!("  serve --replay <log> [--out <journal>] [--det-timing] [--no-cache]");
+        println!("                              replay a request log through the query service;");
+        println!("                              prints p50/p99 latency and the shed rate");
+        println!("  serve --listen <tcp:H:P|unix:/path> [--queue <n>]");
+        println!("                              live JSONL query server with admission control,");
+        println!("                              deadlines, and graceful degradation");
         println!("  obs report <run> [--top <k>]           per-run profile report");
         println!("  obs diff <before> <after> [--noise <f>] span-aligned regression attribution");
         println!("  obs chrome <run> [--out <file>]        Chrome trace-event JSON export");
