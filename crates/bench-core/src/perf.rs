@@ -9,6 +9,9 @@
 //!   level vs the per-node walk reference) and lazy greedy end-to-end.
 //! * `im` — RR-set sampling, IC and LT Monte-Carlo at 1/2/4/8 threads
 //!   (the scaling curve), each against its pre-PR reference at 1 thread.
+//! * `large` (opt-in via `mcpbench bench --large`) — the same sharded
+//!   consumers over the million-node `ba-1m` compact CSR, with per-shard
+//!   peak-memory accounting in the document's `memory` extras block.
 //!
 //! Every `<id>` / `<id>_ref` pair also records a median speedup ratio so
 //! the report can state "blocked matmul is N× the naive kernel" from the
@@ -47,6 +50,10 @@ pub struct AreaReport {
     pub benches: Vec<Summary>,
     /// Derived `optimized` vs `reference` ratios.
     pub speedups: Vec<Speedup>,
+    /// Extra top-level JSON fields for this area's document — e.g. the
+    /// `large` area's per-shard memory block. [`compare_benches`] ignores
+    /// unknown fields, so extras never break the ratchet.
+    pub extras: Vec<(String, Value)>,
 }
 
 impl AreaReport {
@@ -136,6 +143,7 @@ pub fn run_nn() -> AreaReport {
         area: "nn",
         benches: c.summaries().to_vec(),
         speedups: Vec::new(),
+        extras: Vec::new(),
     };
     report.push_speedup(
         "dense matmul 256x256x256",
@@ -214,6 +222,7 @@ pub fn run_kernels() -> AreaReport {
         area: "kernels",
         benches: c.summaries().to_vec(),
         speedups: Vec::new(),
+        extras: Vec::new(),
     };
     report.push_speedup(
         "coverage gain sweep (20k nodes)",
@@ -293,6 +302,7 @@ pub fn run_im() -> AreaReport {
         area: "im",
         benches: c.summaries().to_vec(),
         speedups: Vec::new(),
+        extras: Vec::new(),
     };
     report.push_speedup(
         "RR sampling 20k sets (1 thread)",
@@ -312,9 +322,112 @@ pub fn run_im() -> AreaReport {
     report
 }
 
+/// `large` area: the million-node catalog tier. Builds the `ba-1m` compact
+/// CSR through the streamed generator (no disk cache, so the record is
+/// hermetic), then runs the two sharded hot consumers — partitioned RR-set
+/// sampling and IC/LT Monte-Carlo — across the thread curve. Per-shard peak
+/// memory is collected through the `mcpb-trace` histograms the shard layer
+/// feeds ([`mcpb_im::shard`]) and lands in the document's `memory` extras
+/// block next to the throughput numbers, with the documented budget
+/// ([`mcpb_im::shard::SHARD_PEAK_BUDGET_BYTES`]) and a `within_budget`
+/// verdict. Not part of [`collect_areas`]: `mcpbench bench --large` (or
+/// `MCPB_BENCH_LARGE=1`) opts in, so the default suite's runtime does not
+/// balloon.
+pub fn run_large() -> AreaReport {
+    // The bench harness runs from the CLI, never inside a fault-isolated
+    // sweep cell; a missing catalog entry here is a build-time bug.
+    // audit:allow(MCPB008)
+    let cfg = mcpb_graph::large_config("ba-1m").expect("invariant: ba-1m is in the large catalog");
+    let g = cfg.build().expect("invariant: catalog configs build"); // audit:allow(MCPB008)
+    let seeds = [0u32, 3, 11, 42, 117];
+    let threads = bench_threads();
+    let mut c = fresh_criterion();
+
+    // The shard layer reports peak bytes through trace histograms, which
+    // are off by default. Enable + reset around the benches so the window
+    // covers exactly this area's shards, then restore the prior state.
+    let was_enabled = mcpb_trace::is_enabled();
+    mcpb_trace::set_enabled(true);
+    mcpb_trace::reset();
+
+    for &t in &threads {
+        mcpb_par::set_thread_override(Some(t));
+        c.bench_function(&format!("large/rr_sample_ba1m_t{t}"), |b| {
+            b.iter(|| mcpb_im::sample_collection(&g, 4_096, 131).len())
+        });
+        c.bench_function(&format!("large/ic_mc_ba1m_t{t}"), |b| {
+            b.iter(|| mcpb_im::influence_mc(&g, &seeds, 1_024, 137).to_bits())
+        });
+        c.bench_function(&format!("large/lt_mc_ba1m_t{t}"), |b| {
+            b.iter(|| mcpb_im::influence_mc_lt(&g, &seeds, 64, 139).to_bits())
+        });
+        mcpb_par::set_thread_override(None);
+    }
+
+    let summary = mcpb_trace::snapshot();
+    mcpb_trace::set_enabled(was_enabled);
+
+    let hist = |name: &str| summary.histograms.iter().find(|h| h.name == name);
+    let hist_obj = |name: &str| match hist(name) {
+        Some(h) => obj(vec![
+            ("count", h.count.to_value()),
+            ("mean_bytes", h.mean.to_value()),
+            ("max_bytes", h.max.to_value()),
+        ]),
+        None => Value::Null,
+    };
+    let budget = mcpb_im::shard::SHARD_PEAK_BUDGET_BYTES;
+    let within_budget = ["im.rr_shard_peak_bytes", "im.mc_shard_peak_bytes"]
+        .iter()
+        .all(|name| hist(name).map(|h| h.max <= budget as f64).unwrap_or(true));
+    let memory = obj(vec![
+        ("per_shard_budget_bytes", (budget as u64).to_value()),
+        ("within_budget", within_budget.to_value()),
+        ("rr_shard_peak", hist_obj("im.rr_shard_peak_bytes")),
+        ("mc_shard_peak", hist_obj("im.mc_shard_peak_bytes")),
+    ]);
+    let graph = obj(vec![
+        ("config", cfg.name.to_value()),
+        (
+            "config_hash",
+            format!("{:016x}", cfg.config_hash()).to_value(),
+        ),
+        ("nodes", (g.num_nodes() as u64).to_value()),
+        ("arcs", (g.num_arcs() as u64).to_value()),
+        ("bytes", (g.memory_bytes() as u64).to_value()),
+    ]);
+
+    let mut report = AreaReport {
+        area: "large",
+        benches: c.summaries().to_vec(),
+        speedups: Vec::new(),
+        extras: vec![("memory".to_string(), memory), ("graph".to_string(), graph)],
+    };
+    let (t_lo, t_hi) = (threads[0], threads[threads.len() - 1]);
+    if t_hi > t_lo {
+        report.push_speedup(
+            &format!("RR sampling ba-1m ({t_hi} vs {t_lo} threads)"),
+            &format!("large/rr_sample_ba1m_t{t_hi}"),
+            &format!("large/rr_sample_ba1m_t{t_lo}"),
+        );
+        report.push_speedup(
+            &format!("IC Monte-Carlo ba-1m ({t_hi} vs {t_lo} threads)"),
+            &format!("large/ic_mc_ba1m_t{t_hi}"),
+            &format!("large/ic_mc_ba1m_t{t_lo}"),
+        );
+        report.push_speedup(
+            &format!("LT Monte-Carlo ba-1m ({t_hi} vs {t_lo} threads)"),
+            &format!("large/lt_mc_ba1m_t{t_hi}"),
+            &format!("large/lt_mc_ba1m_t{t_lo}"),
+        );
+    }
+    report
+}
+
 /// Runs the areas defined in this crate (`nn`, `kernels`, `im`). Callers
 /// that own additional areas (e.g. `mcpb-serve`'s latency suite) append
-/// theirs before [`write_reports`].
+/// theirs before [`write_reports`]; the opt-in `large` area is added by
+/// `mcpbench bench --large`.
 pub fn collect_areas() -> Vec<AreaReport> {
     vec![run_nn(), run_kernels(), run_im()]
 }
@@ -390,7 +503,7 @@ pub fn render_json(report: &AreaReport) -> String {
             },
         ),
     ]);
-    let doc = obj(vec![
+    let mut fields = vec![
         ("schema", "mcpb-perf/1".to_value()),
         ("area", report.area.to_value()),
         ("quick", quick_mode().to_value()),
@@ -406,7 +519,11 @@ pub fn render_json(report: &AreaReport) -> String {
         }),
         ("benches", benches),
         ("speedups", speedups),
-    ]);
+    ];
+    for (key, value) in &report.extras {
+        fields.push((key.as_str(), value.clone()));
+    }
+    let doc = obj(fields);
     // Serializing an in-memory value tree is infallible; this renders a
     // report, it never runs inside a sweep cell.
     // audit:allow(MCPB001, MCPB008)
@@ -724,6 +841,7 @@ mod tests {
                 mean_nanos: 13,
             }],
             speedups: Vec::new(),
+            extras: Vec::new(),
         };
         let text = render_json(&report);
         let parsed: Value = serde_json::from_str(&text).expect("parse");
@@ -740,6 +858,7 @@ mod tests {
             area: "nn",
             benches: Vec::new(),
             speedups: Vec::new(),
+            extras: Vec::new(),
         };
         let text = render_json(&report);
         let parsed: Value = serde_json::from_str(&text).expect("parse");
@@ -803,6 +922,7 @@ mod tests {
                 },
             ],
             speedups: Vec::new(),
+            extras: Vec::new(),
         };
         report.push_speedup("x", "im/x_t1", "im/x_ref_t1");
         assert!((report.speedups[0].ratio - 2.5).abs() < 1e-9);

@@ -9,7 +9,7 @@
 //! fits CPU experiments. `paper_nodes` / `paper_edges` record what the
 //! original measured so reports can show both.
 
-use crate::csr::{Graph, GraphBuilder, NodeId};
+use crate::csr::{Graph, GraphBuilder};
 use crate::generators;
 use serde::{Deserialize, Serialize};
 
@@ -114,7 +114,7 @@ fn embed(core: Graph, n: usize) -> Graph {
     }
     let mut b = GraphBuilder::new(n).allow_parallel_edges();
     for e in core.edges() {
-        b.add_edge(e.src as NodeId, e.dst as NodeId, e.weight);
+        b.add_edge(e.src, e.dst, e.weight);
     }
     b.build()
         .expect("invariant: core ids fit inside n")

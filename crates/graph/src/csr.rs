@@ -58,6 +58,10 @@ impl Graph {
     /// Duplicate edges are kept as parallel edges; callers that need simple
     /// graphs should deduplicate via [`GraphBuilder`].
     pub fn from_edges(n: usize, edges: &[Edge]) -> Result<Self, GraphError> {
+        // All per-element `as NodeId` casts below (and in accessors like
+        // `nodes()`/`edges()`) are in range because of these two guards.
+        crate::convert::node_count(n)?;
+        crate::convert::arc_index(edges.len())?;
         for e in edges {
             if (e.src as usize) >= n || (e.dst as usize) >= n {
                 return Err(GraphError::NodeOutOfRange {
@@ -267,6 +271,11 @@ impl Graph {
     /// `debug_assertions`; release builds skip it.
     pub fn validate(&self) -> Result<(), GraphError> {
         let corrupt = |detail: String| Err(GraphError::Corrupt { detail });
+        // Deserialized graphs bypass `from_edges`, so re-check the id-space
+        // guard here before trusting any `as NodeId` arithmetic.
+        if let Err(e) = crate::convert::node_count(self.n) {
+            return corrupt(e.to_string());
+        }
         let m = self.out_targets.len();
         if self.out_offsets.len() != self.n + 1 || self.in_offsets.len() != self.n + 1 {
             return corrupt(format!(
@@ -427,6 +436,8 @@ pub enum GraphError {
         /// Which invariant failed, and where.
         detail: String,
     },
+    /// A node or arc count does not fit the `u32` id space.
+    IdOverflow(crate::convert::IdOverflow),
 }
 
 impl std::fmt::Display for GraphError {
@@ -452,11 +463,18 @@ impl std::fmt::Display for GraphError {
             GraphError::Corrupt { detail } => {
                 write!(f, "corrupt CSR graph: {detail}")
             }
+            GraphError::IdOverflow(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for GraphError {}
+
+impl From<crate::convert::IdOverflow> for GraphError {
+    fn from(e: crate::convert::IdOverflow) -> Self {
+        GraphError::IdOverflow(e)
+    }
+}
 
 /// Incremental builder that deduplicates edges and supports undirected
 /// insertion (adding both arcs).

@@ -6,11 +6,28 @@
 //! evaluates on 20 real networks; our catalog stand-ins are produced from the
 //! generators in this module (see [`crate::catalog`]).
 
+use crate::convert;
 use crate::csr::{Graph, GraphBuilder, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Narrows a generator-local node index to a [`NodeId`] via the checked
+/// converter. Every public generator asserts [`convert::node_count`] on
+/// entry, so indices `< n` cannot overflow here.
+fn nid(v: usize) -> NodeId {
+    convert::node_id(v).expect("invariant: node_count(n) asserted at every generator entry point")
+}
+
+/// Entry guard shared by the generators: graph sizes must fit the u32 id
+/// space before any per-element narrowing happens.
+fn assert_node_count(n: usize) {
+    assert!(
+        convert::node_count(n).is_ok(),
+        "generator size {n} exceeds the u32 id space"
+    );
+}
 
 /// Deterministic RNG used by every generator, seeded per call.
 pub type GenRng = ChaCha8Rng;
@@ -23,6 +40,7 @@ pub fn rng(seed: u64) -> GenRng {
 /// Erdős–Rényi `G(n, m)`: exactly `m` distinct undirected edges chosen
 /// uniformly at random (both arcs inserted).
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    assert_node_count(n);
     let mut rng = rng(seed);
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
     let m = m.min(max_edges);
@@ -30,8 +48,8 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
     let mut seen = std::collections::HashSet::with_capacity(m * 2);
     let mut added = 0usize;
     while added < m {
-        let a = rng.gen_range(0..n) as NodeId;
-        let b = rng.gen_range(0..n) as NodeId;
+        let a = nid(rng.gen_range(0..n));
+        let b = nid(rng.gen_range(0..n));
         if a == b {
             continue;
         }
@@ -53,6 +71,7 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
 /// distributions ("power-law model") the paper's synthetic experiments use.
 pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
     assert!(m_attach >= 1, "attachment count must be >= 1");
+    assert_node_count(n);
     let m0 = (m_attach + 1).min(n.max(1));
     let mut rng = rng(seed);
     let mut builder = GraphBuilder::new(n);
@@ -62,9 +81,9 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
 
     for a in 0..m0 {
         for b in (a + 1)..m0 {
-            builder.add_undirected(a as NodeId, b as NodeId, 1.0);
-            endpoints.push(a as NodeId);
-            endpoints.push(b as NodeId);
+            builder.add_undirected(nid(a), nid(b), 1.0);
+            endpoints.push(nid(a));
+            endpoints.push(nid(b));
         }
     }
 
@@ -76,7 +95,7 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
         while targets.len() < m_attach.min(v) && guard < 50 * m_attach {
             guard += 1;
             let t = if endpoints.is_empty() {
-                rng.gen_range(0..v) as NodeId
+                nid(rng.gen_range(0..v))
             } else {
                 endpoints[rng.gen_range(0..endpoints.len())]
             };
@@ -85,8 +104,8 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
             }
         }
         for &t in &targets {
-            builder.add_undirected(v as NodeId, t, 1.0);
-            endpoints.push(v as NodeId);
+            builder.add_undirected(nid(v), t, 1.0);
+            endpoints.push(nid(v));
             endpoints.push(t);
         }
     }
@@ -101,6 +120,7 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
 /// diameters — the regime of the collaboration networks in the catalog.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
     assert!(k >= 1 && n > 2 * k, "need n > 2k for a ring lattice");
+    assert_node_count(n);
     let mut rng = rng(seed);
     let mut builder = GraphBuilder::new(n);
     for v in 0..n {
@@ -121,7 +141,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
                     t = (v + j) % n;
                 }
             }
-            builder.add_undirected(v as NodeId, t as NodeId, 1.0);
+            builder.add_undirected(nid(v), nid(t), 1.0);
         }
     }
     builder
@@ -136,6 +156,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
 /// structure (the statistic Tab. 4 found most predictive).
 pub fn stochastic_block_model(n: usize, blocks: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
     assert!(blocks >= 1);
+    assert_node_count(n);
     let mut rng = rng(seed);
     let mut builder = GraphBuilder::new(n);
     let block_of = |v: usize| v * blocks / n.max(1);
@@ -147,7 +168,7 @@ pub fn stochastic_block_model(n: usize, blocks: usize, p_in: f64, p_out: f64, se
                 p_out
             };
             if rng.gen_bool(p) {
-                builder.add_undirected(a as NodeId, b as NodeId, 1.0);
+                builder.add_undirected(nid(a), nid(b), 1.0);
             }
         }
     }
@@ -180,19 +201,20 @@ pub fn scale_free_with_isolated(n: usize, m_attach: usize, isolated_frac: f64, s
 /// the regime where discount heuristics shine.
 pub fn hub_graph(n: usize, hubs: usize, spoke_prob: f64, seed: u64) -> Graph {
     assert!(hubs >= 1 && hubs < n);
+    assert_node_count(n);
     let mut rng = rng(seed);
     let mut builder = GraphBuilder::new(n);
     for h in 0..hubs {
         for v in hubs..n {
             if rng.gen_bool(spoke_prob) {
-                builder.add_undirected(h as NodeId, v as NodeId, 1.0);
+                builder.add_undirected(nid(h), nid(v), 1.0);
             }
         }
     }
     // Sprinkle a thin random backbone so the graph is not strictly bipartite.
     for _ in 0..n / 4 {
-        let a = rng.gen_range(0..n) as NodeId;
-        let b = rng.gen_range(0..n) as NodeId;
+        let a = nid(rng.gen_range(0..n));
+        let b = nid(rng.gen_range(0..n));
         if a != b {
             builder.add_undirected(a, b, 1.0);
         }
@@ -205,7 +227,8 @@ pub fn hub_graph(n: usize, hubs: usize, spoke_prob: f64, seed: u64) -> Graph {
 
 /// Random node permutation, used when sampling training subgraphs.
 pub fn random_permutation(n: usize, seed: u64) -> Vec<NodeId> {
-    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+    assert_node_count(n);
+    let mut ids: Vec<NodeId> = (0..nid(n)).collect();
     ids.shuffle(&mut rng(seed));
     ids
 }

@@ -1,0 +1,168 @@
+//! [`CsrView`]: the read-side abstraction over CSR graph storage.
+//!
+//! Two concrete representations implement it: [`Graph`](crate::Graph)
+//! (usize offsets, owned `Vec`s — the mid-size catalog) and
+//! [`CompactGraph`](crate::compact::CompactGraph) (u32 offsets, optionally
+//! mmap-backed — the `large` tier). Consumers that only *read* adjacency
+//! (RR-set sampling, IC/LT cascade simulation) are generic over this trait,
+//! so the sharded kernels in `mcpb-im` run unchanged — and produce
+//! bit-identical results — on either form.
+
+use crate::csr::{GraphError, NodeId};
+
+/// Read-only view of a directed weighted graph in CSR form with both
+/// adjacency directions materialized.
+///
+/// Implementations guarantee the same invariants [`crate::Graph::validate`]
+/// checks: per-node neighbor lists sorted ascending, weights aligned with
+/// neighbors, and out/in directions describing the same arc multiset.
+pub trait CsrView: Sync {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+    /// Number of directed arcs.
+    fn num_arcs(&self) -> usize;
+    /// Out-neighbors of `v`, sorted ascending.
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId];
+    /// Weights aligned with [`CsrView::out_neighbors`].
+    fn out_weights(&self, v: NodeId) -> &[f32];
+    /// In-neighbors of `v`, sorted ascending.
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId];
+    /// Weights aligned with [`CsrView::in_neighbors`].
+    fn in_weights(&self, v: NodeId) -> &[f32];
+
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Mean out-degree (equals mean in-degree): `arcs / nodes`. The
+    /// degree-aware shard planner keys chunk sizes off this, so it must be
+    /// a pure function of the graph — never of the thread count.
+    fn avg_degree(&self) -> f64 {
+        let n = self.num_nodes();
+        if n == 0 {
+            0.0
+        } else {
+            self.num_arcs() as f64 / n as f64
+        }
+    }
+}
+
+impl CsrView for crate::Graph {
+    fn num_nodes(&self) -> usize {
+        crate::Graph::num_nodes(self)
+    }
+
+    fn num_arcs(&self) -> usize {
+        crate::Graph::num_edges(self)
+    }
+
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        crate::Graph::out_neighbors(self, v)
+    }
+
+    fn out_weights(&self, v: NodeId) -> &[f32] {
+        crate::Graph::out_weights(self, v)
+    }
+
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        crate::Graph::in_neighbors(self, v)
+    }
+
+    fn in_weights(&self, v: NodeId) -> &[f32] {
+        crate::Graph::in_weights(self, v)
+    }
+}
+
+/// Validates the CSR invariants reachable through the view: endpoints in
+/// range, per-node adjacency sorted, weights finite, and out/in directions
+/// agreeing on the arc multiset. `O(m log m)`.
+///
+/// [`crate::Graph::validate`] and
+/// [`CompactGraph::validate`](crate::compact::CompactGraph::validate) both
+/// add representation-specific offset checks on top of this shared core.
+pub fn validate_csr<G: CsrView + ?Sized>(g: &G) -> Result<(), GraphError> {
+    let corrupt = |detail: String| Err(GraphError::Corrupt { detail });
+    let n = g.num_nodes();
+    crate::convert::node_count(n).map_err(|e| GraphError::Corrupt {
+        detail: e.to_string(),
+    })?;
+    let mut out_arcs = 0usize;
+    let mut in_arcs = 0usize;
+    for v in 0..n as NodeId {
+        for (nbrs, ws, label) in [
+            (g.out_neighbors(v), g.out_weights(v), "out"),
+            (g.in_neighbors(v), g.in_weights(v), "in"),
+        ] {
+            if nbrs.len() != ws.len() {
+                return corrupt(format!(
+                    "{label}-adjacency of node {v} has {} neighbors but {} weights",
+                    nbrs.len(),
+                    ws.len()
+                ));
+            }
+            if let Some(&bad) = nbrs.iter().find(|&&u| (u as usize) >= n) {
+                return corrupt(format!(
+                    "{label}-neighbor {bad} of node {v} is out of range (n = {n})"
+                ));
+            }
+            if nbrs.windows(2).any(|w| w[0] > w[1]) {
+                return corrupt(format!("{label}-adjacency of node {v} is not sorted"));
+            }
+            if let Some((u, _)) = nbrs.iter().zip(ws).find(|(_, w)| !w.is_finite()) {
+                return corrupt(format!("non-finite weight on an arc at ({v}, {u})"));
+            }
+        }
+        out_arcs += g.out_neighbors(v).len();
+        in_arcs += g.in_neighbors(v).len();
+    }
+    if out_arcs != g.num_arcs() || in_arcs != g.num_arcs() {
+        return corrupt(format!(
+            "adjacency spans {out_arcs} out-arcs / {in_arcs} in-arcs, want {}",
+            g.num_arcs()
+        ));
+    }
+    let mut fwd: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(out_arcs);
+    let mut rev: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(in_arcs);
+    for v in 0..n as NodeId {
+        for (&u, &w) in g.out_neighbors(v).iter().zip(g.out_weights(v)) {
+            fwd.push((v, u, w.to_bits()));
+        }
+        for (&u, &w) in g.in_neighbors(v).iter().zip(g.in_weights(v)) {
+            rev.push((u, v, w.to_bits()));
+        }
+    }
+    fwd.sort_unstable();
+    rev.sort_unstable();
+    if fwd != rev {
+        return corrupt("out- and in-adjacency describe different arc multisets".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, Graph};
+
+    #[test]
+    fn graph_implements_the_view() {
+        let g = generators::barabasi_albert(60, 3, 5);
+        fn arcs_via_view<G: CsrView>(g: &G) -> usize {
+            (0..g.num_nodes() as NodeId).map(|v| g.out_degree(v)).sum()
+        }
+        assert_eq!(arcs_via_view(&g), g.num_edges());
+        assert!(CsrView::avg_degree(&g) > 0.0);
+    }
+
+    #[test]
+    fn validate_csr_accepts_generated_graphs() {
+        validate_csr(&generators::erdos_renyi(40, 80, 3)).unwrap();
+        validate_csr(&Graph::from_edges(0, &[]).unwrap()).unwrap();
+    }
+}

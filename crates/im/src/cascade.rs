@@ -6,16 +6,18 @@
 //! rayon); the RIS machinery in [`crate::rrset`] is the scalable estimator.
 
 use crate::scratch::CascadeScratch;
-use mcpb_graph::{Graph, NodeId};
+use mcpb_graph::{CsrView, NodeId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Runs one IC diffusion from `seeds`; returns the number of active nodes at
 /// quiescence. `visited` is caller-provided scratch (`len == n`, reset
-/// internally) so batch simulation does not reallocate.
-pub fn simulate_ic_into(
-    graph: &Graph,
+/// internally) so batch simulation does not reallocate. Generic over
+/// [`CsrView`], so the same kernel serves both the mid-size
+/// [`mcpb_graph::Graph`] and the `large`-tier compact CSR.
+pub fn simulate_ic_into<G: CsrView + ?Sized>(
+    graph: &G,
     seeds: &[NodeId],
     rng: &mut impl Rng,
     visited: &mut [u32],
@@ -50,7 +52,7 @@ pub fn simulate_ic_into(
 
 /// Runs one IC diffusion from `seeds`, reusing this lane's
 /// [`CascadeScratch`] buffers.
-pub fn simulate_ic(graph: &Graph, seeds: &[NodeId], rng: &mut impl Rng) -> usize {
+pub fn simulate_ic<G: CsrView + ?Sized>(graph: &G, seeds: &[NodeId], rng: &mut impl Rng) -> usize {
     CascadeScratch::with(|s| {
         s.ensure_ic(graph.num_nodes());
         let stamp = s.next_stamp();
@@ -59,34 +61,52 @@ pub fn simulate_ic(graph: &Graph, seeds: &[NodeId], rng: &mut impl Rng) -> usize
 }
 
 /// Estimates the influence spread `I(S)` as the mean active count over
-/// `trials` IC simulations. Deterministic per `seed`: each fixed 64-trial
-/// chunk derives its RNG from the chunk index and the `u64` chunk sums are
-/// combined by integer addition, so neither the thread count nor the
-/// schedule can reach the result. Each worker lane reuses one
-/// [`CascadeScratch`] across all its chunks, so the simulation loop
-/// performs no heap allocation after lane warmup.
-pub fn influence_mc(graph: &Graph, seeds: &[NodeId], trials: usize, seed: u64) -> f64 {
+/// `trials` IC simulations. Deterministic per `seed` *and* shard width:
+/// every fixed 64-trial base block ([`crate::shard::MC_BASE`]) derives its
+/// RNG from its own block index, shards are degree-aware multiples of the
+/// base block ([`crate::shard::mc_chunk`], a pure function of the graph),
+/// and the `u64` shard sums are combined by integer addition — so neither
+/// the thread count nor the shard width can reach the result. Each worker
+/// lane reuses one [`CascadeScratch`] across all its shards (no heap
+/// allocation after lane warmup) and reports its scratch footprint through
+/// [`crate::shard::record_mc_shard`].
+pub fn influence_mc<G: CsrView + ?Sized>(
+    graph: &G,
+    seeds: &[NodeId],
+    trials: usize,
+    seed: u64,
+) -> f64 {
     if trials == 0 || graph.num_nodes() == 0 {
         return 0.0;
     }
-    let chunk = 64usize;
-    let sums = mcpb_par::map_chunked(trials, chunk, |range| {
-        let c = range.start / chunk;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
+    let base = crate::shard::MC_BASE;
+    let sums = mcpb_par::map_chunked(trials, crate::shard::mc_chunk(graph), |range| {
         CascadeScratch::with(|s| {
             s.ensure_ic(graph.num_nodes());
             let mut sum = 0u64;
-            for _ in range {
-                let stamp = s.next_stamp();
-                sum += simulate_ic_into(
-                    graph,
-                    seeds,
-                    &mut rng,
-                    &mut s.visited,
-                    stamp,
-                    &mut s.frontier,
-                ) as u64;
+            let mut t = range.start;
+            while t < range.end {
+                // One RNG stream per base block: block `c` always covers
+                // trials `c*base..(c+1)*base`, so widening shards cannot
+                // move a single random draw.
+                let c = t / base;
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
+                let stop = ((c + 1) * base).min(range.end);
+                while t < stop {
+                    let stamp = s.next_stamp();
+                    sum += simulate_ic_into(
+                        graph,
+                        seeds,
+                        &mut rng,
+                        &mut s.visited,
+                        stamp,
+                        &mut s.frontier,
+                    ) as u64;
+                    t += 1;
+                }
             }
+            crate::shard::record_mc_shard(s.footprint_bytes());
             sum
         })
     });
@@ -98,7 +118,7 @@ pub fn influence_mc(graph: &Graph, seeds: &[NodeId], trials: usize, seed: u64) -
 mod tests {
     use super::*;
     use mcpb_graph::weights::{assign_weights, WeightModel};
-    use mcpb_graph::{generators, Edge};
+    use mcpb_graph::{generators, Edge, Graph};
 
     #[test]
     fn seeds_are_always_active() {

@@ -33,6 +33,7 @@ pub mod opim;
 pub mod reference;
 pub mod rrset;
 pub mod scratch;
+pub mod shard;
 pub mod solver;
 pub mod tim;
 

@@ -16,16 +16,15 @@
 use crate::rrset::RrCollection;
 use crate::scratch::CascadeScratch;
 use crate::solver::{ImSolution, ImSolver};
-use mcpb_graph::{Graph, NodeId};
+use mcpb_graph::{CsrView, Graph, NodeId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 /// Validates the LT precondition: incoming weights sum to <= 1 (+eps).
-pub fn is_lt_compatible(graph: &Graph) -> bool {
-    graph
-        .nodes()
+pub fn is_lt_compatible<G: CsrView + ?Sized>(graph: &G) -> bool {
+    (0..graph.num_nodes() as NodeId)
         .all(|v| graph.in_weights(v).iter().map(|&w| w as f64).sum::<f64>() <= 1.0 + 1e-4)
 }
 
@@ -48,8 +47,8 @@ pub fn is_lt_compatible(graph: &Graph) -> bool {
 /// anyway), so the accumulate-and-compare is literally the reference's:
 /// `0.0 + w` is bitwise `w` for the non-negative edge weights, making every
 /// per-node pressure sum identical term by term.
-pub fn simulate_lt_into(
-    graph: &Graph,
+pub fn simulate_lt_into<G: CsrView + ?Sized>(
+    graph: &G,
     seeds: &[NodeId],
     rng: &mut impl Rng,
     s: &mut CascadeScratch,
@@ -111,19 +110,27 @@ pub fn simulate_lt_into(
 
 /// Runs one LT diffusion from `seeds`, reusing this lane's
 /// [`CascadeScratch`] buffers.
-pub fn simulate_lt(graph: &Graph, seeds: &[NodeId], rng: &mut impl Rng) -> usize {
+pub fn simulate_lt<G: CsrView + ?Sized>(graph: &G, seeds: &[NodeId], rng: &mut impl Rng) -> usize {
     CascadeScratch::with(|s| simulate_lt_into(graph, seeds, rng, s))
 }
 
 /// Monte-Carlo LT spread estimate (pool-parallel, seeded). Each trial
 /// derives its RNG from the trial index — identical to the reference
-/// per-trial seeding — while trials are walked in fixed 64-wide chunks so
-/// each worker lane reuses one [`CascadeScratch`] across its share.
-pub fn influence_mc_lt(graph: &Graph, seeds: &[NodeId], trials: usize, seed: u64) -> f64 {
+/// per-trial seeding, so the estimate is invariant to both thread count and
+/// shard width — while trials are walked in degree-aware shards
+/// ([`crate::shard::mc_chunk`], a pure function of the graph) so each
+/// worker lane reuses one [`CascadeScratch`] across its share and reports
+/// its scratch footprint through [`crate::shard::record_mc_shard`].
+pub fn influence_mc_lt<G: CsrView + ?Sized>(
+    graph: &G,
+    seeds: &[NodeId],
+    trials: usize,
+    seed: u64,
+) -> f64 {
     if trials == 0 || graph.num_nodes() == 0 {
         return 0.0;
     }
-    let sums = mcpb_par::map_chunked(trials, 64, |range| {
+    let sums = mcpb_par::map_chunked(trials, crate::shard::mc_chunk(graph), |range| {
         CascadeScratch::with(|s| {
             let mut sum = 0u64;
             for t in range {
@@ -131,6 +138,7 @@ pub fn influence_mc_lt(graph: &Graph, seeds: &[NodeId], trials: usize, seed: u64
                     ChaCha8Rng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9e37_79b9));
                 sum += simulate_lt_into(graph, seeds, &mut rng, s) as u64;
             }
+            crate::shard::record_mc_shard(s.footprint_bytes());
             sum
         })
     });

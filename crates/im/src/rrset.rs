@@ -16,7 +16,7 @@
 //! arena — IMM/OPIM grow collections geometrically, so total rebuild work
 //! stays within 2× the final index size.
 
-use mcpb_graph::{Graph, NodeId};
+use mcpb_graph::{CsrView, NodeId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -51,9 +51,12 @@ impl RrCollection {
     /// Sampling is parallel and deterministic per `seed` and prior size:
     /// each set derives its RNG from its global index, and sets land in the
     /// arena in index order, so the result is bit-identical at any thread
-    /// count. Sampling reuses one stamp-visited buffer and one flat output
-    /// buffer per fixed-size chunk instead of allocating per set.
-    pub fn extend_to(&mut self, graph: &Graph, target: usize, seed: u64) {
+    /// count — and at any shard width, so the degree-aware shard plan
+    /// ([`crate::shard::rr_chunk`], a pure function of the graph) is free.
+    /// Sampling reuses one stamp-visited buffer and one flat output buffer
+    /// per shard instead of allocating per set, and each shard reports its
+    /// scratch footprint through [`crate::shard::record_rr_shard`].
+    pub fn extend_to<G: CsrView + ?Sized>(&mut self, graph: &G, target: usize, seed: u64) {
         let start = self.len();
         if target <= start {
             return;
@@ -62,7 +65,7 @@ impl RrCollection {
         mcpb_trace::counter_add("im.rr_sets_sampled", (target - start) as u64);
         let n = graph.num_nodes();
         let fresh: Vec<(Vec<u32>, Vec<NodeId>)> =
-            mcpb_par::map_chunked(target - start, mcpb_par::DEFAULT_CHUNK, |range| {
+            mcpb_par::map_chunked(target - start, crate::shard::rr_chunk(graph), |range| {
                 let mut visited = vec![0u32; n];
                 let mut lens = Vec::with_capacity(range.len());
                 let mut data = Vec::new();
@@ -76,6 +79,11 @@ impl RrCollection {
                     // audit:allow(MCPB006) — one RR set never exceeds n <= u32::MAX nodes
                     lens.push((data.len() - before) as u32);
                 }
+                crate::shard::record_rr_shard(
+                    visited.capacity() * std::mem::size_of::<u32>()
+                        + data.capacity() * std::mem::size_of::<NodeId>()
+                        + lens.capacity() * std::mem::size_of::<u32>(),
+                );
                 (lens, data)
             });
         for (lens, data) in &fresh {
@@ -302,7 +310,7 @@ impl<'a> Iterator for SetsViewIter<'a> {
 
 /// Samples one RR set: picks a uniform target and runs a reverse BFS where
 /// each in-edge is kept independently with its probability.
-pub fn sample_rr_set(graph: &Graph, rng: &mut impl Rng) -> Vec<NodeId> {
+pub fn sample_rr_set<G: CsrView + ?Sized>(graph: &G, rng: &mut impl Rng) -> Vec<NodeId> {
     let mut out = Vec::new();
     let mut visited = vec![0u32; graph.num_nodes()];
     sample_rr_set_into(graph, rng, &mut visited, 1, &mut out);
@@ -314,8 +322,8 @@ pub fn sample_rr_set(graph: &Graph, rng: &mut impl Rng) -> Vec<NodeId> {
 /// BFS queue), so batch samplers reuse one flat buffer for a whole chunk.
 /// The RNG call sequence is identical to [`sample_rr_set`]: one range draw
 /// for the target, then one `f32` draw per in-edge of an unvisited source.
-pub fn sample_rr_set_into(
-    graph: &Graph,
+pub fn sample_rr_set_into<G: CsrView + ?Sized>(
+    graph: &G,
     rng: &mut impl Rng,
     visited: &mut [u32],
     stamp: u32,
@@ -345,7 +353,7 @@ pub fn sample_rr_set_into(
 }
 
 /// Convenience: sample a fresh collection of `m` RR sets.
-pub fn sample_collection(graph: &Graph, m: usize, seed: u64) -> RrCollection {
+pub fn sample_collection<G: CsrView + ?Sized>(graph: &G, m: usize, seed: u64) -> RrCollection {
     let mut c = RrCollection::new(graph.num_nodes());
     c.extend_to(graph, m, seed);
     c
@@ -356,7 +364,7 @@ mod tests {
     use super::*;
     use crate::cascade::influence_mc;
     use mcpb_graph::weights::{assign_weights, WeightModel};
-    use mcpb_graph::{generators, Edge};
+    use mcpb_graph::{generators, Edge, Graph};
 
     #[test]
     fn rr_set_always_contains_target() {

@@ -90,6 +90,18 @@ impl CascadeScratch {
         self.stamp
     }
 
+    /// Heap bytes currently held by the scratch buffers (capacities, not
+    /// lengths — this is what the lane actually reserves). Shard memory
+    /// accounting reports this per shard; it is exact for `Vec`-backed
+    /// scratch and, unlike a process-global allocator peak, independent of
+    /// how many lanes run concurrently.
+    pub fn footprint_bytes(&self) -> usize {
+        self.visited.capacity() * std::mem::size_of::<u32>()
+            + self.frontier.capacity() * std::mem::size_of::<NodeId>()
+            + self.lt_state.capacity() * std::mem::size_of::<[f32; 2]>()
+            + self.lt_active.capacity()
+    }
+
     /// Runs `f` with this lane's scratch. Each worker lane gets its own
     /// instance; buffers persist across calls within the lane's lifetime
     /// (for pool workers, the enclosing pool invocation).

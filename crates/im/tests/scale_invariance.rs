@@ -1,0 +1,158 @@
+//! Scale invariance for the sharded `large`-tier consumers.
+//!
+//! The tentpole contract: degree-aware sharding ([`mcpb_im::shard`]) may
+//! pick any chunk width, and the pool may run any thread count, without
+//! moving a single random draw. These tests pin that against the frozen
+//! single-threaded references in [`mcpb_im::reference`] — which predate
+//! both the sharding layer and the compact CSR — with exact (`to_bits` /
+//! set-by-set) comparisons, on a mid-size streamed graph built through
+//! *both* carriers: the edge-list [`Graph`] and the streamed
+//! [`CompactGraph`]. Bit-identity across the carrier is what makes the
+//! 1M-node tier's journals comparable to mid-size golden results.
+
+use mcpb_graph::weights::{assign_weights, WeightModel};
+use mcpb_graph::{CompactGraph, CompactWeights, Graph, LargeConfig, StreamFamily, StreamSpec};
+use mcpb_im::{influence_mc, influence_mc_lt, reference, sample_collection};
+use mcpb_par::set_thread_override;
+use std::sync::{Mutex, MutexGuard};
+
+/// The thread override is process-global; tests serialize around it.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    set_thread_override(Some(threads));
+    let out = f();
+    set_thread_override(None);
+    out
+}
+
+fn spec() -> StreamSpec {
+    StreamSpec {
+        family: StreamFamily::BarabasiAlbert { m_attach: 4 },
+        n: 10_000,
+        seed: 17,
+    }
+}
+
+/// The compact carrier, built edge-block by edge-block.
+fn compact() -> CompactGraph {
+    LargeConfig {
+        name: "si-test",
+        spec: spec(),
+        weights: CompactWeights::WeightedCascade,
+    }
+    .build()
+    .expect("streamed build")
+}
+
+/// The same graph through the classic edge-list path. The unit suite in
+/// `mcpb_graph::compact` pins that both carriers hold bitwise-identical
+/// CSR arrays, so any divergence these tests see is in the estimators.
+fn edge_list() -> Graph {
+    let s = spec();
+    let mut edges = Vec::new();
+    s.for_each_edge(|u, v| {
+        edges.push(mcpb_graph::Edge::unweighted(u, v));
+        edges.push(mcpb_graph::Edge::unweighted(v, u));
+    })
+    .expect("stream edges");
+    let g = Graph::from_edges(s.n, &edges).expect("from edges");
+    assign_weights(&g, WeightModel::WeightedCascade, 0)
+}
+
+#[test]
+fn sharded_rr_sampling_matches_reference_at_any_thread_count() {
+    let _g = serial();
+    let compact = compact();
+    let graph = edge_list();
+    let base = reference::sample_collection(&graph, 3_000, 42);
+    for threads in [1, 2, 8] {
+        let via_graph = with_threads(threads, || sample_collection(&graph, 3_000, 42));
+        let via_compact = with_threads(threads, || sample_collection(&compact, 3_000, 42));
+        for (label, sharded) in [("Graph", &via_graph), ("CompactGraph", &via_compact)] {
+            assert_eq!(base.len(), sharded.len(), "{label} at {threads} threads");
+            for (i, expected) in base.sets().iter().enumerate() {
+                assert_eq!(
+                    expected.as_slice(),
+                    sharded.set(i),
+                    "{label} RR set {i} diverged from the reference at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_ic_mc_matches_reference_at_any_thread_count() {
+    let _g = serial();
+    let compact = compact();
+    let graph = edge_list();
+    let seeds = [0u32, 7, 19, 123, 4_567];
+    let base = reference::influence_mc(&graph, &seeds, 2_048, 99);
+    for threads in [1, 2, 8] {
+        let via_graph = with_threads(threads, || influence_mc(&graph, &seeds, 2_048, 99));
+        let via_compact = with_threads(threads, || influence_mc(&compact, &seeds, 2_048, 99));
+        assert_eq!(
+            base.to_bits(),
+            via_graph.to_bits(),
+            "Graph IC spread diverged from the reference at {threads} threads"
+        );
+        assert_eq!(
+            base.to_bits(),
+            via_compact.to_bits(),
+            "CompactGraph IC spread diverged from the reference at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn sharded_lt_mc_matches_reference_at_any_thread_count() {
+    let _g = serial();
+    let compact = compact();
+    let graph = edge_list();
+    let seeds = [1u32, 8, 21, 377];
+    let base = reference::influence_mc_lt(&graph, &seeds, 512, 7);
+    for threads in [1, 2, 8] {
+        let via_graph = with_threads(threads, || influence_mc_lt(&graph, &seeds, 512, 7));
+        let via_compact = with_threads(threads, || influence_mc_lt(&compact, &seeds, 512, 7));
+        assert_eq!(
+            base.to_bits(),
+            via_graph.to_bits(),
+            "Graph LT spread diverged from the reference at {threads} threads"
+        );
+        assert_eq!(
+            base.to_bits(),
+            via_compact.to_bits(),
+            "CompactGraph LT spread diverged from the reference at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn shard_widths_are_thread_invariant() {
+    let _g = serial();
+    let compact = compact();
+    // The chunk pickers are pure functions of the graph; a thread-dependent
+    // width would silently re-partition the MC base blocks.
+    let rr = with_threads(1, || mcpb_im::shard::rr_chunk(&compact));
+    let mc = with_threads(1, || mcpb_im::shard::mc_chunk(&compact));
+    for threads in [2, 8] {
+        assert_eq!(
+            rr,
+            with_threads(threads, || mcpb_im::shard::rr_chunk(&compact))
+        );
+        assert_eq!(
+            mc,
+            with_threads(threads, || mcpb_im::shard::mc_chunk(&compact))
+        );
+    }
+    assert_eq!(
+        mc % mcpb_im::shard::MC_BASE,
+        0,
+        "MC shards must align to base blocks"
+    );
+}

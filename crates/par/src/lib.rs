@@ -28,5 +28,5 @@ mod ops;
 mod pool;
 
 pub use config::{effective_threads, set_thread_override, thread_override, ENV_VAR};
-pub use ops::{for_each_mut, map_chunked, map_indexed, DEFAULT_CHUNK};
+pub use ops::{cost_scaled_chunk, for_each_mut, map_chunked, map_indexed, DEFAULT_CHUNK};
 pub use pool::{in_pool, run_chunks};

@@ -26,6 +26,23 @@ pub fn map_chunked<T: Send>(
     })
 }
 
+/// Scales a reduction chunk width by per-item cost, preserving determinism:
+/// the result is a multiple of `base` (so any per-`base`-chunk RNG grouping
+/// is unchanged), at least `base`, at most `256 * base`, and a pure
+/// function of the arguments — never of the thread count. Callers pass the
+/// expected `unit_cost` of one item (e.g. a graph's average degree) and the
+/// `target_cost` one chunk should amortize to; cheap items get wide chunks,
+/// expensive items stay at `base`.
+pub fn cost_scaled_chunk(base: usize, unit_cost: f64, target_cost: f64) -> usize {
+    let base = base.max(1);
+    if !(unit_cost > 0.0) || !(target_cost > 0.0) {
+        return base;
+    }
+    let items = target_cost / unit_cost;
+    let multiple = (items / base as f64).floor().clamp(1.0, 256.0) as usize;
+    base * multiple
+}
+
 /// Unit size for [`map_indexed`]: aim for several units per worker so the
 /// cursor can load-balance uneven items. Output placement is positional, so
 /// unlike [`DEFAULT_CHUNK`] this may depend on the thread count without

@@ -70,6 +70,7 @@ pub fn serve_area() -> AreaReport {
         area: "serve",
         benches,
         speedups: Vec::new(),
+        extras: Vec::new(),
     }
 }
 

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf ratchet: compares the working tree's BENCH_nn.json / BENCH_kernels.json
-# / BENCH_im.json / BENCH_serve.json against the copies committed at HEAD and
+# / BENCH_im.json / BENCH_serve.json / BENCH_large.json against the copies committed at HEAD and
 # fails if any bench median regressed by more than the tolerance (default 10%). Baselines are
 # the committed files themselves — a deliberate slowdown is landed by
 # committing the new numbers, which is what `--rebaseline` does.
@@ -16,7 +16,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-AREAS=(nn kernels im serve)
+AREAS=(nn kernels im serve large)
 TOLERANCE=0.10
 REBASELINE=0
 
@@ -44,9 +44,9 @@ if [[ "$REBASELINE" == 1 ]]; then
     git status --porcelain >&2
     exit 1
   fi
-  cargo run -q --release -- bench
+  cargo run -q --release -- bench --large
   echo "bench-ratchet: baselines refreshed — review and commit:"
-  git --no-pager diff --stat -- BENCH_nn.json BENCH_kernels.json BENCH_im.json BENCH_serve.json BENCH_REPORT.md
+  git --no-pager diff --stat -- BENCH_nn.json BENCH_kernels.json BENCH_im.json BENCH_serve.json BENCH_large.json BENCH_REPORT.md
   exit 0
 fi
 

@@ -84,6 +84,21 @@ MCPB_FAULTS="panic@serve.query:2; stall@serve.query:5=0.02" \
   cargo run -q -- serve --replay "$SERVE_LOG" --det-timing \
   | tee /dev/stderr | grep -q "serve: drain clean"
 
+echo "==> large-tier smoke (1M-node sharded sampling; journals at 1 vs 4 threads must match)"
+# Release-scale but bounded (~tens of seconds): one streamed 1M-node build
+# that lands in the mmap cache, then a cache-hit rerun. MCPB_CHECK_LARGE=0
+# skips it when that budget is too rich (e.g. pre-push on a laptop).
+if [[ "${MCPB_CHECK_LARGE:-1}" == 0 ]]; then
+  echo "    skipped (MCPB_CHECK_LARGE=0)"
+else
+  LARGE_T1="target/check-large-t1.jsonl"
+  LARGE_T4="target/check-large-t4.jsonl"
+  rm -f "$LARGE_T1" "$LARGE_T4"
+  cargo run -q --release -- --threads 1 large-smoke --out "$LARGE_T1"
+  cargo run -q --release -- --threads 4 large-smoke --out "$LARGE_T4"
+  cmp "$LARGE_T1" "$LARGE_T4"
+fi
+
 echo "==> perf suite smoke (quick mode; rewrites BENCH_nn/kernels/im/serve.json + BENCH_REPORT.md)"
 MCPB_BENCH_QUICK=1 cargo run -q --release -- bench
 

@@ -341,18 +341,23 @@ fn audit_cmd(args: &[String]) {
     }
 }
 
-/// `bench [--quick]`: runs the recorded perf suite and writes
+/// `bench [--quick] [--large]`: runs the recorded perf suite and writes
 /// `BENCH_nn.json`, `BENCH_kernels.json`, `BENCH_im.json`,
 /// `BENCH_serve.json`, and `BENCH_REPORT.md` at the workspace root.
 /// `--quick` shrinks samples and warmup (problem sizes and thread counts
 /// are unchanged, so medians stay comparable — just noisier);
 /// `MCPB_BENCH_SAMPLES` / `MCPB_BENCH_THREADS` pin the suite further.
+/// `--large` (or `MCPB_BENCH_LARGE=1`) additionally records the opt-in
+/// million-node tier as `BENCH_large.json`, with per-shard peak memory in
+/// the document's `memory` block.
 fn bench_cmd(args: &[String]) {
+    let mut large = std::env::var("MCPB_BENCH_LARGE").map_or(false, |v| v == "1");
     for a in args {
         match a.as_str() {
             "--quick" => std::env::set_var("MCPB_BENCH_QUICK", "1"),
+            "--large" => large = true,
             _ => {
-                eprintln!("usage: mcpbench bench [--quick]");
+                eprintln!("usage: mcpbench bench [--quick] [--large]");
                 std::process::exit(2);
             }
         }
@@ -364,6 +369,9 @@ fn bench_cmd(args: &[String]) {
         });
     let mut reports = mcpb_bench::perf::collect_areas();
     reports.push(mcpb_serve::bench::serve_area());
+    if large {
+        reports.push(mcpb_bench::perf::run_large());
+    }
     if let Err(e) = mcpb_bench::perf::write_reports(&root, &reports) {
         eprintln!("mcpbench bench: {e}");
         std::process::exit(1);
@@ -373,6 +381,256 @@ fn bench_cmd(args: &[String]) {
             println!("{}: {} is {:.2}x the reference", r.area, s.name, s.ratio);
         }
     }
+}
+
+/// `datasets --large [<name>...]`: materializes the million-node catalog
+/// tier as mmap-backed compact-CSR caches under `target/datasets/large/`.
+/// With no names, builds every catalog config up to 1M nodes (the bigger
+/// configs are opt-in by name, so default runs stay bounded). A second
+/// invocation reloads from cache and reports it.
+fn datasets_large_cmd(args: &[String]) {
+    let mut names: Vec<&str> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--large" => {}
+            flag if flag.starts_with("--") => {
+                eprintln!("usage: mcpbench datasets --large [<name>...]");
+                std::process::exit(2);
+            }
+            name => names.push(name),
+        }
+    }
+    let dir = std::path::Path::new("target/datasets/large");
+    let configs: Vec<mcpb_graph::LargeConfig> = if names.is_empty() {
+        mcpb_graph::large_catalog()
+            .into_iter()
+            .filter(|c| c.spec.n <= 1_000_000)
+            .collect()
+    } else {
+        names
+            .iter()
+            .map(|name| {
+                mcpb_graph::large_config(name).unwrap_or_else(|| {
+                    eprintln!("mcpbench datasets: unknown large config {name:?}; available:");
+                    for c in mcpb_graph::large_catalog() {
+                        eprintln!("  {} ({} nodes)", c.name, c.spec.n);
+                    }
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    for cfg in configs {
+        let start = std::time::Instant::now(); // audit:allow(MCPB007) — CLI progress line, not a profile
+        let (g, cached) = cfg.load_cached(dir).unwrap_or_else(|e| {
+            eprintln!("mcpbench datasets: {}: {e}", cfg.name);
+            std::process::exit(1);
+        });
+        if let Err(e) = g.validate() {
+            eprintln!("mcpbench datasets: {} failed validation: {e}", cfg.name);
+            std::process::exit(1);
+        }
+        println!(
+            "{}: {} nodes, {} arcs, {:.1} MiB, {} in {:.2}s -> {}",
+            cfg.name,
+            g.num_nodes(),
+            g.num_arcs(),
+            g.memory_bytes() as f64 / (1024.0 * 1024.0),
+            if cached {
+                "cache hit"
+            } else {
+                "built + cached"
+            },
+            start.elapsed().as_secs_f64(),
+            cfg.cache_path(dir).display()
+        );
+    }
+}
+
+/// `large-smoke [--config <name>] [--rr <sets>] [--ic <trials>]
+/// [--lt <trials>] [--no-cache] [--out <file>]`: generates (or
+/// cache-loads) one `large`-tier graph, runs sharded RR sampling and IC/LT
+/// Monte-Carlo over it, and emits a deterministic JSONL journal — config
+/// hash, graph shape, an RR-collection digest, the exact spread bits, and
+/// per-shard peak memory. Every journal field is a pure function of the
+/// config, so two runs at different `--threads` must be byte-identical;
+/// `scripts/check.sh` pins that with `cmp`.
+fn large_smoke_cmd(args: &[String]) {
+    fn usage() -> ! {
+        eprintln!(
+            "usage: mcpbench large-smoke [--config <name>] [--rr <sets>] [--ic <trials>]\n\
+             \u{20}                           [--lt <trials>] [--no-cache] [--out <file>]"
+        );
+        std::process::exit(2);
+    }
+    let mut config = "ba-1m".to_string();
+    let mut rr_sets = 4_096usize;
+    let mut ic_trials = 1_024usize;
+    let mut lt_trials = 64usize;
+    let mut no_cache = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => config = it.next().cloned().unwrap_or_else(|| usage()),
+            "--rr" => {
+                rr_sets = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--ic" => {
+                ic_trials = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--lt" => {
+                lt_trials = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--no-cache" => no_cache = true,
+            "--out" => out = it.next().cloned().or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let cfg = mcpb_graph::large_config(&config).unwrap_or_else(|| {
+        eprintln!("mcpbench large-smoke: unknown large config {config:?}");
+        std::process::exit(2);
+    });
+
+    let start = std::time::Instant::now(); // audit:allow(MCPB007) — CLI progress line, not a profile
+    let (g, cached) = if no_cache {
+        match cfg.build() {
+            Ok(g) => (g, false),
+            Err(e) => {
+                eprintln!("mcpbench large-smoke: build failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match cfg.load_cached(std::path::Path::new("target/datasets/large")) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("mcpbench large-smoke: cache load failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if let Err(e) = g.validate() {
+        eprintln!("mcpbench large-smoke: {config} failed validation: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "large-smoke: {config} ready in {:.2}s ({}, {} thread(s))",
+        start.elapsed().as_secs_f64(),
+        if no_cache {
+            "built in memory"
+        } else if cached {
+            "cache hit"
+        } else {
+            "built + cached"
+        },
+        mcpb_par::effective_threads(),
+    );
+
+    // Shard-level memory accounting flows through the trace histograms;
+    // open a clean window over exactly this smoke's shards.
+    let was_enabled = mcpb_trace::is_enabled();
+    mcpb_trace::set_enabled(true);
+    mcpb_trace::reset();
+
+    let mut journal = String::new();
+    journal.push_str(&format!(
+        "{{\"schema\":\"mcpb-large-smoke/1\",\"config\":\"{}\",\"config_hash\":\"{:016x}\",\
+         \"nodes\":{},\"arcs\":{},\"graph_bytes\":{}}}\n",
+        cfg.name,
+        cfg.config_hash(),
+        g.num_nodes(),
+        g.num_arcs(),
+        g.memory_bytes()
+    ));
+
+    // FNV-1a over every set length and member: any reordered or altered
+    // RR set changes the digest, so the journal pins the full collection
+    // without shipping it.
+    let rr = mcpb_im::sample_collection(&g, rr_sets, 131);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut total_nodes = 0u64;
+    for set in rr.sets().iter() {
+        digest = (digest ^ set.len() as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        for &v in set {
+            digest = (digest ^ u64::from(v)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        total_nodes += set.len() as u64;
+    }
+    journal.push_str(&format!(
+        "{{\"event\":\"rr\",\"sets\":{},\"seed\":131,\"total_nodes\":{total_nodes},\
+         \"digest\":\"{digest:016x}\"}}\n",
+        rr.len()
+    ));
+
+    let seeds = [0u32, 3, 11, 42, 117];
+    let ic = mcpb_im::influence_mc(&g, &seeds, ic_trials, 137);
+    journal.push_str(&format!(
+        "{{\"event\":\"ic\",\"trials\":{ic_trials},\"seed\":137,\"spread_bits\":\"{:016x}\"}}\n",
+        ic.to_bits()
+    ));
+    let lt = mcpb_im::influence_mc_lt(&g, &seeds, lt_trials, 139);
+    journal.push_str(&format!(
+        "{{\"event\":\"lt\",\"trials\":{lt_trials},\"seed\":139,\"spread_bits\":\"{:016x}\"}}\n",
+        lt.to_bits()
+    ));
+
+    let summary = mcpb_trace::snapshot();
+    mcpb_trace::set_enabled(was_enabled);
+    let counter = |name: &str| {
+        summary
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    // Peak bytes are exact integers and shard counts are pure functions of
+    // the graph, so both belong in the byte-compared journal; histogram
+    // means (f64 sums) do not.
+    let peak = |name: &str| {
+        summary
+            .histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map_or(0u64, |h| h.max as u64)
+    };
+    let budget = mcpb_im::shard::SHARD_PEAK_BUDGET_BYTES as u64;
+    let (rr_peak, mc_peak) = (
+        peak("im.rr_shard_peak_bytes"),
+        peak("im.mc_shard_peak_bytes"),
+    );
+    journal.push_str(&format!(
+        "{{\"event\":\"memory\",\"rr_shards\":{},\"rr_peak_bytes\":{rr_peak},\
+         \"mc_shards\":{},\"mc_peak_bytes\":{mc_peak},\"budget_bytes\":{budget},\
+         \"within_budget\":{}}}\n",
+        counter("im.rr_shards"),
+        counter("im.mc_shards"),
+        rr_peak <= budget && mc_peak <= budget
+    ));
+
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &journal).unwrap_or_else(|e| {
+                eprintln!("mcpbench large-smoke: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("large-smoke: wrote journal -> {path}");
+        }
+        None => print!("{journal}"),
+    }
+    eprintln!(
+        "large-smoke: ok ic_spread={ic:.3} lt_spread={lt:.3} ({:.2}s total)",
+        start.elapsed().as_secs_f64()
+    );
 }
 
 /// `serve …`: the online query service. Three modes:
@@ -809,6 +1067,14 @@ fn main() {
             bench_cmd(&args[1..]);
             return;
         }
+        Some("large-smoke") => {
+            large_smoke_cmd(&args[1..]);
+            return;
+        }
+        Some("datasets") if args.iter().any(|a| a == "--large") => {
+            datasets_large_cmd(&args[1..]);
+            return;
+        }
         Some("serve") => {
             serve_cmd(&args[1..]);
             finish_trace();
@@ -850,11 +1116,18 @@ fn main() {
         println!("        [--self-check] [--update-baseline]");
         println!("                              run the workspace lint gate (see audit --help)");
         println!(
-            "  bench [--quick]             run the recorded perf suite; writes BENCH_nn.json,"
+            "  bench [--quick] [--large]   run the recorded perf suite; writes BENCH_nn.json,"
         );
         println!(
-            "                              BENCH_kernels.json, BENCH_im.json + BENCH_REPORT.md"
+            "                              BENCH_kernels.json, BENCH_im.json + BENCH_REPORT.md;"
         );
+        println!("                              --large adds the 1M-node tier as BENCH_large.json");
+        println!("  datasets --large [<name>...]");
+        println!("                              build the 1M-node catalog tier as mmap-backed");
+        println!("                              compact-CSR caches under target/datasets/large/");
+        println!("  large-smoke [--config <name>] [--rr <sets>] [--ic <n>] [--lt <n>] [--out <f>]");
+        println!("                              sharded sampling smoke over a large-tier graph;");
+        println!("                              emits a thread-invariant JSONL journal");
         println!("  bench-check <base> <cur> [--tolerance <frac>]");
         println!("                              perf ratchet: fail if any baseline bench median");
         println!(
